@@ -1,0 +1,95 @@
+// Shared driver for the microscopic-view benches (Figures 4 and 5): runs
+// the three-class Study A setup with per-packet recording, dumps the two
+// views as CSV for plotting, and prints summary statistics that capture the
+// figures' qualitative content (smooth tracking vs sawtooth resets).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/study_a.hpp"
+#include "stats/sawtooth.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pds::bench {
+
+inline void run_micro_view(SchedulerKind kind, const std::string& csv_prefix,
+                           double sim_time, std::uint64_t seed) {
+  StudyAConfig config;
+  config.scheduler = kind;
+  config.sdp = {1.0, 2.0, 4.0};
+  config.load_fractions = {0.5, 0.3, 0.2};
+  config.utilization = 0.95;
+  config.sim_time = sim_time;
+  config.seed = seed;
+  config.record_departures = true;
+
+  const auto result = run_study_a(config);
+  const auto& packets = result.per_packet;
+
+  // View I: average delay per class in consecutive 30-p-unit windows.
+  const double window = 30.0 * kPUnit;
+  {
+    CsvWriter csv(csv_prefix + "_view1.csv",
+                  {"window_end", "class1", "class2", "class3"});
+    std::vector<double> sum(3, 0.0);
+    std::vector<std::uint64_t> count(3, 0);
+    double window_start = config.warmup_end();
+    for (const auto& rec : packets) {
+      while (rec.time >= window_start + window) {
+        std::vector<double> row{window_start + window, 0.0, 0.0, 0.0};
+        for (std::size_t c = 0; c < 3; ++c) {
+          row[c + 1] = count[c] ? sum[c] / static_cast<double>(count[c]) : 0.0;
+          sum[c] = 0.0;
+          count[c] = 0;
+        }
+        csv.add_row(row);
+        window_start += window;
+      }
+      sum[rec.cls] += rec.delay;
+      ++count[rec.cls];
+    }
+    std::cout << "view I  (30-p-unit class averages) -> " << csv.path()
+              << "\n";
+  }
+
+  // View II: every packet's delay at its departure time, over the full run
+  // (the paper zooms into a ~1000 p-unit overloaded stretch; the CSV keeps
+  // everything so any window can be plotted).
+  {
+    CsvWriter csv(csv_prefix + "_view2.csv", {"departure", "class", "delay"});
+    for (const auto& rec : packets) {
+      csv.add_row(std::vector<double>{rec.time,
+                                      static_cast<double>(rec.cls + 1),
+                                      rec.delay});
+    }
+    std::cout << "view II (per-packet delays)        -> " << csv.path()
+              << "\n";
+  }
+
+  // Quantitative summary of the figures' message.
+  TablePrinter table({"class", "mean delay (tu)", "sawtooth index",
+                      "collapses/1k pkts"});
+  SawtoothIndex saw(3);
+  std::vector<std::uint64_t> count(3, 0);
+  for (const auto& rec : packets) {
+    saw.record(rec.cls, rec.delay);
+    ++count[rec.cls];
+  }
+  for (ClassId c = 0; c < 3; ++c) {
+    const double per_k =
+        count[c] ? 1000.0 * static_cast<double>(saw.collapses(c)) /
+                       static_cast<double>(count[c])
+                 : 0.0;
+    table.add_row({std::to_string(c + 1),
+                   TablePrinter::num(result.mean_delays[c], 1),
+                   TablePrinter::num(saw.index(c), 3),
+                   TablePrinter::num(per_k, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "overall sawtooth index: "
+            << TablePrinter::num(saw.overall(), 3) << "\n";
+}
+
+}  // namespace pds::bench

@@ -1,0 +1,44 @@
+// Event-queue microbenchmark: binary heap vs calendar queue under the
+// hold-model workload (the standard benchmark for simulator event sets:
+// alternate pop and push-at-future-time on a steady population).
+#include <benchmark/benchmark.h>
+
+#include "dsim/event_queue.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+void hold_model(benchmark::State& state, pds::EventQueueKind kind) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto q = pds::make_event_queue(kind);
+    pds::Rng rng(99);
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < population; ++i) {
+      q->push(pds::EventItem{rng.uniform01() * 100.0, seq++, [] {}});
+    }
+    state.ResumeTiming();
+    // Hold model: each pop schedules a replacement a random offset ahead.
+    for (int step = 0; step < 10000; ++step) {
+      auto item = q->pop();
+      item.time += rng.uniform01() * 100.0;
+      item.seq = seq++;
+      q->push(std::move(item));
+    }
+    benchmark::DoNotOptimize(q->size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+
+void BM_Heap(benchmark::State& s) {
+  hold_model(s, pds::EventQueueKind::kBinaryHeap);
+}
+void BM_Calendar(benchmark::State& s) {
+  hold_model(s, pds::EventQueueKind::kCalendar);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Heap)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_Calendar)->Arg(64)->Arg(1024)->Arg(16384);

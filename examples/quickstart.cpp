@@ -1,0 +1,42 @@
+// Quickstart: one congested link with proportional delay differentiation.
+//
+// Builds the paper's canonical setup in a few lines — a WTP scheduler with
+// SDPs 1,2,4,8 on a link at 95% utilization — and prints the per-class
+// average queueing delays and their ratios. The ratios land near the
+// operator-chosen spacing of 2x between adjacent classes regardless of the
+// absolute delay level: that is the proportional differentiation model.
+#include <iostream>
+
+#include "core/study_a.hpp"
+#include "util/table.hpp"
+
+int main() {
+  pds::StudyAConfig config;
+  config.scheduler = pds::SchedulerKind::kWtp;
+  config.sdp = {1.0, 2.0, 4.0, 8.0};            // class 4 is 8x "faster"
+  config.load_fractions = {0.4, 0.3, 0.2, 0.1}; // most traffic is cheap
+  config.utilization = 0.95;                    // heavy load
+  config.sim_time = 2.0e5;                      // time units
+  config.seed = 42;
+
+  const auto result = pds::run_study_a(config);
+
+  std::cout << "WTP link at " << config.utilization * 100
+            << "% utilization, SDPs 1,2,4,8\n\n";
+  pds::TablePrinter table(
+      {"class", "SDP", "packets", "avg delay (p-units)", "vs next class"});
+  for (pds::ClassId c = 0; c < 4; ++c) {
+    table.add_row({std::to_string(pds::paper_class_label(c)),
+                   pds::TablePrinter::num(config.sdp[c], 0),
+                   std::to_string(result.departures[c]),
+                   pds::TablePrinter::num(result.mean_delays[c] / pds::kPUnit,
+                                          1),
+                   c < 3 ? pds::TablePrinter::num(result.ratios[c]) + "x"
+                         : std::string("-")});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach class sees ~2x the delay of the class above it —"
+               " the operator's\nchosen spacing, independent of the class"
+               " loads (Eq. 1 of the paper).\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// General-purpose single-link simulation driver.
+//
+// The "swiss-army" entry point a downstream user reaches for first: pick a
+// scheduler, SDPs, load, mix and run length on the command line; get the
+// per-class delay table, achieved ratios vs targets, optional short-
+// timescale R_D percentiles, an optional Eq. 7 feasibility audit of the
+// implied DDPs, and an optional trace dump for offline analysis.
+//
+// Examples:
+//   simulate_cli --scheduler=wtp --rho=0.9 --sdp=1,2,4,8
+//   simulate_cli --scheduler=bpr --rho=0.95 --mix=10,20,30,40 --taus=10,100
+//   simulate_cli --scheduler=hpd --rho=0.8 --check-feasibility
+//   simulate_cli --scheduler=sp --rho=0.95 --save-trace=run.csv
+#include <iostream>
+
+#include "core/feasibility.hpp"
+#include "core/model.hpp"
+#include "core/study_a.hpp"
+#include "core/trace_io.hpp"
+#include "stats/percentile.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const pds::ArgParser args(argc, argv);
+    const std::vector<std::string> known{
+        "scheduler", "rho", "sdp", "mix", "sim-time", "seed", "arrivals",
+        "taus", "check-feasibility", "save-trace", "help"};
+    const auto unknown = args.unknown_keys(known);
+    if (!unknown.empty() || args.has("help")) {
+      std::cerr << "usage: simulate_cli [--scheduler=wtp|bpr|fcfs|sp|"
+                   "additive|pad|hpd|drr|scfq|vc]\n"
+                   "  [--rho=0.95] [--sdp=1,2,4,8] [--mix=40,30,20,10]\n"
+                   "  [--arrivals=pareto|poisson]\n"
+                   "  [--sim-time=4e5] [--seed=1] [--taus=10,100,...]"
+                   " (p-units)\n"
+                   "  [--check-feasibility] [--save-trace=FILE]\n";
+      return unknown.empty() ? 0 : 2;
+    }
+
+    pds::StudyAConfig config;
+    config.scheduler = pds::scheduler_kind_from_string(
+        args.get_string("scheduler", "wtp"));
+    config.utilization = args.get_double("rho", 0.95);
+    config.sdp = args.get_double_list("sdp", {1.0, 2.0, 4.0, 8.0});
+    config.load_fractions =
+        args.get_double_list("mix", {40.0, 30.0, 20.0, 10.0});
+    // Normalize percentage-style mixes.
+    double mix_total = 0.0;
+    for (const double f : config.load_fractions) mix_total += f;
+    for (double& f : config.load_fractions) f /= mix_total;
+    config.sim_time = args.get_double("sim-time", 4.0e5);
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto arrivals = args.get_string("arrivals", "pareto");
+    if (arrivals == "poisson") {
+      config.arrivals = pds::ArrivalModel::kPoisson;
+    } else if (arrivals != "pareto") {
+      std::cerr << "--arrivals must be pareto or poisson\n";
+      return 2;
+    }
+    const auto taus_p = args.get_double_list("taus", {});
+    for (const double tp : taus_p) {
+      config.monitor_taus.push_back(tp * pds::kPUnit);
+    }
+    const bool check = args.get_bool("check-feasibility", false);
+    const auto trace_path = args.get_string("save-trace", "");
+    config.record_trace = check || !trace_path.empty();
+
+    const auto result = pds::run_study_a(config);
+
+    std::cout << "scheduler " << args.get_string("scheduler", "wtp")
+              << ", rho " << config.utilization << " (measured "
+              << pds::TablePrinter::num(result.measured_utilization)
+              << "), " << result.total_departures
+              << " departures after warmup\n\n";
+
+    pds::TablePrinter table({"class", "SDP", "packets",
+                             "mean delay (p-units)", "jitter (p-units)",
+                             "ratio to next", "target"});
+    for (pds::ClassId c = 0; c < config.num_classes(); ++c) {
+      const bool last = c + 1 == config.num_classes();
+      table.add_row(
+          {std::to_string(pds::paper_class_label(c)),
+           pds::TablePrinter::num(config.sdp[c], 0),
+           std::to_string(result.departures[c]),
+           pds::TablePrinter::num(result.mean_delays[c] / pds::kPUnit, 1),
+           pds::TablePrinter::num(result.jitter[c] / pds::kPUnit, 1),
+           last ? "-" : pds::TablePrinter::num(result.ratios[c]),
+           last ? "-"
+                : pds::TablePrinter::num(config.sdp[c + 1] / config.sdp[c])});
+    }
+    table.print(std::cout);
+
+    if (!config.monitor_taus.empty()) {
+      std::cout << "\nshort-timescale R_D percentiles:\n";
+      pds::TablePrinter rd({"tau (p-units)", "intervals", "p25", "p50",
+                            "p75"});
+      for (std::size_t t = 0; t < taus_p.size(); ++t) {
+        const auto& rds = result.rd_per_tau[t];
+        if (rds.size() < 4) {
+          rd.add_row({pds::TablePrinter::num(taus_p[t], 0),
+                      std::to_string(rds.size()), "-", "-", "-"});
+          continue;
+        }
+        const auto q = pds::percentiles(rds, {25, 50, 75});
+        rd.add_row({pds::TablePrinter::num(taus_p[t], 0),
+                    std::to_string(rds.size()),
+                    pds::TablePrinter::num(q[0]), pds::TablePrinter::num(q[1]),
+                    pds::TablePrinter::num(q[2])});
+      }
+      rd.print(std::cout);
+    }
+
+    if (check) {
+      const auto report = pds::check_feasibility(
+          result.trace, pds::ddp_from_sdp(config.sdp), config.capacity,
+          config.warmup_end());
+      std::cout << "\nfeasibility of the implied DDPs (Eq. 7): "
+                << report.summary() << "\n";
+    }
+
+    if (!trace_path.empty()) {
+      pds::save_trace(trace_path, result.trace);
+      std::cout << "\narrival trace (" << result.trace.size()
+                << " records) written to " << trace_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

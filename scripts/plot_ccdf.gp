@@ -1,0 +1,23 @@
+# Renders the per-class delay CCDFs written by bench/ext_delay_distributions.
+#
+#   gnuplot -e "prefix='dist_wtp'" scripts/plot_ccdf.gp
+#
+# Produces <prefix>_ccdf.png with log-log axes; proportional delay
+# differentiation shows up as uniformly shifted (not crossing) curves.
+
+if (!exists("prefix")) prefix = 'dist_wtp'
+
+set datafile separator ','
+set grid
+set logscale xy
+set xlabel 'queueing delay (p-units)'
+set ylabel 'P[delay > x]'
+set yrange [1e-4:1]
+
+set terminal pngcairo size 900,600
+set output sprintf('%s_ccdf.png', prefix)
+set title sprintf('%s — per-class queueing delay CCDF', prefix)
+plot sprintf('%s_ccdf.csv', prefix) using 1:2 with linespoints title 'class 1', \
+     ''                             using 1:3 with linespoints title 'class 2', \
+     ''                             using 1:4 with linespoints title 'class 3', \
+     ''                             using 1:5 with linespoints title 'class 4'

@@ -1,0 +1,28 @@
+# Renders the paper's Figures 4/5 microscopic views from the CSVs the
+# fig4_bpr_micro / fig5_wtp_micro benches emit.
+#
+#   gnuplot -e "prefix='fig4_bpr'" scripts/plot_micro_views.gp
+#   gnuplot -e "prefix='fig5_wtp'" scripts/plot_micro_views.gp
+#
+# Produces <prefix>_view1.png (30-p-unit class averages, cf. Figs. 4a/5a)
+# and <prefix>_view2.png (per-packet delays, cf. Figs. 4b/5b).
+
+if (!exists("prefix")) prefix = 'fig4_bpr'
+
+set datafile separator ','
+set grid
+set xlabel 'time (time units)'
+set ylabel 'queueing delay (time units)'
+
+set terminal pngcairo size 1000,600
+set output sprintf('%s_view1.png', prefix)
+set title sprintf('%s — microscopic view I (30-p-unit class averages)', prefix)
+plot sprintf('%s_view1.csv', prefix) using 1:2 with lines  title 'class 1', \
+     ''                              using 1:3 with lines  title 'class 2', \
+     ''                              using 1:4 with lines  title 'class 3'
+
+set output sprintf('%s_view2.png', prefix)
+set title sprintf('%s — microscopic view II (per-packet delays)', prefix)
+plot sprintf('%s_view2.csv', prefix) using 1:($2==1?$3:1/0) with dots title 'class 1', \
+     ''                              using 1:($2==2?$3:1/0) with dots title 'class 2', \
+     ''                              using 1:($2==3?$3:1/0) with dots title 'class 3'

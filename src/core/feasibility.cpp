@@ -1,0 +1,71 @@
+#include "core/feasibility.hpp"
+
+#include <sstream>
+
+#include "core/model.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+std::string FeasibilityReport::summary() const {
+  std::ostringstream os;
+  os << (feasible ? "FEASIBLE" : "INFEASIBLE") << " (" << violated << "/"
+     << checks.size() << " subset conditions violated; d(lambda)="
+     << aggregate_fcfs_delay << ")";
+  return os.str();
+}
+
+FeasibilityReport check_feasibility(const std::vector<ArrivalRecord>& trace,
+                                    const std::vector<double>& ddp,
+                                    double capacity, SimTime warmup_end,
+                                    double rel_tolerance) {
+  validate_ddp(ddp);
+  PDS_CHECK(!trace.empty(), "empty trace");
+  PDS_CHECK(rel_tolerance >= 0.0, "negative tolerance");
+  const auto n = static_cast<std::uint32_t>(ddp.size());
+  PDS_CHECK(n >= 2, "feasibility needs at least two classes");
+  PDS_CHECK(n <= 16, "subset enumeration limited to 16 classes");
+
+  FeasibilityReport report;
+
+  // d(lambda): the full aggregate in a FCFS server.
+  std::vector<bool> all(n, true);
+  report.aggregate_fcfs_delay =
+      fcfs_average_delay(trace, all, capacity, warmup_end);
+
+  // Per-class packet counts stand in for the rates (common duration).
+  const auto counts = class_counts(trace, n, warmup_end);
+  std::vector<double> lambda;
+  lambda.reserve(n);
+  for (const auto c : counts) lambda.push_back(static_cast<double>(c));
+
+  report.target_delays =
+      proportional_delays(ddp, lambda, report.aggregate_fcfs_delay);
+
+  const std::uint32_t subsets = (1u << n) - 1;  // skip empty; skip full below
+  for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+    SubsetCheck check;
+    std::vector<bool> included(n, false);
+    double lhs = 0.0;
+    double subset_rate = 0.0;
+    for (ClassId c = 0; c < n; ++c) {
+      if ((mask & (1u << c)) == 0) continue;
+      included[c] = true;
+      check.classes.push_back(c);
+      lhs += lambda[c] * report.target_delays[c];
+      subset_rate += lambda[c];
+    }
+    const double subset_delay =
+        fcfs_average_delay(trace, included, capacity, warmup_end);
+    check.lhs = lhs;
+    check.rhs = subset_rate * subset_delay;
+    check.satisfied = check.lhs >= check.rhs * (1.0 - rel_tolerance);
+    if (!check.satisfied) ++report.violated;
+    report.checks.push_back(std::move(check));
+  }
+
+  report.feasible = report.violated == 0;
+  return report;
+}
+
+}  // namespace pds

@@ -1,0 +1,50 @@
+// Trace-driven feasibility check for a DDP set (Section 3, Eq. 7).
+//
+// Coffman & Mitrani: a vector of average class delays {d_i} is achievable by
+// some work-conserving scheduler iff for every nonempty proper subset q of
+// classes
+//
+//     sum_{i in q} lambda_i d_i  >=  (sum_{i in q} lambda_i) * d(q)
+//
+// where d(q) is the average delay of the subset's aggregate traffic in a
+// FCFS server of full capacity (the subset cannot be served better than by
+// having the link to itself). Equality over the full set is the conservation
+// law. Given a trace, we (1) compute d(full) by FCFS replay, (2) derive the
+// target delays from the DDPs via Eq. 6, and (3) test all 2^N - 2 subset
+// inequalities, again by FCFS replay. N is small (the DS field allows only a
+// handful of classes), so the enumeration is cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace pds {
+
+struct SubsetCheck {
+  std::vector<ClassId> classes;   // members of the subset
+  double lhs;                     // sum lambda_i d_i (per-packet weighted)
+  double rhs;                     // (sum lambda_i) * d(subset)
+  bool satisfied;                 // lhs >= rhs (with tolerance)
+};
+
+struct FeasibilityReport {
+  bool feasible = false;
+  double aggregate_fcfs_delay = 0.0;        // d(lambda) over the full set
+  std::vector<double> target_delays;        // Eq. 6 delays being tested
+  std::vector<SubsetCheck> checks;          // one per proper nonempty subset
+  std::uint64_t violated = 0;
+
+  std::string summary() const;
+};
+
+// `rel_tolerance` absorbs finite-trace noise: a subset inequality counts as
+// violated only when lhs < rhs * (1 - rel_tolerance).
+FeasibilityReport check_feasibility(const std::vector<ArrivalRecord>& trace,
+                                    const std::vector<double>& ddp,
+                                    double capacity, SimTime warmup_end = 0.0,
+                                    double rel_tolerance = 0.02);
+
+}  // namespace pds

@@ -1,0 +1,65 @@
+#include "core/mg1.hpp"
+
+#include "core/model.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+ServiceMoments service_moments(const DiscreteDist& size_law,
+                               double capacity) {
+  PDS_CHECK(capacity > 0.0, "capacity must be positive");
+  ServiceMoments m;
+  for (const auto& outcome : size_law.outcomes()) {
+    const double s = outcome.value / capacity;
+    m.mean += outcome.weight * s;
+    m.second += outcome.weight * s * s;
+  }
+  return m;
+}
+
+double pk_waiting_time(double lambda, const ServiceMoments& moments) {
+  PDS_CHECK(lambda >= 0.0, "negative arrival rate");
+  PDS_CHECK(moments.mean > 0.0 && moments.second > 0.0,
+            "degenerate service moments");
+  if (lambda == 0.0) return 0.0;
+  const double rho = lambda * moments.mean;
+  PDS_CHECK(rho < 1.0, "unstable queue (rho >= 1)");
+  return lambda * moments.second / (2.0 * (1.0 - rho));
+}
+
+std::vector<std::uint32_t> mg1_infeasible_subsets(
+    const std::vector<double>& ddp, const std::vector<double>& lambda,
+    const DiscreteDist& size_law, double capacity) {
+  validate_ddp(ddp);
+  PDS_CHECK(lambda.size() == ddp.size(), "lambda/DDP size mismatch");
+  const auto n = static_cast<std::uint32_t>(ddp.size());
+  PDS_CHECK(n >= 2 && n <= 16, "need 2..16 classes");
+
+  const auto moments = service_moments(size_law, capacity);
+  double total_rate = 0.0;
+  for (const double l : lambda) {
+    PDS_CHECK(l >= 0.0, "negative arrival rate");
+    total_rate += l;
+  }
+  const double d_all = pk_waiting_time(total_rate, moments);
+  const auto targets = proportional_delays(ddp, lambda, d_all);
+
+  std::vector<std::uint32_t> violated;
+  const std::uint32_t full = (1u << n) - 1;
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    double subset_rate = 0.0;
+    double lhs = 0.0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if ((mask & (1u << c)) == 0) continue;
+      subset_rate += lambda[c];
+      lhs += lambda[c] * targets[c];
+    }
+    // Superposition of Poisson streams is Poisson: the subset aggregate is
+    // M/G/1 with the same size law at the reduced rate.
+    const double rhs = subset_rate * pk_waiting_time(subset_rate, moments);
+    if (lhs < rhs * (1.0 - 1e-12)) violated.push_back(mask);
+  }
+  return violated;
+}
+
+}  // namespace pds

@@ -1,0 +1,46 @@
+// M/G/1 analytics: the Pollaczek–Khinchine mean waiting time.
+//
+// Section 3 notes that applying the feasibility conditions requires an
+// estimate of d(lambda) — the average FCFS delay of (sub)aggregates — and
+// that estimating it from measurements "is by itself a challenging open
+// issue". For Poisson arrivals the answer is closed-form:
+//
+//     W = lambda * E[S^2] / (2 (1 - rho)),   rho = lambda * E[S] < 1,
+//
+// with S the service (transmission) time. This module provides that
+// estimate for an arbitrary packet-size law, plus an analytic variant of
+// the Eq. 7 feasibility check built entirely on it (no trace needed). The
+// analytic check is exact for Poisson traffic and a useful first-cut
+// approximation otherwise; the trace-driven checker in feasibility.hpp
+// remains the ground truth for bursty traffic.
+#pragma once
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+namespace pds {
+
+// First and second moments of the packet *service time* for a size law (in
+// bytes) served at `capacity` bytes per time unit.
+struct ServiceMoments {
+  double mean = 0.0;     // E[S]
+  double second = 0.0;   // E[S^2]
+};
+
+ServiceMoments service_moments(const DiscreteDist& size_law, double capacity);
+
+// Pollaczek–Khinchine mean waiting time (excluding own service) for a
+// Poisson arrival rate `lambda` (packets per time unit). Requires
+// rho = lambda * moments.mean < 1; throws otherwise.
+double pk_waiting_time(double lambda, const ServiceMoments& moments);
+
+// Analytic counterpart of check_feasibility(): given per-class Poisson
+// rates and a common size law, tests the 2^N - 2 subset conditions of
+// Eq. 7 with every d(.) evaluated by Pollaczek–Khinchine. Returns the
+// subset masks that violate the conditions (empty => feasible).
+std::vector<std::uint32_t> mg1_infeasible_subsets(
+    const std::vector<double>& ddp, const std::vector<double>& lambda,
+    const DiscreteDist& size_law, double capacity);
+
+}  // namespace pds

@@ -1,0 +1,59 @@
+#include "core/model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+std::vector<double> ddp_from_sdp(const std::vector<double>& sdp) {
+  PDS_CHECK(!sdp.empty(), "empty SDP vector");
+  std::vector<double> ddp;
+  ddp.reserve(sdp.size());
+  for (const double s : sdp) {
+    PDS_CHECK(s > 0.0, "SDPs must be positive");
+    ddp.push_back(1.0 / s);
+  }
+  return ddp;
+}
+
+void validate_ddp(const std::vector<double>& ddp) {
+  PDS_CHECK(!ddp.empty(), "empty DDP vector");
+  for (std::size_t i = 0; i < ddp.size(); ++i) {
+    PDS_CHECK(ddp[i] > 0.0, "DDPs must be positive");
+    if (i > 0) {
+      PDS_CHECK(ddp[i] <= ddp[i - 1],
+                "DDPs must be non-increasing (higher class = lower delay)");
+    }
+  }
+}
+
+std::vector<double> proportional_delays(const std::vector<double>& ddp,
+                                        const std::vector<double>& lambda,
+                                        double aggregate_fcfs_delay) {
+  validate_ddp(ddp);
+  PDS_CHECK(lambda.size() == ddp.size(), "lambda/DDP size mismatch");
+  PDS_CHECK(aggregate_fcfs_delay >= 0.0, "negative aggregate delay");
+  double total_rate = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    PDS_CHECK(lambda[i] >= 0.0, "negative arrival rate");
+    total_rate += lambda[i];
+    weighted += ddp[i] * lambda[i];
+  }
+  PDS_CHECK(total_rate > 0.0, "no traffic");
+  PDS_CHECK(weighted > 0.0, "all classes with positive DDP have zero rate");
+  std::vector<double> out;
+  out.reserve(ddp.size());
+  for (const double delta : ddp) {
+    out.push_back(delta * total_rate * aggregate_fcfs_delay / weighted);
+  }
+  return out;
+}
+
+double target_ratio(const std::vector<double>& ddp, std::size_t i,
+                    std::size_t j) {
+  validate_ddp(ddp);
+  PDS_CHECK(i < ddp.size() && j < ddp.size(), "class index out of range");
+  return ddp[i] / ddp[j];
+}
+
+}  // namespace pds

@@ -1,0 +1,41 @@
+// The proportional differentiation model (Sections 2-3) as closed-form
+// library math.
+//
+// Delay Differentiation Parameters (DDPs) delta_0 > delta_1 > ... > 0 target
+//
+//     d_i / d_j = delta_i / delta_j        (Eq. 1)
+//
+// (class 0 is the lowest class: largest delta, largest delay). Under the
+// conservation law sum_i lambda_i d_i = lambda * d(lambda) (Eq. 5), the
+// unique delay vector satisfying the constraints is
+//
+//     d_i = delta_i * lambda * d(lambda) / sum_j delta_j lambda_j   (Eq. 6)
+//
+// where lambda is the aggregate arrival rate and d(lambda) the average delay
+// the aggregate would see in a work-conserving FCFS server of the same
+// capacity. The four monotonicity properties stated in Section 3 follow from
+// this expression and are exercised by the model tests.
+#pragma once
+
+#include <vector>
+
+namespace pds {
+
+// DDPs from SDPs: delta_i = 1 / s_i (Eq. 10/13: heavy-load WTP and BPR
+// deliver d_i/d_j -> s_j/s_i).
+std::vector<double> ddp_from_sdp(const std::vector<double>& sdp);
+
+// Validates delta_0 >= delta_1 >= ... > 0; throws std::invalid_argument.
+void validate_ddp(const std::vector<double>& ddp);
+
+// Eq. 6. `lambda` holds per-class arrival rates (any consistent unit),
+// `aggregate_fcfs_delay` is d(lambda). Returns per-class delays.
+std::vector<double> proportional_delays(const std::vector<double>& ddp,
+                                        const std::vector<double>& lambda,
+                                        double aggregate_fcfs_delay);
+
+// Target ratio d_i / d_j implied by a DDP set.
+double target_ratio(const std::vector<double>& ddp, std::size_t i,
+                    std::size_t j);
+
+}  // namespace pds

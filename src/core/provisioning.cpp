@@ -1,0 +1,126 @@
+#include "core/provisioning.hpp"
+
+#include <cmath>
+
+#include "core/feasibility.hpp"
+#include "core/model.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+std::vector<double> geometric_ddp(double spacing, std::uint32_t num_classes) {
+  PDS_CHECK(spacing >= 1.0, "spacing must be at least 1");
+  PDS_CHECK(num_classes >= 1, "need at least one class");
+  std::vector<double> ddp;
+  ddp.reserve(num_classes);
+  double d = 1.0;
+  for (std::uint32_t i = 0; i < num_classes; ++i) {
+    ddp.push_back(d);
+    d /= spacing;
+  }
+  return ddp;
+}
+
+namespace {
+
+bool spacing_feasible(const std::vector<ArrivalRecord>& trace,
+                      std::uint32_t num_classes, double capacity,
+                      SimTime warmup_end, double spacing) {
+  return check_feasibility(trace, geometric_ddp(spacing, num_classes),
+                           capacity, warmup_end)
+      .feasible;
+}
+
+// Eq. 6 delays for a geometric ladder on the measured trace.
+std::vector<double> predicted_delays(const std::vector<ArrivalRecord>& trace,
+                                     std::uint32_t num_classes,
+                                     double capacity, SimTime warmup_end,
+                                     double spacing) {
+  std::vector<bool> all(num_classes, true);
+  const double d_agg =
+      fcfs_average_delay(trace, all, capacity, warmup_end);
+  const auto counts = class_counts(trace, num_classes, warmup_end);
+  std::vector<double> lambda;
+  lambda.reserve(num_classes);
+  for (const auto c : counts) lambda.push_back(static_cast<double>(c));
+  return proportional_delays(geometric_ddp(spacing, num_classes), lambda,
+                             d_agg);
+}
+
+}  // namespace
+
+SpacingSearch max_feasible_spacing(const std::vector<ArrivalRecord>& trace,
+                                   std::uint32_t num_classes, double capacity,
+                                   SimTime warmup_end, double max_spacing,
+                                   double tolerance) {
+  PDS_CHECK(num_classes >= 2, "need at least two classes");
+  PDS_CHECK(max_spacing > 1.0, "max spacing must exceed 1");
+  PDS_CHECK(tolerance > 0.0, "tolerance must be positive");
+  PDS_CHECK(
+      spacing_feasible(trace, num_classes, capacity, warmup_end, 1.0),
+      "even equal DDPs are infeasible — inconsistent trace or capacity");
+
+  SpacingSearch out;
+  if (spacing_feasible(trace, num_classes, capacity, warmup_end,
+                       max_spacing)) {
+    out.spacing = max_spacing;
+    out.bounded = false;
+  } else {
+    double lo = 1.0;        // feasible
+    double hi = max_spacing;  // infeasible
+    while (hi - lo > tolerance) {
+      const double mid = 0.5 * (lo + hi);
+      (spacing_feasible(trace, num_classes, capacity, warmup_end, mid)
+           ? lo
+           : hi) = mid;
+    }
+    out.spacing = lo;
+    out.bounded = true;
+  }
+  out.target_delays = predicted_delays(trace, num_classes, capacity,
+                                       warmup_end, out.spacing);
+  return out;
+}
+
+std::optional<TargetSearch> spacing_for_target_delay(
+    const std::vector<ArrivalRecord>& trace, std::uint32_t num_classes,
+    double capacity, double target_delay, SimTime warmup_end,
+    double max_spacing, double tolerance) {
+  PDS_CHECK(num_classes >= 2, "need at least two classes");
+  PDS_CHECK(target_delay > 0.0, "target delay must be positive");
+  PDS_CHECK(max_spacing > 1.0, "max spacing must exceed 1");
+  PDS_CHECK(tolerance > 0.0, "tolerance must be positive");
+
+  const auto top_delay = [&](double spacing) {
+    return predicted_delays(trace, num_classes, capacity, warmup_end,
+                            spacing)
+        .back();
+  };
+
+  // The top class's Eq. 6 delay decreases monotonically in the spacing.
+  if (top_delay(1.0) <= target_delay) {
+    TargetSearch out;
+    out.spacing = 1.0;
+    out.feasible = true;  // equal DDPs (FCFS behaviour) are always feasible
+    out.target_delays = predicted_delays(trace, num_classes, capacity,
+                                         warmup_end, 1.0);
+    return out;
+  }
+  if (top_delay(max_spacing) > target_delay) return std::nullopt;
+
+  double lo = 1.0;          // above target
+  double hi = max_spacing;  // at or below target
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (top_delay(mid) > target_delay ? lo : hi) = mid;
+  }
+  TargetSearch out;
+  out.spacing = hi;
+  out.feasible =
+      spacing_feasible(trace, num_classes, capacity, warmup_end, hi);
+  out.target_delays =
+      predicted_delays(trace, num_classes, capacity, warmup_end, hi);
+  return out;
+}
+
+}  // namespace pds

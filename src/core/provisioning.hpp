@@ -1,0 +1,58 @@
+// Provisioning toolkit — the paper's closing question (Section 7): "a major
+// question from a network operator's point of view is how to choose the
+// class differentiation parameters".
+//
+// For geometric DDP ladders delta_i = a^-i (spacing `a` between adjacent
+// classes, the configuration used throughout the paper's evaluation), two
+// decisions become one-dimensional searches over `a`:
+//
+//  * max_feasible_spacing: the largest spacing the measured traffic can
+//    support at all — the Eq. 7 feasibility boundary, located by bisection
+//    on trace-driven subset checks (feasibility is monotone in `a`: wider
+//    spacing pushes the top classes below their FCFS floors).
+//  * spacing_for_target_delay: the smallest spacing that brings the top
+//    class's Eq. 6 predicted average delay down to an operator target —
+//    answering "how much spacing do I need to sell a <= X ms class?", and
+//    reporting whether that spacing is also feasible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace pds {
+
+// Geometric DDP ladder {1, 1/a, 1/a^2, ...} with `num_classes` rungs.
+std::vector<double> geometric_ddp(double spacing, std::uint32_t num_classes);
+
+struct SpacingSearch {
+  double spacing = 1.0;              // the answer
+  bool bounded = true;               // false: the search hit `max_spacing`
+  std::vector<double> target_delays; // Eq. 6 delays at the answer
+};
+
+// Largest spacing a >= 1 (up to `max_spacing`) whose geometric DDPs pass
+// the Eq. 7 feasibility check on `trace`. Bisection to `tolerance`.
+SpacingSearch max_feasible_spacing(const std::vector<ArrivalRecord>& trace,
+                                   std::uint32_t num_classes, double capacity,
+                                   SimTime warmup_end = 0.0,
+                                   double max_spacing = 64.0,
+                                   double tolerance = 0.01);
+
+// Smallest spacing whose Eq. 6 prediction gives the *top* class an average
+// delay <= `target_delay` (same time units as the trace), or nullopt if
+// even `max_spacing` cannot reach the target. `feasible` in the result
+// reports whether the found spacing also passes Eq. 7.
+struct TargetSearch {
+  double spacing = 1.0;
+  bool feasible = false;
+  std::vector<double> target_delays;
+};
+std::optional<TargetSearch> spacing_for_target_delay(
+    const std::vector<ArrivalRecord>& trace, std::uint32_t num_classes,
+    double capacity, double target_delay, SimTime warmup_end = 0.0,
+    double max_spacing = 64.0, double tolerance = 0.01);
+
+}  // namespace pds

@@ -1,0 +1,119 @@
+// Study A harness (Section 5): one congested link, N per-class Pareto
+// sources, a pluggable scheduler, and the paper's measurement pipeline —
+// long-term per-class delays, interval (timescale-tau) R_D series,
+// per-packet departure records for the microscopic views, and an optional
+// arrival trace for feasibility checking.
+//
+// Defaults reproduce the paper's setup: 4 classes, SDPs {1,2,4,8}, load
+// split 40/30/20/10, Pareto(1.9) interarrivals, the 40/550/1500 B size law,
+// and a link normalized so the mean packet transmission time is one p-unit
+// (11.2 time units).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "dsim/event_queue.hpp"
+#include "dsim/time.hpp"
+#include "packet/size_law.hpp"
+#include "sched/factory.hpp"
+#include "stats/sawtooth.hpp"
+
+namespace pds {
+
+// Interarrival law of the per-class sources.
+enum class ArrivalModel {
+  kPareto,   // the paper's bursty default (shape = pareto_alpha)
+  kPoisson,  // exponential gaps — matches the M/G/1 analytics in mg1.hpp
+};
+
+struct StudyAConfig {
+  SchedulerKind scheduler = SchedulerKind::kWtp;
+  std::vector<double> sdp{1.0, 2.0, 4.0, 8.0};
+  std::vector<double> load_fractions{0.4, 0.3, 0.2, 0.1};
+  double utilization = 0.95;
+  ArrivalModel arrivals = ArrivalModel::kPareto;
+  double pareto_alpha = 1.9;
+
+  // Link normalization: capacity in bytes per time unit. With the paper's
+  // size law the default gives a mean transmission time of one p-unit.
+  double capacity = kStudyACapacity;
+
+  double sim_time = 4.0e5;        // run length in time units
+  double warmup_fraction = 0.1;   // leading fraction excluded from stats
+  std::uint64_t seed = 1;
+
+  // Kernel pending-event set; results are identical for both (see the
+  // event-queue differential tests), the calendar can be faster at large
+  // event populations.
+  EventQueueKind event_queue = EventQueueKind::kBinaryHeap;
+
+  // Monitoring timescales (time units) for the Figure 3 metric; empty
+  // disables interval monitoring.
+  std::vector<double> monitor_taus;
+
+  // Retains the arrival trace (for Eq. 7 feasibility checks). Memory scales
+  // with packet count.
+  bool record_trace = false;
+
+  // Retains one record per departure (for the microscopic views).
+  bool record_departures = false;
+
+  // Per-class delay percentiles to report (e.g. {50, 95, 99}); empty
+  // disables sample retention.
+  std::vector<double> report_percentiles;
+
+  std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(sdp.size());
+  }
+  SimTime warmup_end() const { return sim_time * warmup_fraction; }
+
+  void validate() const;
+};
+
+struct DepartureRecord {
+  SimTime time;    // departure (end of transmission)
+  ClassId cls;
+  double delay;    // queueing delay at this hop (time units)
+};
+
+struct StudyAResult {
+  std::vector<double> mean_delays;            // per class, time units
+  std::vector<std::uint64_t> departures;      // per class, after warmup
+  std::vector<double> ratios;                 // d_i / d_{i+1}
+  double measured_utilization = 0.0;          // busy time / sim time
+  std::uint64_t total_departures = 0;
+
+  // Per requested tau, in the order given: the R_D values of all intervals.
+  std::vector<std::vector<double>> rd_per_tau;
+
+  std::vector<ArrivalRecord> trace;           // iff record_trace
+  std::vector<DepartureRecord> per_packet;    // iff record_departures
+
+  // delay_percentiles[cls][k] for report_percentiles[k] (time units);
+  // empty unless requested.
+  std::vector<std::vector<double>> delay_percentiles;
+  std::vector<double> sawtooth_index;         // per class
+  std::uint64_t sawtooth_collapses = 0;
+  std::vector<double> jitter;                 // per class (RFC 3550 style)
+};
+
+StudyAResult run_study_a(const StudyAConfig& config);
+
+// Runs `seeds` independent replications (seed, seed+1, ...) and returns the
+// per-pair ratios averaged across runs, the paper's methodology for
+// Figures 1 and 2 ("averaging over ten simulation runs with different
+// seeds" — the Pareto tail rules out confidence intervals). Replications
+// are embarrassingly parallel: they execute on up to hardware_concurrency
+// threads; every Simulator and all per-run state is thread-local, and
+// results are identical to the sequential order.
+std::vector<double> average_ratios_over_seeds(StudyAConfig config,
+                                              std::uint32_t seeds);
+
+// Parallel multi-seed runner returning every replication's full result,
+// ordered by seed offset.
+std::vector<StudyAResult> run_study_a_replications(const StudyAConfig& config,
+                                                   std::uint32_t seeds);
+
+}  // namespace pds

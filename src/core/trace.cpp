@@ -1,0 +1,46 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+double fcfs_average_delay(const std::vector<ArrivalRecord>& trace,
+                          const std::vector<bool>& included, double capacity,
+                          SimTime warmup_end) {
+  PDS_CHECK(capacity > 0.0, "capacity must be positive");
+  double prev_finish = 0.0;
+  double total_wait = 0.0;
+  std::uint64_t counted = 0;
+  SimTime prev_time = 0.0;
+  for (const auto& rec : trace) {
+    PDS_CHECK(rec.time >= prev_time, "trace not time-ordered");
+    prev_time = rec.time;
+    PDS_CHECK(rec.cls < included.size(), "class index out of range");
+    if (!included[rec.cls]) continue;
+    // Lindley recursion for the single-server FIFO queue.
+    const double start = std::max(rec.time, prev_finish);
+    const double wait = start - rec.time;
+    prev_finish = start + static_cast<double>(rec.size_bytes) / capacity;
+    if (rec.time >= warmup_end) {
+      total_wait += wait;
+      ++counted;
+    }
+  }
+  if (counted == 0) return 0.0;
+  return total_wait / static_cast<double>(counted);
+}
+
+std::vector<std::uint64_t> class_counts(
+    const std::vector<ArrivalRecord>& trace, std::uint32_t num_classes,
+    SimTime warmup_end) {
+  std::vector<std::uint64_t> counts(num_classes, 0);
+  for (const auto& rec : trace) {
+    PDS_CHECK(rec.cls < num_classes, "class index out of range");
+    if (rec.time >= warmup_end) ++counts[rec.cls];
+  }
+  return counts;
+}
+
+}  // namespace pds

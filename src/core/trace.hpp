@@ -1,0 +1,38 @@
+// Arrival traces and FCFS replay.
+//
+// The feasibility conditions (Eq. 7) compare the target class delays against
+// the average delay every subset of classes would experience in a
+// work-conserving FCFS server. Replaying a recorded arrival trace through
+// the single-server queue recursion gives those subset delays exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsim/time.hpp"
+#include "packet/packet.hpp"
+
+namespace pds {
+
+struct ArrivalRecord {
+  SimTime time;
+  ClassId cls;
+  std::uint32_t size_bytes;
+};
+
+// Average queueing delay (wait before service, excluding transmission) of
+// the records selected by `included[record.cls]`, served FCFS at `capacity`
+// bytes per time unit. Records must be in non-decreasing time order.
+// Departures whose *arrival* time is before `warmup_end` are excluded from
+// the average (they are still served, so they shape later waits).
+// Returns 0 when no selected record survives the warmup cut.
+double fcfs_average_delay(const std::vector<ArrivalRecord>& trace,
+                          const std::vector<bool>& included, double capacity,
+                          SimTime warmup_end = 0.0);
+
+// Per-class arrival counts after the warmup cut.
+std::vector<std::uint64_t> class_counts(
+    const std::vector<ArrivalRecord>& trace, std::uint32_t num_classes,
+    SimTime warmup_end = 0.0);
+
+}  // namespace pds

@@ -1,0 +1,38 @@
+// Trace-driven scheduler study: run any scheduler over a *fixed* recorded
+// arrival sequence. With identical arrivals, scheduler comparisons are
+// exact — no seed noise — which is how the conservation law (Eq. 5) and the
+// Figure 4/5 "same arriving packet streams" comparisons are made precise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sched/factory.hpp"
+
+namespace pds {
+
+struct TraceStudyConfig {
+  SchedulerKind scheduler = SchedulerKind::kWtp;
+  std::vector<double> sdp{1.0, 2.0, 4.0, 8.0};
+  double capacity = 39.375;
+  SimTime warmup_end = 0.0;  // departures of packets arriving earlier are
+                             // served but excluded from the statistics
+  void validate() const;
+};
+
+struct TraceStudyResult {
+  std::vector<double> mean_delays;        // per class (time units)
+  std::vector<std::uint64_t> departures;  // per class, post-warmup
+  std::vector<double> ratios;             // d_i / d_{i+1}
+  // Sum of ALL packets' waits over the whole run (ignores the warmup
+  // cut) — the conservation-law quantity: exactly equal across schedulers
+  // when packet sizes are equal.
+  double total_wait = 0.0;
+  SimTime makespan = 0.0;                 // last departure completion time
+};
+
+TraceStudyResult run_trace_study(const std::vector<ArrivalRecord>& trace,
+                                 const TraceStudyConfig& config);
+
+}  // namespace pds

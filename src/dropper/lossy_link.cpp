@@ -1,0 +1,94 @@
+#include "dropper/lossy_link.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+LossyLink::LossyLink(Simulator& sim, Scheduler& sched, double capacity,
+                     std::uint64_t buffer_packets, DropPolicy policy,
+                     std::unique_ptr<PlrDropper> plr,
+                     DepartureHandler on_departure, DropHandler on_drop)
+    : sim_(sim),
+      sched_(sched),
+      buffer_packets_(buffer_packets),
+      policy_(policy),
+      plr_(std::move(plr)),
+      on_drop_(std::move(on_drop)),
+      link_(sim, sched, capacity, std::move(on_departure)),
+      arrivals_(sched.num_classes(), 0),
+      drops_(sched.num_classes(), 0) {
+  PDS_CHECK(buffer_packets >= 1, "buffer must hold at least one packet");
+  PDS_CHECK(static_cast<bool>(on_drop_), "null drop handler");
+  if (policy_ == DropPolicy::kPlr) {
+    PDS_CHECK(plr_ != nullptr, "PLR policy requires a dropper");
+    PDS_CHECK(plr_->num_classes() == sched.num_classes(),
+              "dropper/scheduler class count mismatch");
+  } else {
+    PDS_CHECK(plr_ == nullptr, "dropper given but policy is not PLR");
+  }
+}
+
+std::uint64_t LossyLink::queued_packets() const {
+  std::uint64_t total = 0;
+  for (ClassId c = 0; c < sched_.num_classes(); ++c) {
+    total += sched_.backlog_packets(c);
+  }
+  return total;
+}
+
+void LossyLink::arrive(Packet p) {
+  const ClassId cls = p.cls;
+  PDS_CHECK(cls < arrivals_.size(), "class index out of range");
+  ++arrivals_[cls];
+  if (plr_) plr_->note_arrival(cls);
+
+  if (queued_packets() < buffer_packets_) {
+    link_.arrive(std::move(p));
+    return;
+  }
+
+  // Buffer overflow.
+  if (policy_ == DropPolicy::kDropIncoming) {
+    ++drops_[cls];
+    on_drop_(p, sim_.now());
+    return;
+  }
+
+  // PLR: the arriving packet's class is a candidate victim even when it has
+  // nothing queued (the arrival itself would be pushed out).
+  std::vector<bool> backlogged(sched_.num_classes(), false);
+  for (ClassId c = 0; c < sched_.num_classes(); ++c) {
+    backlogged[c] = sched_.backlog_packets(c) > 0;
+  }
+  backlogged[cls] = true;
+  const auto victim = plr_->pick_victim(backlogged);
+  PDS_REQUIRE(victim.has_value());
+  ++drops_[*victim];
+  if (*victim == cls && sched_.backlog_packets(cls) == 0) {
+    on_drop_(p, sim_.now());
+    return;
+  }
+  auto pushed_out = sched_.drop_tail(*victim);
+  PDS_REQUIRE(pushed_out.has_value());
+  on_drop_(*pushed_out, sim_.now());
+  link_.arrive(std::move(p));
+}
+
+std::uint64_t LossyLink::arrivals(ClassId cls) const {
+  PDS_CHECK(cls < arrivals_.size(), "class index out of range");
+  return arrivals_[cls];
+}
+
+std::uint64_t LossyLink::drops(ClassId cls) const {
+  PDS_CHECK(cls < drops_.size(), "class index out of range");
+  return drops_[cls];
+}
+
+double LossyLink::loss_rate(ClassId cls) const {
+  PDS_CHECK(cls < arrivals_.size(), "class index out of range");
+  if (arrivals_[cls] == 0) return 0.0;
+  return static_cast<double>(drops_[cls]) /
+         static_cast<double>(arrivals_[cls]);
+}
+
+}  // namespace pds

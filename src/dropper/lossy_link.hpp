@@ -1,0 +1,70 @@
+// Lossy output link: a Link variant with a finite shared packet buffer and a
+// pluggable drop policy. Extends the paper's lossless Section 3 model toward
+// the coupled delay+loss differentiation it names as future work.
+//
+// On an arrival that would exceed the buffer:
+//  * kDropIncoming (drop-tail baseline): the arriving packet is discarded.
+//  * kPlr: the PLR dropper picks a victim class; the victim's most recent
+//    packet is pushed out and the arrival is admitted. (If the arriving
+//    packet's own class is chosen and it has no queued packets, the arrival
+//    itself is the victim.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dropper/plr_dropper.hpp"
+#include "dsim/simulator.hpp"
+#include "sched/link.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pds {
+
+enum class DropPolicy {
+  kDropIncoming,
+  kPlr,
+};
+
+class LossyLink {
+ public:
+  using DepartureHandler = Link::DepartureHandler;
+  // Called for every dropped packet.
+  using DropHandler = std::function<void(const Packet&, SimTime now)>;
+
+  // `buffer_packets` caps the total queued packets (the one in transmission
+  // does not count against the buffer). `plr` must be non-null iff policy
+  // is kPlr; its class count must match the scheduler's.
+  LossyLink(Simulator& sim, Scheduler& sched, double capacity,
+            std::uint64_t buffer_packets, DropPolicy policy,
+            std::unique_ptr<PlrDropper> plr, DepartureHandler on_departure,
+            DropHandler on_drop);
+
+  LossyLink(const LossyLink&) = delete;
+  LossyLink& operator=(const LossyLink&) = delete;
+
+  void arrive(Packet p);
+
+  std::uint64_t arrivals(ClassId cls) const;
+  std::uint64_t drops(ClassId cls) const;
+  double loss_rate(ClassId cls) const;
+
+  const Link& link() const noexcept { return link_; }
+
+ private:
+  std::uint64_t queued_packets() const;
+
+  Simulator& sim_;
+  Scheduler& sched_;
+  std::uint64_t buffer_packets_;
+  DropPolicy policy_;
+  std::unique_ptr<PlrDropper> plr_;
+  DropHandler on_drop_;
+  Link link_;
+  std::vector<std::uint64_t> arrivals_;
+  std::vector<std::uint64_t> drops_;
+};
+
+}  // namespace pds

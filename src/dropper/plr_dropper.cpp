@@ -1,0 +1,107 @@
+#include "dropper/plr_dropper.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+LossHistory::LossHistory(std::uint32_t num_classes, std::uint64_t window)
+    : window_(window), arrivals_(num_classes, 0), drops_(num_classes, 0) {
+  PDS_CHECK(num_classes >= 1, "need at least one class");
+}
+
+void LossHistory::evict() {
+  while (events_.size() > window_) {
+    const Event& e = events_.front();
+    --arrivals_[e.cls];
+    if (e.dropped) --drops_[e.cls];
+    events_.pop_front();
+  }
+}
+
+void LossHistory::note_arrival(ClassId cls) {
+  PDS_CHECK(cls < arrivals_.size(), "class index out of range");
+  ++arrivals_[cls];
+  if (window_ > 0) {
+    events_.push_back(Event{cls, false});
+    evict();
+  }
+}
+
+void LossHistory::note_drop(ClassId cls) {
+  PDS_CHECK(cls < drops_.size(), "class index out of range");
+  ++drops_[cls];
+  if (window_ > 0) {
+    // Mark the most recent un-dropped event of this class as dropped so the
+    // window's drop count tracks its arrival count. Searching backwards is
+    // cheap: drops cluster near the tail (the victim just arrived or is
+    // near the tail of its queue).
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+      if (it->cls == cls && !it->dropped) {
+        it->dropped = true;
+        return;
+      }
+    }
+    // The victim's arrival already left the window: count it against the
+    // newest event slot so totals stay consistent.
+    events_.push_back(Event{cls, true});
+    ++arrivals_[cls];
+    evict();
+  }
+}
+
+std::uint64_t LossHistory::arrivals(ClassId cls) const {
+  PDS_CHECK(cls < arrivals_.size(), "class index out of range");
+  return arrivals_[cls];
+}
+
+std::uint64_t LossHistory::drops(ClassId cls) const {
+  PDS_CHECK(cls < drops_.size(), "class index out of range");
+  return drops_[cls];
+}
+
+double LossHistory::loss_rate(ClassId cls) const {
+  PDS_CHECK(cls < arrivals_.size(), "class index out of range");
+  if (arrivals_[cls] == 0) return 0.0;
+  return static_cast<double>(drops_[cls]) /
+         static_cast<double>(arrivals_[cls]);
+}
+
+PlrDropper::PlrDropper(std::vector<double> ldp, std::uint64_t window)
+    : ldp_(std::move(ldp)),
+      history_(static_cast<std::uint32_t>(ldp_.size()), window) {
+  PDS_CHECK(!ldp_.empty(), "need at least one class");
+  for (std::size_t i = 0; i < ldp_.size(); ++i) {
+    PDS_CHECK(ldp_[i] > 0.0, "LDPs must be positive");
+    if (i > 0) {
+      PDS_CHECK(ldp_[i] <= ldp_[i - 1],
+                "LDPs must be non-increasing (higher class = less loss)");
+    }
+  }
+}
+
+void PlrDropper::note_arrival(ClassId cls) { history_.note_arrival(cls); }
+
+std::optional<ClassId> PlrDropper::pick_victim(
+    const std::vector<bool>& backlogged) {
+  PDS_CHECK(backlogged.size() == ldp_.size(),
+            "backlog/LDP class count mismatch");
+  bool found = false;
+  ClassId victim = 0;
+  double best = 0.0;
+  for (ClassId c = 0; c < backlogged.size(); ++c) {
+    if (!backlogged[c]) continue;
+    const double normalized = history_.loss_rate(c) / ldp_[c];
+    // `<` (not <=): on ties prefer the *lower* class, protecting higher
+    // classes, consistent with the delay-side tie-breaks.
+    if (!found || normalized < best) {
+      found = true;
+      victim = c;
+      best = normalized;
+    }
+  }
+  if (!found) return std::nullopt;
+  history_.note_drop(victim);
+  return victim;
+}
+
+}  // namespace pds

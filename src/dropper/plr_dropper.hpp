@@ -1,0 +1,80 @@
+// Proportional Loss Rate (PLR) droppers — the "coupled delay and loss
+// differentiation" direction the paper explicitly defers to future work
+// (Sections 1, 7). Modeled after the authors' follow-on work (Part II):
+//
+// Loss Differentiation Parameters (LDPs) sigma_0 >= sigma_1 >= ... > 0
+// target  l_i / l_j = sigma_i / sigma_j  for the class loss *rates*
+// (fraction of arrived packets dropped). Higher classes have smaller sigma
+// and therefore lower loss.
+//
+// When the buffer overflows, the dropper picks the backlogged class whose
+// normalized loss rate l_i / sigma_i is smallest — the class furthest below
+// its target share — and a packet is pushed out from that class's tail.
+//
+//  * PLR(inf): loss rates measured over the whole run (infinite history).
+//  * PLR(M):   loss rates measured over the last M arrivals (sliding
+//              window), which adapts when class load shares drift.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace pds {
+
+class LossHistory {
+ public:
+  // window == 0 means infinite history (PLR(inf)).
+  LossHistory(std::uint32_t num_classes, std::uint64_t window);
+
+  void note_arrival(ClassId cls);
+  void note_drop(ClassId cls);
+
+  std::uint64_t arrivals(ClassId cls) const;
+  std::uint64_t drops(ClassId cls) const;
+
+  // Loss rate drops/arrivals; 0 when the class has no recorded arrivals.
+  double loss_rate(ClassId cls) const;
+
+ private:
+  void evict();
+
+  struct Event {
+    ClassId cls;
+    bool dropped;
+  };
+
+  std::uint64_t window_;  // 0 = infinite
+  std::vector<std::uint64_t> arrivals_;
+  std::vector<std::uint64_t> drops_;
+  std::deque<Event> events_;  // only maintained for finite windows
+};
+
+class PlrDropper {
+ public:
+  // `ldp` must be positive and non-increasing (higher class = smaller
+  // sigma = less loss). `window` 0 selects PLR(inf).
+  PlrDropper(std::vector<double> ldp, std::uint64_t window);
+
+  // Must be called for every packet arrival (before any drop decision).
+  void note_arrival(ClassId cls);
+
+  // Picks the victim class among those with `backlogged[c] == true`;
+  // records the drop in the history. Returns nullopt when no class is
+  // backlogged.
+  std::optional<ClassId> pick_victim(const std::vector<bool>& backlogged);
+
+  const LossHistory& history() const noexcept { return history_; }
+  std::uint32_t num_classes() const noexcept {
+    return static_cast<std::uint32_t>(ldp_.size());
+  }
+
+ private:
+  std::vector<double> ldp_;
+  LossHistory history_;
+};
+
+}  // namespace pds

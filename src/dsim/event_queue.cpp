@@ -1,0 +1,157 @@
+#include "dsim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+// ----------------------------------------------------------------- heap
+
+void HeapEventQueue::push(EventItem item) { heap_.push(std::move(item)); }
+
+EventItem HeapEventQueue::pop() {
+  PDS_REQUIRE(!heap_.empty());
+  EventItem item = heap_.top();
+  heap_.pop();
+  return item;
+}
+
+SimTime HeapEventQueue::next_time() const {
+  PDS_REQUIRE(!heap_.empty());
+  return heap_.top().time;
+}
+
+// ------------------------------------------------------------- calendar
+
+namespace {
+constexpr std::size_t kMinDays = 4;
+constexpr double kMinWidth = 1e-9;
+}  // namespace
+
+CalendarEventQueue::CalendarEventQueue() : days_(kMinDays) {}
+
+std::size_t CalendarEventQueue::day_of(SimTime t) const {
+  const double virtual_day = std::floor(t / width_);
+  return static_cast<std::size_t>(
+             std::fmod(virtual_day, static_cast<double>(days_.size())));
+}
+
+void CalendarEventQueue::insert_sorted(Day& day, EventItem item) {
+  const auto pos = std::upper_bound(
+      day.begin(), day.end(), item,
+      [](const EventItem& a, const EventItem& b) {
+        if (a.time != b.time) return a.time < b.time;
+        return a.seq < b.seq;
+      });
+  day.insert(pos, std::move(item));
+}
+
+void CalendarEventQueue::push(EventItem item) {
+  PDS_CHECK(item.time >= 0.0, "negative event time");
+  cache_valid_ = false;
+  insert_sorted(days_[day_of(item.time)], std::move(item));
+  ++count_;
+  maybe_resize();
+}
+
+void CalendarEventQueue::locate_next() const {
+  if (cache_valid_) return;
+  PDS_REQUIRE(count_ > 0);
+  const std::size_t start_day = day_of(last_popped_);
+  double day_end = (std::floor(last_popped_ / width_) + 1.0) * width_;
+  for (std::size_t i = 0; i < days_.size(); ++i) {
+    const std::size_t d = (start_day + i) % days_.size();
+    if (!days_[d].empty() && days_[d].front().time < day_end) {
+      cached_day_ = d;
+      cache_valid_ = true;
+      return;
+    }
+    day_end += width_;
+  }
+  // Every pending event lies a full year or more ahead: fall back to a
+  // direct minimum scan across bucket heads.
+  bool found = false;
+  std::size_t best = 0;
+  for (std::size_t d = 0; d < days_.size(); ++d) {
+    if (days_[d].empty()) continue;
+    if (!found) {
+      found = true;
+      best = d;
+      continue;
+    }
+    const auto& a = days_[d].front();
+    const auto& b = days_[best].front();
+    if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) best = d;
+  }
+  PDS_REQUIRE(found);
+  cached_day_ = best;
+  cache_valid_ = true;
+}
+
+EventItem CalendarEventQueue::pop() {
+  locate_next();
+  Day& day = days_[cached_day_];
+  EventItem item = std::move(day.front());
+  day.erase(day.begin());
+  --count_;
+  last_popped_ = item.time;
+  cache_valid_ = false;
+  maybe_resize();
+  return item;
+}
+
+SimTime CalendarEventQueue::next_time() const {
+  locate_next();
+  return days_[cached_day_].front().time;
+}
+
+void CalendarEventQueue::maybe_resize() {
+  const std::size_t n = days_.size();
+  if (count_ > 2 * n) {
+    resize(2 * n);
+  } else if (n > kMinDays && count_ < n / 2) {
+    resize(std::max(kMinDays, n / 2));
+  }
+}
+
+void CalendarEventQueue::resize(std::size_t new_days) {
+  std::vector<EventItem> all;
+  all.reserve(count_);
+  for (auto& day : days_) {
+    for (auto& item : day) all.push_back(std::move(item));
+    day.clear();
+  }
+  // New day width from the population's time span: aim for O(1) events per
+  // day across the occupied window.
+  if (all.size() >= 2) {
+    double lo = all.front().time;
+    double hi = lo;
+    for (const auto& item : all) {
+      lo = std::min(lo, item.time);
+      hi = std::max(hi, item.time);
+    }
+    if (hi > lo) {
+      width_ = std::max(kMinWidth,
+                        2.0 * (hi - lo) / static_cast<double>(all.size()));
+    }
+  }
+  days_.assign(new_days, Day{});
+  for (auto& item : all) {
+    insert_sorted(days_[day_of(item.time)], std::move(item));
+  }
+  cache_valid_ = false;
+}
+
+std::unique_ptr<EventQueue> make_event_queue(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kBinaryHeap:
+      return std::make_unique<HeapEventQueue>();
+    case EventQueueKind::kCalendar:
+      return std::make_unique<CalendarEventQueue>();
+  }
+  PDS_REQUIRE(false);
+}
+
+}  // namespace pds

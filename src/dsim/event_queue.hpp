@@ -1,0 +1,106 @@
+// Pluggable pending-event sets for the simulation kernel.
+//
+// The default is a binary heap (std::priority_queue): O(log n), robust for
+// any event-time distribution. The alternative is a calendar queue (Brown,
+// CACM 1988) — the structure ns-2's scheduler made famous — which buckets
+// events by time modulo a rotating "year" and achieves amortized O(1)
+// enqueue/dequeue when event times are roughly uniform over a window, the
+// common case for packet simulations. The calendar resizes itself (doubling
+// / halving the day count and re-sizing the day width from a sample of
+// queued events) as the population changes.
+//
+// Both implementations provide the same total order: ascending time, FIFO
+// (sequence) within equal times — the determinism contract the rest of the
+// library relies on. The differential tests drive both with identical
+// workloads and require identical output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "dsim/time.hpp"
+
+namespace pds {
+
+struct EventItem {
+  SimTime time;
+  std::uint64_t seq;
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+  virtual void push(EventItem item) = 0;
+  // Removes and returns the earliest item (time, then seq). Requires
+  // !empty().
+  virtual EventItem pop() = 0;
+  // Time of the earliest item. Requires !empty().
+  virtual SimTime next_time() const = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+// Binary-heap implementation (the default).
+class HeapEventQueue final : public EventQueue {
+ public:
+  void push(EventItem item) override;
+  EventItem pop() override;
+  SimTime next_time() const override;
+  bool empty() const override { return heap_.empty(); }
+  std::size_t size() const override { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const EventItem& a, const EventItem& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<EventItem, std::vector<EventItem>, Later> heap_;
+};
+
+// Calendar-queue implementation.
+class CalendarEventQueue final : public EventQueue {
+ public:
+  CalendarEventQueue();
+
+  void push(EventItem item) override;
+  EventItem pop() override;
+  SimTime next_time() const override;
+  bool empty() const override { return count_ == 0; }
+  std::size_t size() const override { return count_; }
+
+  // Introspection for tests.
+  std::size_t num_days() const noexcept { return days_.size(); }
+  double day_width() const noexcept { return width_; }
+
+ private:
+  using Day = std::vector<EventItem>;  // kept sorted ascending (time, seq)
+
+  std::size_t day_of(SimTime t) const;
+  void insert_sorted(Day& day, EventItem item);
+  void resize(std::size_t new_days);
+  void maybe_resize();
+  // Finds the next item without removing it; fills cache fields.
+  void locate_next() const;
+
+  std::vector<Day> days_;
+  double width_ = 1.0;            // day length in time units
+  SimTime year_start_ = 0.0;      // start time of the current year's day 0
+  std::size_t current_day_ = 0;   // cursor within the year
+  std::size_t count_ = 0;
+  SimTime last_popped_ = 0.0;
+
+  mutable bool cache_valid_ = false;
+  mutable std::size_t cached_day_ = 0;
+};
+
+enum class EventQueueKind { kBinaryHeap, kCalendar };
+
+std::unique_ptr<EventQueue> make_event_queue(EventQueueKind kind);
+
+}  // namespace pds

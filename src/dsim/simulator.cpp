@@ -1,0 +1,84 @@
+#include "dsim/simulator.hpp"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+Simulator::Simulator(EventQueueKind queue)
+    : events_(make_event_queue(queue)) {}
+
+void Simulator::schedule_at(SimTime t, Action action) {
+  PDS_CHECK(t >= now_, "cannot schedule an event in the past");
+  PDS_CHECK(static_cast<bool>(action), "null event action");
+  events_->push(EventItem{t, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(SimTime dt, Action action) {
+  PDS_CHECK(dt >= 0.0, "negative delay");
+  schedule_at(now_ + dt, std::move(action));
+}
+
+void Simulator::run() {
+  drain(std::numeric_limits<SimTime>::infinity(), /*bounded=*/false);
+}
+
+void Simulator::run_until(SimTime t_end) {
+  PDS_CHECK(t_end >= now_, "horizon is in the past");
+  drain(t_end, /*bounded=*/true);
+}
+
+void Simulator::drain(SimTime horizon, bool bounded) {
+  stopped_ = false;
+  while (!events_->empty() && !stopped_) {
+    if (bounded && events_->next_time() > horizon) break;
+    EventItem ev = events_->pop();
+    PDS_REQUIRE(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+  if (bounded && now_ < horizon) now_ = horizon;
+}
+
+struct PeriodicProcess::State {
+  Simulator& sim;
+  SimTime period;
+  std::function<void(SimTime)> body;
+  bool cancelled = false;
+
+  // Runs the body once and re-arms; the shared_ptr keeps the state alive
+  // even if the PeriodicProcess handle was destroyed (destruction cancels).
+  static void fire(const std::shared_ptr<State>& st) {
+    if (st->cancelled) return;
+    st->body(st->sim.now());
+    if (st->cancelled) return;
+    st->sim.schedule_in(st->period, [st]() { fire(st); });
+  }
+};
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime start, SimTime period,
+                                 std::function<void(SimTime)> body)
+    : state_(std::make_shared<State>(State{sim, period, std::move(body)})) {
+  PDS_CHECK(period > 0.0, "period must be positive");
+  PDS_CHECK(static_cast<bool>(state_->body), "null process body");
+  auto st = state_;
+  sim.schedule_at(start, [st]() { State::fire(st); });
+}
+
+PeriodicProcess::~PeriodicProcess() {
+  if (state_) state_->cancelled = true;
+}
+
+void PeriodicProcess::cancel() noexcept {
+  if (state_) state_->cancelled = true;
+}
+
+bool PeriodicProcess::cancelled() const noexcept {
+  return !state_ || state_->cancelled;
+}
+
+}  // namespace pds

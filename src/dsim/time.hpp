@@ -1,0 +1,12 @@
+// Simulation time is a double in abstract "time units". Study A (single link)
+// follows the paper's normalization where the mean packet transmission time
+// is 11.2 units (one "p-unit"); Study B uses seconds.
+#pragma once
+
+namespace pds {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+
+}  // namespace pds

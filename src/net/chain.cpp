@@ -1,0 +1,59 @@
+#include "net/chain.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+ChainNetwork::ChainNetwork(Simulator& sim, std::uint32_t hops,
+                           SchedulerKind kind,
+                           const SchedulerConfig& sched_config,
+                           double capacity, ExitHandler on_user_exit)
+    : sim_(sim), on_user_exit_(std::move(on_user_exit)) {
+  PDS_CHECK(hops >= 1, "need at least one hop");
+  PDS_CHECK(static_cast<bool>(on_user_exit_), "null exit handler");
+  schedulers_.reserve(hops);
+  links_.reserve(hops);
+  for (std::uint32_t h = 0; h < hops; ++h) {
+    schedulers_.push_back(make_scheduler(kind, sched_config));
+    links_.push_back(std::make_unique<Link>(
+        sim, *schedulers_.back(), capacity,
+        [this, h](Packet&& p, SimTime wait, SimTime) {
+          on_departure(h, std::move(p), wait);
+        }));
+  }
+}
+
+void ChainNetwork::inject_user(Packet p) {
+  PDS_CHECK(p.flow != kNoFlow, "user packets need a flow id");
+  links_.front()->arrive(std::move(p));
+}
+
+void ChainNetwork::inject_cross(std::uint32_t hop, Packet p) {
+  PDS_CHECK(hop < links_.size(), "hop index out of range");
+  PDS_CHECK(p.flow == kNoFlow, "cross packets must not carry a flow id");
+  links_[hop]->arrive(std::move(p));
+}
+
+const Link& ChainNetwork::link(std::uint32_t hop) const {
+  PDS_CHECK(hop < links_.size(), "hop index out of range");
+  return *links_[hop];
+}
+
+void ChainNetwork::set_hop_observer(HopObserver observer) {
+  hop_observer_ = std::move(observer);
+}
+
+void ChainNetwork::on_departure(std::uint32_t hop, Packet&& p, SimTime wait) {
+  if (hop_observer_) hop_observer_(hop, p, wait, sim_.now());
+  if (p.flow == kNoFlow) {
+    ++cross_sunk_;  // cross traffic exits after its single hop
+    return;
+  }
+  if (hop + 1 < links_.size()) {
+    links_[hop + 1]->arrive(std::move(p));
+  } else {
+    on_user_exit_(p, sim_.now());
+  }
+}
+
+}  // namespace pds

@@ -1,0 +1,68 @@
+// Multi-hop substrate for Study B (Section 6, Figure 6): a chain of K
+// congested hops. User flows enter at hop 0 and traverse every hop;
+// cross-traffic enters at each hop, crosses that single hop, and exits to a
+// sink. Every hop has its own scheduler instance and output link.
+//
+// Propagation and per-hop transmission delays are deliberately not added to
+// the end-to-end metric — the paper compares only accumulated *queueing*
+// delays, which the Link already folds into Packet::cum_queueing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dsim/simulator.hpp"
+#include "sched/factory.hpp"
+#include "sched/link.hpp"
+
+namespace pds {
+
+class ChainNetwork {
+ public:
+  // Called when a user-flow packet exits the last hop; `p.cum_queueing`
+  // holds the end-to-end queueing delay.
+  using ExitHandler = std::function<void(const Packet& p, SimTime now)>;
+
+  // Optional per-hop observer: fired for EVERY departure (user and cross)
+  // with that hop's queueing delay. Install before traffic starts.
+  using HopObserver = std::function<void(std::uint32_t hop, const Packet& p,
+                                         SimTime wait, SimTime now)>;
+
+  ChainNetwork(Simulator& sim, std::uint32_t hops, SchedulerKind kind,
+               const SchedulerConfig& sched_config, double capacity,
+               ExitHandler on_user_exit);
+
+  ChainNetwork(const ChainNetwork&) = delete;
+  ChainNetwork& operator=(const ChainNetwork&) = delete;
+
+  // Entry point for user flows (hop 0). Packets must carry a FlowId.
+  void inject_user(Packet p);
+
+  // Entry point for cross traffic at a specific hop; the packet exits to a
+  // sink after that hop.
+  void inject_cross(std::uint32_t hop, Packet p);
+
+  std::uint32_t hops() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  const Link& link(std::uint32_t hop) const;
+
+  // Cross-traffic packets absorbed so far (all hops).
+  std::uint64_t cross_sunk() const noexcept { return cross_sunk_; }
+
+  void set_hop_observer(HopObserver observer);
+
+ private:
+  void on_departure(std::uint32_t hop, Packet&& p, SimTime wait);
+
+  Simulator& sim_;
+  ExitHandler on_user_exit_;
+  HopObserver hop_observer_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t cross_sunk_ = 0;
+};
+
+}  // namespace pds

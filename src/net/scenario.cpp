@@ -1,0 +1,334 @@
+#include "net/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "net/topology.hpp"
+#include "stats/percentile.hpp"
+#include "traffic/source.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::invalid_argument("scenario line " + std::to_string(line_no) +
+                              ": " + msg);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+// key=value options after the positional tokens.
+class Options {
+ public:
+  Options(const std::vector<std::string>& tokens, std::size_t first,
+          std::size_t line_no)
+      : line_no_(line_no) {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const auto& tok = tokens[i];
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos) {
+        flags_.push_back(tok);
+      } else {
+        values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+      }
+    }
+  }
+
+  bool flag(const std::string& name) {
+    for (auto it = flags_.begin(); it != flags_.end(); ++it) {
+      if (*it == name) {
+        flags_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::string> take(const std::string& key) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    std::string v = it->second;
+    values_.erase(it);
+    return v;
+  }
+
+  std::string require(const std::string& key) {
+    auto v = take(key);
+    if (!v) fail(line_no_, "missing required option " + key + "=...");
+    return *v;
+  }
+
+  double number(const std::string& key) {
+    return to_number(require(key));
+  }
+
+  double number_or(const std::string& key, double def) {
+    const auto v = take(key);
+    return v ? to_number(*v) : def;
+  }
+
+  std::vector<double> list(const std::string& key) {
+    const std::string raw = require(key);
+    std::vector<double> out;
+    std::size_t start = 0;
+    while (start <= raw.size()) {
+      const auto comma = raw.find(',', start);
+      const auto item = raw.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (item.empty()) fail(line_no_, "empty element in " + key);
+      out.push_back(to_number(item));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return out;
+  }
+
+  void finish() const {
+    if (!values_.empty()) {
+      fail(line_no_, "unknown option " + values_.begin()->first);
+    }
+    if (!flags_.empty()) {
+      fail(line_no_, "unknown flag " + flags_.front());
+    }
+  }
+
+ private:
+  double to_number(const std::string& raw) const {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(raw, &pos);
+      if (pos != raw.size()) fail(line_no_, "malformed number: " + raw);
+      return v;
+    } catch (const std::invalid_argument&) {
+      fail(line_no_, "malformed number: " + raw);
+    }
+  }
+
+  std::size_t line_no_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> flags_;
+};
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario scenario;
+  bool saw_run = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const auto& kind = tokens[0];
+
+    if (kind == "link") {
+      if (tokens.size() < 2) fail(line_no, "link needs a name");
+      ScenarioLink link;
+      link.name = tokens[1];
+      for (const auto& existing : scenario.links) {
+        if (existing.name == link.name) {
+          fail(line_no, "duplicate link name " + link.name);
+        }
+      }
+      Options opts(tokens, 2, line_no);
+      link.capacity = opts.number("capacity");
+      link.kind = scheduler_kind_from_string(opts.require("sched"));
+      link.sdp = opts.list("sdp");
+      opts.finish();
+      scenario.links.push_back(std::move(link));
+    } else if (kind == "route") {
+      if (tokens.size() < 3) fail(line_no, "route needs a name and links");
+      ScenarioRoute route;
+      route.name = tokens[1];
+      for (const auto& existing : scenario.routes) {
+        if (existing.name == route.name) {
+          fail(line_no, "duplicate route name " + route.name);
+        }
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        bool known = false;
+        for (const auto& l : scenario.links) known |= l.name == tokens[i];
+        if (!known) fail(line_no, "unknown link " + tokens[i]);
+        route.links.push_back(tokens[i]);
+      }
+      scenario.routes.push_back(std::move(route));
+    } else if (kind == "source") {
+      if (tokens.size() < 3) fail(line_no, "source needs a kind and route");
+      ScenarioSource src;
+      const auto& sk = tokens[1];
+      if (sk == "renewal") {
+        src.kind = ScenarioSourceKind::kRenewal;
+      } else if (sk == "mix") {
+        src.kind = ScenarioSourceKind::kMix;
+      } else if (sk == "cbr") {
+        src.kind = ScenarioSourceKind::kCbr;
+      } else {
+        fail(line_no, "unknown source kind " + sk);
+      }
+      src.route = tokens[2];
+      bool known = false;
+      for (const auto& r : scenario.routes) known |= r.name == src.route;
+      if (!known) fail(line_no, "unknown route " + src.route);
+
+      Options opts(tokens, 3, line_no);
+      src.start = opts.number_or("start", 0.0);
+      src.size_bytes =
+          static_cast<std::uint32_t>(opts.number("size"));
+      switch (src.kind) {
+        case ScenarioSourceKind::kRenewal:
+          src.cls = static_cast<ClassId>(opts.number("class"));
+          src.gap = opts.number("gap");
+          src.pareto_alpha =
+              opts.flag("poisson") ? 0.0 : opts.number_or("pareto", 1.9);
+          break;
+        case ScenarioSourceKind::kMix:
+          src.fractions = opts.list("fractions");
+          src.gap = opts.number("gap");
+          src.pareto_alpha =
+              opts.flag("poisson") ? 0.0 : opts.number_or("pareto", 1.9);
+          break;
+        case ScenarioSourceKind::kCbr:
+          src.cls = static_cast<ClassId>(opts.number("class"));
+          src.count = static_cast<std::uint32_t>(opts.number("count"));
+          src.interval = opts.number("interval");
+          break;
+      }
+      opts.finish();
+      scenario.sources.push_back(std::move(src));
+    } else if (kind == "run") {
+      if (saw_run) fail(line_no, "duplicate run directive");
+      saw_run = true;
+      Options opts(tokens, 1, line_no);
+      scenario.run.until = opts.number("until");
+      scenario.run.warmup = opts.number_or("warmup", 0.0);
+      scenario.run.seed =
+          static_cast<std::uint64_t>(opts.number_or("seed", 1.0));
+      opts.finish();
+    } else {
+      fail(line_no, "unknown directive " + kind);
+    }
+  }
+  if (scenario.links.empty()) {
+    throw std::invalid_argument("scenario defines no links");
+  }
+  if (!saw_run) throw std::invalid_argument("scenario has no run directive");
+  if (scenario.sources.empty()) {
+    throw std::invalid_argument("scenario defines no sources");
+  }
+  PDS_CHECK(scenario.run.until > scenario.run.warmup,
+            "run horizon must exceed the warmup");
+  return scenario;
+}
+
+ScenarioReport run_scenario(const std::string& text,
+                            std::optional<std::uint64_t> seed_override) {
+  const Scenario scenario = parse_scenario(text);
+  const double warmup = scenario.run.warmup;
+
+  Simulator sim;
+  PacketIdAllocator ids;
+  Rng master(seed_override.value_or(scenario.run.seed));
+
+  Network net(sim);
+  std::map<std::string, LinkId> link_ids;
+  std::uint32_t max_classes = 1;
+  for (const auto& link : scenario.links) {
+    SchedulerConfig sc;
+    sc.sdp = link.sdp;
+    sc.link_capacity = link.capacity;
+    link_ids[link.name] = net.add_link(link.kind, sc, link.capacity,
+                                       link.name);
+    max_classes = std::max(
+        max_classes, static_cast<std::uint32_t>(link.sdp.size()));
+  }
+
+  ScenarioReport report;
+  // (route index, class) -> samples of end-to-end queueing delay.
+  std::vector<std::vector<SampleSet>> samples(
+      scenario.routes.size(), std::vector<SampleSet>(max_classes));
+  std::map<std::string, RouteId> route_ids;
+  for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
+    const auto& route = scenario.routes[r];
+    std::vector<LinkId> path;
+    for (const auto& name : route.links) path.push_back(link_ids.at(name));
+    route_ids[route.name] = net.add_route(
+        path, [&, r](const Packet& p, SimTime now) {
+          ++report.total_exits;
+          if (now >= warmup && p.cls < max_classes) {
+            samples[r][p.cls].add(p.cum_queueing);
+          }
+        });
+  }
+
+  const auto make_gaps = [](const ScenarioSource& src) {
+    return src.pareto_alpha > 0.0 ? pareto_gaps(src.pareto_alpha, src.gap)
+                                  : exponential_gaps(src.gap);
+  };
+
+  std::vector<std::unique_ptr<RenewalSource>> renewals;
+  std::vector<std::unique_ptr<ClassMixSource>> mixes;
+  std::vector<std::unique_ptr<CbrFlowSource>> cbrs;
+  for (const auto& src : scenario.sources) {
+    const RouteId route = route_ids.at(src.route);
+    const auto handler = [&net, route](Packet p) {
+      net.inject(std::move(p), route);
+    };
+    switch (src.kind) {
+      case ScenarioSourceKind::kRenewal:
+        renewals.push_back(std::make_unique<RenewalSource>(
+            sim, ids, src.cls, make_gaps(src), fixed_size(src.size_bytes),
+            master.split(), handler));
+        renewals.back()->start(src.start);
+        break;
+      case ScenarioSourceKind::kMix:
+        mixes.push_back(std::make_unique<ClassMixSource>(
+            sim, ids, src.fractions, make_gaps(src),
+            fixed_size(src.size_bytes), master.split(), handler));
+        mixes.back()->start(src.start);
+        break;
+      case ScenarioSourceKind::kCbr:
+        cbrs.push_back(std::make_unique<CbrFlowSource>(
+            sim, ids, src.cls, kNoFlow - 1, src.count, src.size_bytes,
+            src.interval, handler));
+        cbrs.back()->start(src.start);
+        break;
+    }
+  }
+
+  sim.run_until(scenario.run.until);
+  for (auto& s : renewals) s->stop();
+  for (auto& s : mixes) s->stop();
+
+  for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
+    for (ClassId c = 0; c < max_classes; ++c) {
+      const auto& set = samples[r][c];
+      if (set.empty()) continue;
+      report.route_stats.push_back(ScenarioReport::RouteClassStats{
+          scenario.routes[r].name, c, set.count(), set.mean(),
+          set.percentile(95.0)});
+    }
+  }
+  for (const auto& link : scenario.links) {
+    const LinkId id = link_ids.at(link.name);
+    report.link_stats.push_back(ScenarioReport::LinkStats{
+        link.name, net.utilization(id), net.link(id).packets_sent()});
+  }
+  return report;
+}
+
+}  // namespace pds

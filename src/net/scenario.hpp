@@ -1,0 +1,104 @@
+// Scenario files: declarative experiment descriptions for the Network
+// substrate (the role ns-2 OTcl scripts played for the paper's Study B).
+//
+// A scenario is a line-oriented text format; '#' starts a comment.
+//
+//   link  <name> capacity=<bytes/tu> sched=<wtp|bpr|...> sdp=<s1,s2,...>
+//   route <name> <link> [<link> ...]
+//   source renewal <route> class=<c> gap=<mean tu> size=<bytes>
+//          [pareto=<alpha> | poisson] [start=<t>]
+//   source mix <route> fractions=<f1,f2,...> gap=<mean> size=<bytes>
+//          [pareto=<alpha> | poisson] [start=<t>]
+//   source cbr <route> class=<c> count=<n> size=<bytes> interval=<tu>
+//          [start=<t>]
+//   run   until=<t> [warmup=<t>] [seed=<n>]
+//
+// Example (a Y merge):
+//
+//   link accessA capacity=39.375 sched=wtp sdp=1,2,4,8
+//   link backbone capacity=39.375 sched=wtp sdp=1,2,4,8
+//   route pathA accessA backbone
+//   source renewal pathA class=0 gap=30 size=441 pareto=1.9
+//   run until=2e5 warmup=2e4 seed=7
+//
+// parse_scenario validates structure (names, references, parameter sets)
+// and throws std::invalid_argument with the offending line number;
+// run_scenario executes it and reports per-route per-class end-to-end
+// queueing delays and per-link utilization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/factory.hpp"
+
+namespace pds {
+
+enum class ScenarioSourceKind { kRenewal, kMix, kCbr };
+
+struct ScenarioLink {
+  std::string name;
+  double capacity = 0.0;
+  SchedulerKind kind = SchedulerKind::kWtp;
+  std::vector<double> sdp;
+};
+
+struct ScenarioRoute {
+  std::string name;
+  std::vector<std::string> links;
+};
+
+struct ScenarioSource {
+  ScenarioSourceKind kind = ScenarioSourceKind::kRenewal;
+  std::string route;
+  ClassId cls = 0;                 // renewal / cbr
+  std::vector<double> fractions;   // mix
+  double gap = 0.0;                // renewal / mix mean interarrival
+  std::uint32_t size_bytes = 0;
+  double pareto_alpha = 0.0;       // 0 => poisson
+  std::uint32_t count = 0;         // cbr
+  double interval = 0.0;           // cbr
+  double start = 0.0;
+};
+
+struct ScenarioRun {
+  double until = 0.0;
+  double warmup = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct Scenario {
+  std::vector<ScenarioLink> links;
+  std::vector<ScenarioRoute> routes;
+  std::vector<ScenarioSource> sources;
+  ScenarioRun run;
+};
+
+Scenario parse_scenario(const std::string& text);
+
+struct ScenarioReport {
+  struct RouteClassStats {
+    std::string route;
+    ClassId cls;
+    std::uint64_t packets = 0;
+    double mean_delay = 0.0;   // end-to-end queueing, time units
+    double p95_delay = 0.0;
+  };
+  struct LinkStats {
+    std::string link;
+    double utilization = 0.0;
+    std::uint64_t packets_sent = 0;
+  };
+  std::vector<RouteClassStats> route_stats;  // only (route,class) with data
+  std::vector<LinkStats> link_stats;
+  std::uint64_t total_exits = 0;
+};
+
+// Parses and executes; `seed_override`, when set, replaces the file's seed.
+ScenarioReport run_scenario(const std::string& text,
+                            std::optional<std::uint64_t> seed_override = {});
+
+}  // namespace pds

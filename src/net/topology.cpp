@@ -1,0 +1,68 @@
+#include "net/topology.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+Network::Network(Simulator& sim) : sim_(sim) {}
+
+LinkId Network::add_link(SchedulerKind kind,
+                         const SchedulerConfig& sched_config, double capacity,
+                         std::string name) {
+  PDS_CHECK(!injected_, "cannot add links after the first injection");
+  const auto id = static_cast<LinkId>(links_.size());
+  schedulers_.push_back(make_scheduler(kind, sched_config));
+  links_.push_back(std::make_unique<Link>(
+      sim_, *schedulers_.back(), capacity,
+      [this](Packet&& p, SimTime, SimTime) { forward(std::move(p)); }));
+  names_.push_back(name.empty() ? "link" + std::to_string(id)
+                                : std::move(name));
+  return id;
+}
+
+RouteId Network::add_route(std::vector<LinkId> path, ExitHandler on_exit) {
+  PDS_CHECK(!path.empty(), "route needs at least one link");
+  PDS_CHECK(static_cast<bool>(on_exit), "null exit handler");
+  for (const LinkId id : path) {
+    PDS_CHECK(id < links_.size(), "route references unknown link");
+  }
+  routes_.push_back(RouteState{std::move(path), std::move(on_exit)});
+  return static_cast<RouteId>(routes_.size() - 1);
+}
+
+void Network::inject(Packet p, RouteId route) {
+  PDS_CHECK(route < routes_.size(), "unknown route");
+  PDS_CHECK(p.hops_done == 0, "packet already travelled; reset hops_done");
+  injected_ = true;
+  p.route = route;
+  links_[routes_[route].path.front()]->arrive(std::move(p));
+}
+
+void Network::forward(Packet&& p) {
+  PDS_REQUIRE(p.route < routes_.size());
+  const RouteState& route = routes_[p.route];
+  PDS_REQUIRE(p.hops_done <= route.path.size());
+  if (p.hops_done < route.path.size()) {
+    links_[route.path[p.hops_done]]->arrive(std::move(p));
+  } else {
+    route.on_exit(p, sim_.now());
+  }
+}
+
+const Link& Network::link(LinkId id) const {
+  PDS_CHECK(id < links_.size(), "unknown link");
+  return *links_[id];
+}
+
+const std::string& Network::link_name(LinkId id) const {
+  PDS_CHECK(id < links_.size(), "unknown link");
+  return names_[id];
+}
+
+double Network::utilization(LinkId id) const {
+  PDS_CHECK(id < links_.size(), "unknown link");
+  if (sim_.now() <= 0.0) return 0.0;
+  return links_[id]->busy_time() / sim_.now();
+}
+
+}  // namespace pds

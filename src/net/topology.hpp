@@ -1,0 +1,81 @@
+// General routed network of differentiated-services links.
+//
+// ChainNetwork covers the paper's Figure 6 exactly; this class is the
+// substrate a downstream user needs for anything else: an arbitrary set of
+// output links (each with its own scheduler instance and capacity) and
+// source-routed paths across them. A packet injected on a route traverses
+// its links in order, accumulating queueing delay in cum_queueing, and the
+// route's exit handler fires when it leaves the last link.
+//
+// Per-hop class-based differentiation composes over any topology the same
+// way it does over the chain — the end-to-end consistency questions of
+// Section 6 can therefore be asked of merging, diverging and shared-link
+// paths (see the topology tests and the merging-paths bench).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsim/simulator.hpp"
+#include "sched/factory.hpp"
+#include "sched/link.hpp"
+
+namespace pds {
+
+using LinkId = std::uint32_t;
+
+class Network {
+ public:
+  // Fired when a packet completes its route. `p.cum_queueing` holds the
+  // total queueing delay over every traversed hop.
+  using ExitHandler = std::function<void(const Packet& p, SimTime now)>;
+
+  explicit Network(Simulator& sim);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Adds an output link with its own scheduler instance. Links may be
+  // added only before the first injection.
+  LinkId add_link(SchedulerKind kind, const SchedulerConfig& sched_config,
+                  double capacity, std::string name = "");
+
+  // Registers a source route (a non-empty sequence of existing link ids;
+  // repeated links are allowed — e.g. hairpins in test topologies).
+  RouteId add_route(std::vector<LinkId> path, ExitHandler on_exit);
+
+  // Injects a packet at the first hop of `route`.
+  void inject(Packet p, RouteId route);
+
+  std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  std::uint32_t num_routes() const noexcept {
+    return static_cast<std::uint32_t>(routes_.size());
+  }
+  const Link& link(LinkId id) const;
+  const std::string& link_name(LinkId id) const;
+
+  // Utilization of a link measured from time 0 to `now`.
+  double utilization(LinkId id) const;
+
+ private:
+  struct RouteState {
+    std::vector<LinkId> path;
+    ExitHandler on_exit;
+  };
+
+  void forward(Packet&& p);
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::string> names_;
+  std::vector<RouteState> routes_;
+  bool injected_ = false;
+};
+
+}  // namespace pds

@@ -1,0 +1,19 @@
+#include "packet/size_law.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+DiscreteDist paper_size_law() {
+  return DiscreteDist({{40.0, 0.4}, {550.0, 0.5}, {1500.0, 0.1}});
+}
+
+std::uint32_t sample_size_bytes(const DiscreteDist& law, Rng& rng) {
+  const double v = law.sample(rng);
+  PDS_REQUIRE(v >= 1.0);
+  return static_cast<std::uint32_t>(std::lround(v));
+}
+
+}  // namespace pds

@@ -1,0 +1,34 @@
+// Packet-size laws.
+//
+// Study A uses the paper's three-point empirical distribution (40% of
+// packets are 40 bytes, 50% are 550 bytes, 10% are 1500 bytes; mean 441 B).
+// Study B uses fixed 500-byte packets. The paper's "p-unit" — the mean
+// packet transmission time used as the unit for monitoring timescales — is
+// 11.2 time units, which fixes the Study A link capacity at
+// 441 B / 11.2 tu = 39.375 bytes per time unit.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace pds {
+
+// Mean transmission time of an average packet in Study A time units.
+inline constexpr double kPUnit = 11.2;
+
+// Paper Study A empirical size law (Section 5).
+DiscreteDist paper_size_law();
+
+// Mean of paper_size_law() in bytes: 0.4*40 + 0.5*550 + 0.1*1500.
+inline constexpr double kPaperMeanPacketBytes = 441.0;
+
+// Study A link capacity, in bytes per time unit, that makes the mean packet
+// transmission time equal to one p-unit.
+inline constexpr double kStudyACapacity = kPaperMeanPacketBytes / kPUnit;
+
+// Samples a packet size in whole bytes from a size distribution.
+std::uint32_t sample_size_bytes(const DiscreteDist& law, Rng& rng);
+
+}  // namespace pds

@@ -1,0 +1,54 @@
+#include "queueing/backlog.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+MultiClassBacklog::MultiClassBacklog(std::uint32_t num_classes)
+    : queues_(num_classes) {
+  PDS_CHECK(num_classes >= 1, "need at least one class");
+}
+
+void MultiClassBacklog::push(Packet p) {
+  PDS_CHECK(p.cls < queues_.size(), "class index out of range");
+  ++total_packets_;
+  total_bytes_ += p.size_bytes;
+  queues_[p.cls].push(std::move(p));
+}
+
+Packet MultiClassBacklog::pop(ClassId cls) {
+  PDS_CHECK(cls < queues_.size(), "class index out of range");
+  Packet p = queues_[cls].pop();
+  --total_packets_;
+  total_bytes_ -= p.size_bytes;
+  return p;
+}
+
+Packet MultiClassBacklog::pop_tail(ClassId cls) {
+  PDS_CHECK(cls < queues_.size(), "class index out of range");
+  Packet p = queues_[cls].pop_tail();
+  --total_packets_;
+  total_bytes_ -= p.size_bytes;
+  return p;
+}
+
+const ClassQueue& MultiClassBacklog::queue(ClassId cls) const {
+  PDS_CHECK(cls < queues_.size(), "class index out of range");
+  return queues_[cls];
+}
+
+ClassQueue& MultiClassBacklog::queue(ClassId cls) {
+  PDS_CHECK(cls < queues_.size(), "class index out of range");
+  return queues_[cls];
+}
+
+std::vector<ClassId> MultiClassBacklog::backlogged() const {
+  std::vector<ClassId> out;
+  out.reserve(queues_.size());
+  for (ClassId c = 0; c < queues_.size(); ++c) {
+    if (!queues_[c].empty()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace pds

@@ -1,0 +1,42 @@
+// A fixed-size set of per-class FIFO queues with aggregate accounting —
+// the shared state of every multi-class scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "queueing/class_queue.hpp"
+
+namespace pds {
+
+class MultiClassBacklog {
+ public:
+  explicit MultiClassBacklog(std::uint32_t num_classes);
+
+  void push(Packet p);
+  Packet pop(ClassId cls);
+  // Removes the most recent arrival of a class (push-out for droppers).
+  Packet pop_tail(ClassId cls);
+
+  std::uint32_t num_classes() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  const ClassQueue& queue(ClassId cls) const;
+  ClassQueue& queue(ClassId cls);
+
+  bool empty() const noexcept { return total_packets_ == 0; }
+  std::uint64_t total_packets() const noexcept { return total_packets_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  // Indices of currently backlogged classes, ascending.
+  std::vector<ClassId> backlogged() const;
+
+ private:
+  std::vector<ClassQueue> queues_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace pds

@@ -1,0 +1,63 @@
+// Per-class FIFO queue with O(1) backlog accounting.
+//
+// Packets within one service class always depart in arrival order — every
+// scheduler in this library differentiates *between* classes, never inside a
+// class. The queue tracks both packet and byte backlog; byte backlog drives
+// the BPR rate allocation (Eq. 8), packet counts drive statistics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "packet/packet.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+class ClassQueue {
+ public:
+  ClassQueue() = default;
+
+  void push(Packet p) {
+    bytes_ += p.size_bytes;
+    ++total_arrived_;
+    q_.push_back(std::move(p));
+  }
+
+  // Removes and returns the head. Requires a non-empty queue.
+  Packet pop() {
+    PDS_REQUIRE(!q_.empty());
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p.size_bytes;
+    return p;
+  }
+
+  // Removes and returns the most recently arrived packet (used by droppers
+  // that push out from the tail of a class).
+  Packet pop_tail() {
+    PDS_REQUIRE(!q_.empty());
+    Packet p = std::move(q_.back());
+    q_.pop_back();
+    bytes_ -= p.size_bytes;
+    return p;
+  }
+
+  const Packet& head() const {
+    PDS_REQUIRE(!q_.empty());
+    return q_.front();
+  }
+
+  bool empty() const noexcept { return q_.empty(); }
+  std::size_t packets() const noexcept { return q_.size(); }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  std::uint64_t total_arrived() const noexcept { return total_arrived_; }
+
+ private:
+  std::deque<Packet> q_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t total_arrived_ = 0;
+};
+
+}  // namespace pds

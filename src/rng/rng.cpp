@@ -1,0 +1,64 @@
+#include "rng/rng.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+
+// SplitMix64: used only to expand the user seed into generator state, and to
+// derive child streams. Reference: Steele, Lea, Flood (OOPSLA'14).
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next() noexcept {
+  // xoshiro256++ by Blackman & Vigna.
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PDS_CHECK(lo < hi, "empty interval");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  PDS_CHECK(n > 0, "uniform_index over empty range");
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % n;
+}
+
+Rng Rng::split() noexcept {
+  return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace pds

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// Rng wraps a SplitMix64-seeded xoshiro256++ generator. All stochastic
+// components of the library draw from an Rng passed in by the caller, so a
+// run is fully reproducible from its seed, and independent streams can be
+// derived for independent traffic sources via `split()`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pds {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  // Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  // modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Derives an independent generator: consumes one draw from this stream
+  // and reseeds a new generator through SplitMix64.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace pds

@@ -1,0 +1,28 @@
+#include "sched/additive.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+std::optional<Packet> AdditiveWtpScheduler::dequeue(SimTime now) {
+  if (backlog_.empty()) return std::nullopt;
+  bool found = false;
+  ClassId best = 0;
+  double best_priority = 0.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    const ClassQueue& q = backlog_.queue(c);
+    if (q.empty()) continue;
+    const SimTime wait = now - q.head().arrival;
+    PDS_REQUIRE(wait >= 0.0);
+    const double p = wait + sdp()[c];
+    if (!found || p >= best_priority) {  // >=: tie goes to the higher class
+      found = true;
+      best = c;
+      best_priority = p;
+    }
+  }
+  PDS_REQUIRE(found);
+  return backlog_.pop(best);
+}
+
+}  // namespace pds

@@ -1,0 +1,72 @@
+#include "sched/bpr.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+BprScheduler::BprScheduler(const SchedulerConfig& config)
+    : ClassBasedScheduler(config, /*needs_capacity=*/true),
+      rates_(config.num_classes(), 0.0),
+      virtual_service_(config.num_classes(), 0.0) {}
+
+double BprScheduler::rate(ClassId cls) const {
+  PDS_CHECK(cls < rates_.size(), "class index out of range");
+  return rates_[cls];
+}
+
+void BprScheduler::recompute_rates() {
+  // Eq. 8/9: r_i = R * s_i q_i / sum_k s_k q_k over backlogged classes,
+  // with byte backlogs (the fluid server serves bytes).
+  double denom = 0.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    denom += sdp()[c] * static_cast<double>(backlog_.queue(c).bytes());
+  }
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    const double weighted =
+        sdp()[c] * static_cast<double>(backlog_.queue(c).bytes());
+    rates_[c] = denom > 0.0 ? link_capacity() * weighted / denom : 0.0;
+  }
+}
+
+std::optional<Packet> BprScheduler::dequeue(SimTime now) {
+  if (backlog_.empty()) return std::nullopt;
+
+  const SimTime elapsed = any_departure_yet_ ? now - last_departure_ : 0.0;
+  PDS_REQUIRE(elapsed >= 0.0);
+
+  // Update virtual service for all backlogged queues and pick the head with
+  // the least *remaining* virtual work, L_i - v_i. Ties favour the higher
+  // class (scan ascending with >= on the negated criterion).
+  bool found = false;
+  ClassId best = 0;
+  double best_remaining = 0.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    ClassQueue& q = backlog_.queue(c);
+    if (q.empty()) {
+      virtual_service_[c] = 0.0;
+      continue;
+    }
+    if (!any_departure_yet_ || q.head().arrival > last_departure_) {
+      virtual_service_[c] = 0.0;  // head reached the front after t^{k-1}
+    } else {
+      virtual_service_[c] += rates_[c] * elapsed;
+    }
+    const double remaining =
+        static_cast<double>(q.head().size_bytes) - virtual_service_[c];
+    if (!found || remaining <= best_remaining) {
+      found = true;
+      best = c;
+      best_remaining = remaining;
+    }
+  }
+  PDS_REQUIRE(found);
+
+  Packet p = backlog_.pop(best);
+  virtual_service_[best] = 0.0;  // the new head starts with no credit
+  recompute_rates();
+  last_departure_ = now;
+  any_departure_yet_ = true;
+  return p;
+}
+
+}  // namespace pds

@@ -1,0 +1,182 @@
+#include "sched/bpr_fluid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+// Bytes below this are treated as served; packet sizes are >= 1 byte so this
+// cannot misclassify a real backlog.
+constexpr double kEpsBytes = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BprFluidServer::BprFluidServer(const SchedulerConfig& config,
+                               DepartureHandler on_departure)
+    : sdp_(config.sdp),
+      capacity_(config.link_capacity),
+      on_departure_(std::move(on_departure)),
+      classes_(config.num_classes()) {
+  config.validate(/*needs_capacity=*/true);
+  PDS_CHECK(static_cast<bool>(on_departure_), "null departure handler");
+}
+
+bool BprFluidServer::empty() const noexcept {
+  for (const auto& c : classes_) {
+    if (!c.pkts.empty()) return false;
+  }
+  return true;
+}
+
+double BprFluidServer::backlog_bytes(ClassId cls) const {
+  PDS_CHECK(cls < classes_.size(), "class index out of range");
+  return classes_[cls].backlog();
+}
+
+double BprFluidServer::elapsed_at(double u) const {
+  double t = 0.0;
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    const double q = classes_[c].backlog();
+    if (q <= 0.0) continue;
+    t += q * (1.0 - std::exp(-capacity_ * sdp_[c] * u));
+  }
+  return t / capacity_;
+}
+
+void BprFluidServer::decay(double u) {
+  now_ += elapsed_at(u);
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    ClassState& st = classes_[c];
+    if (st.pkts.empty()) continue;
+    const double served =
+        st.backlog() * (1.0 - std::exp(-capacity_ * sdp_[c] * u));
+    // FIFO within the class: fluid consumes the head packet's bytes first.
+    // Event stepping guarantees served <= head_remaining (+ rounding).
+    st.head_remaining -= served;
+    PDS_REQUIRE(st.head_remaining >= -kEpsBytes);
+    if (st.head_remaining < 0.0) st.head_remaining = 0.0;
+  }
+}
+
+void BprFluidServer::emit_completed() {
+  for (std::size_t c = classes_.size(); c-- > 0;) {  // higher classes first
+    ClassState& st = classes_[c];
+    while (!st.pkts.empty() && st.head_remaining <= kEpsBytes) {
+      Packet done = std::move(st.pkts.front());
+      st.pkts.pop_front();
+      if (!st.pkts.empty()) {
+        const double next_size =
+            static_cast<double>(st.pkts.front().size_bytes);
+        st.head_remaining = next_size;
+        st.tail_bytes -= next_size;
+        PDS_REQUIRE(st.tail_bytes >= -kEpsBytes);
+        if (st.tail_bytes < 0.0) st.tail_bytes = 0.0;
+      } else {
+        st.head_remaining = 0.0;
+        st.tail_bytes = 0.0;
+      }
+      on_departure_(done, now_);
+    }
+  }
+}
+
+bool BprFluidServer::step(SimTime horizon) {
+  if (empty()) return false;  // advance_to finalizes the clock
+
+  // Earliest head completion in u-space: served_i(u) = q_i (1 - e^{-R s_i u})
+  // reaches head_remaining at u_i*. A head that is its queue's only packet
+  // has rem == q and completes only at the busy-period end (u = inf).
+  double u_min = kInf;
+  double total_backlog = 0.0;
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    const ClassState& st = classes_[c];
+    if (st.pkts.empty()) continue;
+    const double q = st.backlog();
+    total_backlog += q;
+    const double frac = st.head_remaining / q;
+    if (frac < 1.0) {
+      const double u = -std::log(1.0 - frac) / (capacity_ * sdp_[c]);
+      u_min = std::min(u_min, u);
+    }
+  }
+
+  if (u_min == kInf) {
+    // Every backlogged queue holds exactly one (partially served) packet:
+    // all of them complete simultaneously at the busy-period end,
+    // Proposition 1's simultaneous clearing.
+    const SimTime clear_time = now_ + total_backlog / capacity_;
+    if (clear_time > horizon) {
+      // Advance partially: solve t(u) = horizon - now_ by bisection.
+      const double target = horizon - now_;
+      if (target <= 0.0) return false;
+      double lo = 0.0;
+      double hi = 1.0;
+      while (elapsed_at(hi) < target) hi *= 2.0;
+      for (int it = 0; it < 200 && hi - lo > 1e-15 * (1.0 + hi); ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (elapsed_at(mid) < target ? lo : hi) = mid;
+      }
+      decay(0.5 * (lo + hi));
+      now_ = horizon;  // absorb bisection rounding
+      return false;
+    }
+    now_ = clear_time;
+    for (auto& st : classes_) st.head_remaining = 0.0;
+    emit_completed();
+    PDS_REQUIRE(empty());
+    return true;
+  }
+
+  const double event_dt = elapsed_at(u_min);
+  if (now_ + event_dt > horizon) {
+    const double target = horizon - now_;
+    if (target <= 0.0) return false;
+    double lo = 0.0;
+    double hi = u_min;
+    for (int it = 0; it < 200 && hi - lo > 1e-15 * (1.0 + hi); ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (elapsed_at(mid) < target ? lo : hi) = mid;
+    }
+    decay(0.5 * (lo + hi));
+    now_ = horizon;
+    return false;
+  }
+
+  decay(u_min);
+  emit_completed();
+  return true;
+}
+
+void BprFluidServer::advance_to(SimTime t) {
+  PDS_CHECK(t >= now_, "cannot advance into the past");
+  while (step(t)) {
+  }
+  now_ = std::max(now_, t);
+}
+
+SimTime BprFluidServer::drain() {
+  while (step(kInf)) {
+  }
+  return now_;
+}
+
+void BprFluidServer::arrive(Packet p, SimTime t) {
+  PDS_CHECK(p.cls < classes_.size(), "class index out of range");
+  PDS_CHECK(p.size_bytes > 0, "zero-size packet");
+  advance_to(t);
+  ClassState& st = classes_[p.cls];
+  const double size = static_cast<double>(p.size_bytes);
+  if (st.pkts.empty()) {
+    st.head_remaining = size;
+    st.tail_bytes = 0.0;
+  } else {
+    st.tail_bytes += size;
+  }
+  p.arrival = t;
+  st.pkts.push_back(std::move(p));
+}
+
+}  // namespace pds

@@ -1,0 +1,82 @@
+// Exact fluid Backlog-Proportional Rate server — the reference model that
+// Appendix 3 packetizes, used by the Proposition 1 tests and by the
+// packetization ablation bench.
+//
+// Between arrivals the class backlogs obey
+//
+//     dq_i/dt = -R s_i q_i / S(t),   S(t) = sum_j s_j q_j(t),
+//
+// which is solved *analytically* by the substitution du = dt / S(t):
+//
+//     q_i(u) = q_i(0) exp(-R s_i u),
+//     t(u)   = (1/R) sum_i q_i(0) (1 - exp(-R s_i u)).
+//
+// As u -> infinity every q_i -> 0 while t(u) -> t(0) + Q/R (Q = total
+// backlog): all backlogged queues empty at the same instant, which is
+// Proposition 1 made visible in the closed form. The server steps between
+// arrivals and head-of-line completion events using these expressions; the
+// only numerical work is a monotone bisection for partial advances.
+//
+// Service within a class is FIFO: fluid drained from queue i consumes the
+// head packet's remaining bytes first.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "sched/scheduler.hpp"
+
+namespace pds {
+
+class BprFluidServer {
+ public:
+  // Called at the instant a packet's last byte is served.
+  using DepartureHandler = std::function<void(const Packet&, SimTime)>;
+
+  // Requires config.link_capacity > 0.
+  BprFluidServer(const SchedulerConfig& config, DepartureHandler on_departure);
+
+  // Feeds an arrival at time `t >= now()`; implicitly advances the fluid
+  // state to `t` first (emitting any departures in between).
+  void arrive(Packet p, SimTime t);
+
+  // Serves fluid up to time `t`, emitting departures in order.
+  void advance_to(SimTime t);
+
+  // Serves until all queues are empty; returns the busy-period end time
+  // (now() if already empty).
+  SimTime drain();
+
+  SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept;
+  double backlog_bytes(ClassId cls) const;
+  std::uint32_t num_classes() const noexcept {
+    return static_cast<std::uint32_t>(classes_.size());
+  }
+
+ private:
+  struct ClassState {
+    std::deque<Packet> pkts;
+    double head_remaining = 0.0;  // unserved bytes of pkts.front()
+    double tail_bytes = 0.0;      // total bytes of pkts beyond the head
+    double backlog() const noexcept { return head_remaining + tail_bytes; }
+  };
+
+  // Elapsed real time when the substitution variable advances by `u`.
+  double elapsed_at(double u) const;
+  // Advances all backlogs by `u`, moving now_ forward accordingly.
+  void decay(double u);
+  // Pops and emits every head whose remaining bytes reached zero.
+  void emit_completed();
+  // One event step bounded by horizon; returns false if the horizon was
+  // reached before the next internal event.
+  bool step(SimTime horizon);
+
+  std::vector<double> sdp_;
+  double capacity_;
+  DepartureHandler on_departure_;
+  std::vector<ClassState> classes_;
+  SimTime now_ = kTimeZero;
+};
+
+}  // namespace pds

@@ -1,0 +1,84 @@
+#include "sched/drr.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+DrrScheduler::DrrScheduler(const SchedulerConfig& config)
+    : ClassBasedScheduler(config),
+      in_ring_(config.num_classes(), false),
+      deficit_(config.num_classes(), 0.0),
+      quantum_(config.num_classes(), 0.0) {
+  for (ClassId c = 0; c < num_classes(); ++c) {
+    quantum_[c] = config.drr_quantum_bytes * sdp()[c];
+  }
+}
+
+double DrrScheduler::deficit(ClassId cls) const {
+  PDS_CHECK(cls < deficit_.size(), "class index out of range");
+  return deficit_[cls];
+}
+
+void DrrScheduler::enqueue(Packet p, SimTime now) {
+  const ClassId cls = p.cls;
+  ClassBasedScheduler::enqueue(std::move(p), now);
+  if (!in_ring_[cls]) {
+    in_ring_[cls] = true;
+    deficit_[cls] = 0.0;
+    active_.push_back(cls);
+  }
+}
+
+std::optional<Packet> DrrScheduler::drop_tail(ClassId cls) {
+  auto dropped = ClassBasedScheduler::drop_tail(cls);
+  if (dropped && backlog_.queue(cls).empty()) {
+    // Keep the active ring consistent: an emptied class leaves the ring.
+    if (!active_.empty() && active_.front() == cls) visit_started_ = false;
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+      if (*it == cls) {
+        active_.erase(it);
+        break;
+      }
+    }
+    in_ring_[cls] = false;
+    deficit_[cls] = 0.0;
+  }
+  return dropped;
+}
+
+std::optional<Packet> DrrScheduler::dequeue(SimTime) {
+  if (backlog_.empty()) return std::nullopt;
+  // The head of `active_` holds the current service opportunity ("visit").
+  // One quantum is granted when a visit starts; the class then sends one
+  // packet per dequeue call until its deficit or queue runs out, at which
+  // point the visit ends and the class rotates to the back. This preserves
+  // DRR's per-visit burst semantics even though the Link pulls packets one
+  // at a time.
+  for (;;) {
+    PDS_REQUIRE(!active_.empty());
+    const ClassId c = active_.front();
+    ClassQueue& q = backlog_.queue(c);
+    PDS_REQUIRE(!q.empty());
+    if (!visit_started_) {
+      deficit_[c] += quantum_[c];
+      visit_started_ = true;
+    }
+    if (deficit_[c] >= static_cast<double>(q.head().size_bytes)) {
+      deficit_[c] -= static_cast<double>(q.head().size_bytes);
+      Packet p = backlog_.pop(c);
+      if (backlog_.queue(c).empty()) {
+        active_.pop_front();
+        in_ring_[c] = false;
+        deficit_[c] = 0.0;
+        visit_started_ = false;
+      }
+      return p;
+    }
+    // Deficit exhausted: the visit ends, credit carries over.
+    active_.pop_front();
+    active_.push_back(c);
+    visit_started_ = false;
+  }
+}
+
+}  // namespace pds

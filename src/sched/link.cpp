@@ -1,0 +1,51 @@
+#include "sched/link.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+Link::Link(Simulator& sim, Scheduler& sched, double capacity,
+           DepartureHandler on_departure)
+    : sim_(sim),
+      sched_(sched),
+      capacity_(capacity),
+      on_departure_(std::move(on_departure)) {
+  PDS_CHECK(capacity > 0.0, "link capacity must be positive");
+  PDS_CHECK(static_cast<bool>(on_departure_), "null departure handler");
+}
+
+void Link::arrive(Packet p) {
+  p.arrival = sim_.now();
+  sched_.enqueue(std::move(p), sim_.now());
+  try_start_service();
+}
+
+void Link::try_start_service() {
+  if (busy_ || sched_.empty()) return;
+  auto next = sched_.dequeue(sim_.now());
+  PDS_REQUIRE(next.has_value());  // work conservation: backlog => packet
+  Packet p = std::move(*next);
+
+  const SimTime wait = sim_.now() - p.arrival;
+  PDS_REQUIRE(wait >= 0.0);
+  p.cum_queueing += wait;
+  ++p.hops_done;
+
+  const SimTime tx = static_cast<double>(p.size_bytes) / capacity_;
+  busy_ = true;
+  busy_time_ += tx;
+  bytes_sent_ += p.size_bytes;
+  ++packets_sent_;
+
+  // Completion event: deliver the packet and pull the next one. The packet
+  // is moved into the closure; std::function requires copyability, so the
+  // shared_ptr indirection keeps the capture cheap and movable.
+  auto done = std::make_shared<Packet>(std::move(p));
+  sim_.schedule_in(tx, [this, done, wait]() {
+    busy_ = false;
+    on_departure_(std::move(*done), wait, sim_.now());
+    try_start_service();
+  });
+}
+
+}  // namespace pds

@@ -1,0 +1,64 @@
+// Output link: the transmission server wrapped around a scheduler.
+//
+// The Link models one output port of a router: packets arrive, are handed to
+// the scheduler, and whenever the transmitter is idle the scheduler's choice
+// is transmitted at the link capacity. The per-hop *queueing delay* of a
+// packet — the metric every experiment in the paper reports — is the time
+// from arrival to the start of its transmission; the departure handler fires
+// when the last byte leaves (which is when the packet reaches the next hop).
+//
+// The link is lossless (unbounded buffers), matching the paper's Section 3
+// operating assumption of ECN-regulated sources in the stable region.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dsim/simulator.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pds {
+
+class Link {
+ public:
+  // `wait` is the queueing delay at this hop (excludes transmission). The
+  // packet's cum_queueing/hops_done fields have already been updated.
+  using DepartureHandler =
+      std::function<void(Packet&& pkt, SimTime wait, SimTime now)>;
+
+  // `capacity` is in bytes per time unit. The scheduler is owned elsewhere
+  // and must outlive the link.
+  Link(Simulator& sim, Scheduler& sched, double capacity,
+       DepartureHandler on_departure);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Hands a packet to the scheduler at the current simulation time and
+  // starts transmitting if the line is idle.
+  void arrive(Packet p);
+
+  double capacity() const noexcept { return capacity_; }
+  bool busy() const noexcept { return busy_; }
+
+  // Lifetime counters for work-conservation checks.
+  double busy_time() const noexcept { return busy_time_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+  const Scheduler& scheduler() const noexcept { return sched_; }
+
+ private:
+  void try_start_service();
+
+  Simulator& sim_;
+  Scheduler& sched_;
+  double capacity_;
+  DepartureHandler on_departure_;
+  bool busy_ = false;
+  double busy_time_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace pds

@@ -1,0 +1,74 @@
+#include "sched/pad.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+PadScheduler::PadScheduler(const SchedulerConfig& config)
+    : ClassBasedScheduler(config),
+      cum_delay_(config.num_classes(), 0.0),
+      served_(config.num_classes(), 0) {}
+
+double PadScheduler::normalized_average_delay(ClassId cls, SimTime now) const {
+  PDS_CHECK(cls < num_classes(), "class index out of range");
+  const ClassQueue& q = backlog_.queue(cls);
+  double sum = cum_delay_[cls];
+  std::uint64_t n = served_[cls];
+  if (!q.empty()) {
+    sum += now - q.head().arrival;
+    n += 1;
+  }
+  if (n == 0) return 0.0;
+  return (sum / static_cast<double>(n)) * sdp()[cls];
+}
+
+double PadScheduler::priority(ClassId cls, SimTime now) const {
+  return normalized_average_delay(cls, now);
+}
+
+void PadScheduler::note_served(const Packet& p, SimTime now) {
+  cum_delay_[p.cls] += now - p.arrival;
+  ++served_[p.cls];
+}
+
+std::optional<Packet> PadScheduler::pop_best(SimTime now) {
+  if (backlog_.empty()) return std::nullopt;
+  bool found = false;
+  ClassId best = 0;
+  double best_priority = 0.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    if (backlog_.queue(c).empty()) continue;
+    const double p = priority(c, now);
+    if (!found || p >= best_priority) {  // >=: tie goes to the higher class
+      found = true;
+      best = c;
+      best_priority = p;
+    }
+  }
+  PDS_REQUIRE(found);
+  Packet p = backlog_.pop(best);
+  note_served(p, now);
+  return p;
+}
+
+std::optional<Packet> PadScheduler::dequeue(SimTime now) {
+  return pop_best(now);
+}
+
+HpdScheduler::HpdScheduler(const SchedulerConfig& config)
+    : PadScheduler(config), g_(config.hpd_g) {}
+
+double HpdScheduler::priority(ClassId cls, SimTime now) const {
+  const ClassQueue& q = backlog_.queue(cls);
+  PDS_REQUIRE(!q.empty());
+  const double head_wait = now - q.head().arrival;
+  const double wtp_part = head_wait * sdp()[cls];
+  const double pad_part = normalized_average_delay(cls, now);
+  return g_ * wtp_part + (1.0 - g_) * pad_part;
+}
+
+std::optional<Packet> HpdScheduler::dequeue(SimTime now) {
+  return pop_best(now);
+}
+
+}  // namespace pds

@@ -1,0 +1,71 @@
+// Proportional Average Delay (PAD) and Hybrid Proportional Delay (HPD)
+// schedulers — extensions beyond the SIGCOMM'99 paper.
+//
+// The paper leaves open whether a work-conserving scheduler exists that
+// meets the proportional constraints whenever they are feasible (Sec. 5,
+// Sec. 7). The authors' follow-on work (Dovrolis, Stiliadis, Ramanathan,
+// "Proportional Differentiated Services, Part II" / IEEE ToN 10(1), 2002)
+// proposes:
+//
+//  * PAD: serve the backlogged class with the maximum *normalized average
+//    delay*. PAD matches the long-term proportional constraints even in
+//    moderate load but has poor short-timescale behaviour.
+//  * HPD: priority = g * (normalized head waiting time) +
+//                    (1-g) * (normalized average delay),
+//    blending WTP's short-timescale accuracy with PAD's long-term accuracy.
+//
+// Normalization uses 1/delta_i = s_i (our SDP convention): normalized delay
+// of class i is (delay * s_i).
+//
+// Implementation note: the running average of class i includes all packets
+// of class i served so far *plus* the current head's prospective delay if it
+// were served now — this keeps the metric defined before the first
+// departure and responsive to a waiting head.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace pds {
+
+class PadScheduler : public ClassBasedScheduler {
+ public:
+  explicit PadScheduler(const SchedulerConfig& config);
+
+  std::optional<Packet> dequeue(SimTime now) override;
+
+  std::string_view name() const noexcept override { return "PAD"; }
+
+  // Normalized average delay of class `cls` assuming its head were served
+  // at `now`; 0 when the class has neither history nor backlog.
+  double normalized_average_delay(ClassId cls, SimTime now) const;
+
+ protected:
+  // Priority of a backlogged class; the highest-priority class is served.
+  // PAD uses the normalized average delay; HPD overrides with the blend.
+  virtual double priority(ClassId cls, SimTime now) const;
+
+  std::optional<Packet> pop_best(SimTime now);
+
+  void note_served(const Packet& p, SimTime now);
+
+ private:
+  std::vector<double> cum_delay_;        // sum of delays of served packets
+  std::vector<std::uint64_t> served_;    // number of served packets
+};
+
+class HpdScheduler final : public PadScheduler {
+ public:
+  explicit HpdScheduler(const SchedulerConfig& config);
+
+  std::optional<Packet> dequeue(SimTime now) override;
+
+  std::string_view name() const noexcept override { return "HPD"; }
+
+ protected:
+  double priority(ClassId cls, SimTime now) const override;
+
+ private:
+  double g_;
+};
+
+}  // namespace pds

@@ -1,0 +1,58 @@
+#include "sched/scfq.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+ScfqScheduler::ScfqScheduler(const SchedulerConfig& config)
+    : backlog_(config.num_classes()),
+      weight_(config.sdp),
+      tags_(config.num_classes()),
+      last_finish_(config.num_classes(), 0.0) {
+  config.validate();
+}
+
+void ScfqScheduler::enqueue(Packet p, SimTime now) {
+  PDS_CHECK(p.arrival <= now, "packet arrival stamped in the future");
+  const ClassId c = p.cls;
+  PDS_CHECK(c < backlog_.num_classes(), "class index out of range");
+  const double start = std::max(vtime_, last_finish_[c]);
+  const double finish =
+      start + static_cast<double>(p.size_bytes) / weight_[c];
+  last_finish_[c] = finish;
+  tags_[c].push_back(finish);
+  backlog_.push(std::move(p));
+}
+
+std::optional<Packet> ScfqScheduler::dequeue(SimTime) {
+  if (backlog_.empty()) return std::nullopt;
+  bool found = false;
+  ClassId best = 0;
+  double best_tag = 0.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    if (backlog_.queue(c).empty()) continue;
+    const double tag = tags_[c].front();
+    // `<=` keeps the higher class on ties, consistent with the other
+    // schedulers in this library.
+    if (!found || tag <= best_tag) {
+      found = true;
+      best = c;
+      best_tag = tag;
+    }
+  }
+  PDS_REQUIRE(found);
+  tags_[best].pop_front();
+  vtime_ = best_tag;
+  Packet p = backlog_.pop(best);
+  if (backlog_.empty()) {
+    // End of busy period: reset virtual time so an idle system does not
+    // carry stale credit into the next busy period.
+    vtime_ = 0.0;
+    std::fill(last_finish_.begin(), last_finish_.end(), 0.0);
+  }
+  return p;
+}
+
+}  // namespace pds

@@ -1,0 +1,44 @@
+#include "sched/scheduler.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+void SchedulerConfig::validate(bool needs_capacity) const {
+  PDS_CHECK(!sdp.empty(), "at least one class required");
+  for (std::size_t i = 0; i < sdp.size(); ++i) {
+    PDS_CHECK(sdp[i] > 0.0, "SDPs must be positive");
+    if (i > 0) {
+      PDS_CHECK(sdp[i] >= sdp[i - 1],
+                "SDPs must be non-decreasing (higher class = larger s)");
+    }
+  }
+  if (needs_capacity) {
+    PDS_CHECK(link_capacity > 0.0, "link capacity required");
+  }
+  PDS_CHECK(hpd_g >= 0.0 && hpd_g <= 1.0, "hpd_g must be in [0,1]");
+  PDS_CHECK(drr_quantum_bytes > 0.0, "DRR quantum must be positive");
+}
+
+ClassBasedScheduler::ClassBasedScheduler(const SchedulerConfig& config,
+                                         bool needs_capacity)
+    : backlog_(config.num_classes()),
+      sdp_(config.sdp),
+      link_capacity_(config.link_capacity) {
+  config.validate(needs_capacity);
+}
+
+void ClassBasedScheduler::enqueue(Packet p, SimTime now) {
+  PDS_CHECK(p.arrival <= now, "packet arrival stamped in the future");
+  backlog_.push(std::move(p));
+}
+
+std::optional<Packet> Scheduler::drop_tail(ClassId) { return std::nullopt; }
+
+std::optional<Packet> ClassBasedScheduler::drop_tail(ClassId cls) {
+  PDS_CHECK(cls < num_classes(), "class index out of range");
+  if (backlog_.queue(cls).empty()) return std::nullopt;
+  return backlog_.pop_tail(cls);
+}
+
+}  // namespace pds

@@ -1,0 +1,115 @@
+// Scheduler interface shared by all multi-class packet schedulers.
+//
+// A scheduler owns the per-class queues of one output link. The surrounding
+// Link pulls the next packet with dequeue() whenever the transmitter goes
+// idle; work conservation is guaranteed by construction because dequeue()
+// must return a packet whenever any class is backlogged.
+//
+// Scheduler Differentiation Parameters (SDPs) follow the paper's convention:
+// s_0 <= s_1 <= ... <= s_{N-1}, with the highest class (largest s) receiving
+// the best (lowest-delay) treatment. Under both WTP and BPR the achieved
+// Delay Differentiation Parameters in heavy load are the inverses of the
+// SDPs: d_i / d_j -> s_j / s_i (Eq. 10).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsim/time.hpp"
+#include "packet/packet.hpp"
+#include "queueing/backlog.hpp"
+
+namespace pds {
+
+struct SchedulerConfig {
+  // Scheduler differentiation parameters, one per class, non-decreasing and
+  // strictly positive. The vector length defines the number of classes.
+  std::vector<double> sdp;
+
+  // Output link capacity in bytes per time unit. Required by rate-based
+  // schedulers (BPR); ignored by priority-based ones.
+  double link_capacity = 0.0;
+
+  // HPD only: weight of the WTP component (g in the literature).
+  double hpd_g = 0.875;
+
+  // DRR only: quantum granted to a class with s = 1, in bytes.
+  double drr_quantum_bytes = 1500.0;
+
+  std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(sdp.size());
+  }
+
+  // Throws std::invalid_argument on malformed parameters. `needs_capacity`
+  // adds the positivity requirement on link_capacity.
+  void validate(bool needs_capacity = false) const;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Adds a packet (whose `arrival` field must already be stamped with the
+  // enqueue time at this hop) to its class queue.
+  virtual void enqueue(Packet p, SimTime now) = 0;
+
+  // Selects, removes and returns the next packet to transmit, or nullopt if
+  // no class is backlogged. `now` is the instant transmission would start.
+  virtual std::optional<Packet> dequeue(SimTime now) = 0;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  // Push-out support for droppers: removes and returns the most recently
+  // arrived packet of `cls`, or nullopt if the scheduler does not support
+  // tail drops (FCFS, SCFQ) or the class is empty. Schedulers that maintain
+  // per-packet auxiliary state must keep it consistent.
+  virtual std::optional<Packet> drop_tail(ClassId cls);
+
+  virtual bool empty() const noexcept = 0;
+  virtual std::uint32_t num_classes() const noexcept = 0;
+  virtual std::uint64_t backlog_packets(ClassId cls) const = 0;
+  virtual std::uint64_t backlog_bytes(ClassId cls) const = 0;
+
+ protected:
+  Scheduler() = default;
+};
+
+// Common base for schedulers that keep one FIFO queue per class.
+class ClassBasedScheduler : public Scheduler {
+ public:
+  bool empty() const noexcept override { return backlog_.empty(); }
+  std::uint32_t num_classes() const noexcept override {
+    return backlog_.num_classes();
+  }
+  std::uint64_t backlog_packets(ClassId cls) const override {
+    return backlog_.queue(cls).packets();
+  }
+  std::uint64_t backlog_bytes(ClassId cls) const override {
+    return backlog_.queue(cls).bytes();
+  }
+
+  void enqueue(Packet p, SimTime now) override;
+  std::optional<Packet> drop_tail(ClassId cls) override;
+
+ protected:
+  explicit ClassBasedScheduler(const SchedulerConfig& config,
+                               bool needs_capacity = false);
+
+  const std::vector<double>& sdp() const noexcept { return sdp_; }
+  double link_capacity() const noexcept { return link_capacity_; }
+
+  MultiClassBacklog backlog_;
+
+ private:
+  std::vector<double> sdp_;
+  double link_capacity_;
+};
+
+}  // namespace pds

@@ -1,0 +1,13 @@
+#include "sched/strict_priority.hpp"
+
+namespace pds {
+
+std::optional<Packet> StrictPriorityScheduler::dequeue(SimTime) {
+  if (backlog_.empty()) return std::nullopt;
+  for (ClassId c = backlog_.num_classes(); c-- > 0;) {
+    if (!backlog_.queue(c).empty()) return backlog_.pop(c);
+  }
+  return std::nullopt;  // unreachable: empty() was false
+}
+
+}  // namespace pds

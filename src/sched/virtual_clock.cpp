@@ -1,0 +1,51 @@
+#include "sched/virtual_clock.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+VirtualClockScheduler::VirtualClockScheduler(const SchedulerConfig& config)
+    : backlog_(config.num_classes()),
+      weight_(config.sdp),
+      vclock_(config.num_classes(), 0.0),
+      tags_(config.num_classes()) {
+  config.validate();
+}
+
+double VirtualClockScheduler::clock(ClassId cls) const {
+  PDS_CHECK(cls < vclock_.size(), "class index out of range");
+  return vclock_[cls];
+}
+
+void VirtualClockScheduler::enqueue(Packet p, SimTime now) {
+  PDS_CHECK(p.arrival <= now, "packet arrival stamped in the future");
+  const ClassId c = p.cls;
+  PDS_CHECK(c < backlog_.num_classes(), "class index out of range");
+  vclock_[c] = std::max(now, vclock_[c]) +
+               static_cast<double>(p.size_bytes) / weight_[c];
+  tags_[c].push_back(vclock_[c]);
+  backlog_.push(std::move(p));
+}
+
+std::optional<Packet> VirtualClockScheduler::dequeue(SimTime) {
+  if (backlog_.empty()) return std::nullopt;
+  bool found = false;
+  ClassId best = 0;
+  double best_tag = 0.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    if (backlog_.queue(c).empty()) continue;
+    const double tag = tags_[c].front();
+    if (!found || tag <= best_tag) {  // ties go to the higher class
+      found = true;
+      best = c;
+      best_tag = tag;
+    }
+  }
+  PDS_REQUIRE(found);
+  tags_[best].pop_front();
+  return backlog_.pop(best);
+}
+
+}  // namespace pds

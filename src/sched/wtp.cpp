@@ -1,0 +1,36 @@
+#include "sched/wtp.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+double WtpScheduler::head_priority(ClassId cls, SimTime now) const {
+  const ClassQueue& q = backlog_.queue(cls);
+  if (q.empty()) return 0.0;
+  const SimTime wait = now - q.head().arrival;
+  PDS_REQUIRE(wait >= 0.0);
+  return wait * sdp()[cls];
+}
+
+std::optional<Packet> WtpScheduler::dequeue(SimTime now) {
+  if (backlog_.empty()) return std::nullopt;
+  bool found = false;
+  ClassId best = 0;
+  double best_priority = -1.0;
+  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
+    if (backlog_.queue(c).empty()) continue;
+    const double p = head_priority(c, now);
+    // `>=` implements the tie-break in favour of the higher class: classes
+    // are scanned in ascending order, so an equal priority at a higher
+    // index wins.
+    if (!found || p >= best_priority) {
+      found = true;
+      best = c;
+      best_priority = p;
+    }
+  }
+  PDS_REQUIRE(found);
+  return backlog_.pop(best);
+}
+
+}  // namespace pds

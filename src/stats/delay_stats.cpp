@@ -1,0 +1,71 @@
+#include "stats/delay_stats.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+ClassDelayStats::ClassDelayStats(std::uint32_t num_classes, SimTime warmup_end)
+    : per_class_(num_classes), warmup_end_(warmup_end) {
+  PDS_CHECK(num_classes >= 1, "need at least one class");
+}
+
+void ClassDelayStats::record(ClassId cls, double delay, SimTime now) {
+  PDS_CHECK(cls < per_class_.size(), "class index out of range");
+  PDS_CHECK(delay >= 0.0, "negative delay");
+  if (now < warmup_end_) return;
+  per_class_[cls].add(delay);
+}
+
+const RunningStats& ClassDelayStats::of(ClassId cls) const {
+  PDS_CHECK(cls < per_class_.size(), "class index out of range");
+  return per_class_[cls];
+}
+
+std::vector<double> ClassDelayStats::means() const {
+  std::vector<double> out;
+  out.reserve(per_class_.size());
+  for (const auto& s : per_class_) out.push_back(s.mean());
+  return out;
+}
+
+std::vector<double> ClassDelayStats::successive_ratios() const {
+  const auto m = means();
+  std::vector<double> out;
+  out.reserve(m.size() - 1);
+  for (std::size_t i = 0; i + 1 < m.size(); ++i) {
+    PDS_CHECK(m[i + 1] > 0.0, "zero mean delay in ratio");
+    out.push_back(m[i] / m[i + 1]);
+  }
+  return out;
+}
+
+bool interval_rd(const std::vector<double>& class_mean_delays,
+                 const std::vector<bool>& active, double* out) {
+  PDS_CHECK(class_mean_delays.size() == active.size(),
+            "mismatched vector lengths");
+  PDS_CHECK(out != nullptr, "null output pointer");
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  std::size_t prev = 0;
+  bool have_prev = false;
+  for (std::size_t c = 0; c < active.size(); ++c) {
+    if (!active[c]) continue;
+    if (have_prev) {
+      const double lo = class_mean_delays[prev];
+      const double hi = class_mean_delays[c];
+      if (hi <= 0.0 || lo <= 0.0) return false;
+      const double gap = static_cast<double>(c - prev);
+      sum += std::pow(lo / hi, 1.0 / gap);
+      ++pairs;
+    }
+    prev = c;
+    have_prev = true;
+  }
+  if (pairs == 0) return false;
+  *out = sum / static_cast<double>(pairs);
+  return true;
+}
+
+}  // namespace pds

@@ -1,0 +1,47 @@
+// Per-class queueing-delay bookkeeping used by the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsim/time.hpp"
+#include "packet/packet.hpp"
+#include "stats/running_stats.hpp"
+
+namespace pds {
+
+// Long-term per-class delay statistics with a warmup cutoff: departures
+// before `warmup_end` are discarded, mirroring the paper's "initial warm-up
+// period" exclusion.
+class ClassDelayStats {
+ public:
+  ClassDelayStats(std::uint32_t num_classes, SimTime warmup_end);
+
+  void record(ClassId cls, double delay, SimTime now);
+
+  std::uint32_t num_classes() const noexcept {
+    return static_cast<std::uint32_t>(per_class_.size());
+  }
+  const RunningStats& of(ClassId cls) const;
+
+  // Mean delay per class, in class order. Throws if any class is empty.
+  std::vector<double> means() const;
+
+  // Ratios of successive class means, d_i / d_{i+1} for i = 0..N-2 —
+  // the paper's "class i over i+1" curves (target: s_{i+1}/s_i).
+  std::vector<double> successive_ratios() const;
+
+ private:
+  std::vector<RunningStats> per_class_;
+  SimTime warmup_end_;
+};
+
+// Averages the successive-class delay ratios of one interval into the
+// scalar R_D, normalizing over inactive classes: for consecutive *active*
+// classes a < b the equivalent per-step ratio is (d_a/d_b)^(1/(b-a)).
+// Returns false (and leaves `out` untouched) when fewer than two classes
+// are active or any active mean is zero.
+bool interval_rd(const std::vector<double>& class_mean_delays,
+                 const std::vector<bool>& active, double* out);
+
+}  // namespace pds

@@ -1,0 +1,74 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+LogHistogram::LogHistogram(double first_bound, double growth,
+                           std::uint32_t bins)
+    : first_bound_(first_bound), growth_(growth), counts_(bins, 0) {
+  PDS_CHECK(first_bound > 0.0, "first bound must be positive");
+  PDS_CHECK(growth > 1.0, "growth must exceed 1");
+  PDS_CHECK(bins >= 1, "need at least one bin");
+}
+
+void LogHistogram::add(double value) {
+  PDS_CHECK(value >= 0.0, "negative sample");
+  ++total_;
+  if (value < first_bound_) {
+    ++underflow_;
+    return;
+  }
+  // Bin index: smallest i with value < first_bound * growth^(i+1).
+  const double idx =
+      std::floor(std::log(value / first_bound_) / std::log(growth_));
+  const auto i = static_cast<std::uint64_t>(idx < 0.0 ? 0.0 : idx);
+  if (i >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(i)];
+}
+
+double LogHistogram::bin_bound(std::uint32_t i) const {
+  PDS_CHECK(i < counts_.size(), "bin index out of range");
+  return first_bound_ * std::pow(growth_, static_cast<double>(i + 1));
+}
+
+std::uint64_t LogHistogram::bin_count(std::uint32_t i) const {
+  PDS_CHECK(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double LogHistogram::ccdf(double bound) const {
+  PDS_CHECK(total_ > 0, "ccdf of empty histogram");
+  // Bin-bound resolution, rounded up: a bin contributes fully when its
+  // upper edge exceeds `bound`. The underflow bin (values < first_bound_)
+  // contributes only when the query sits below the first bound.
+  std::uint64_t above = overflow_;
+  if (bound < first_bound_) above += underflow_;
+  for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+    if (bin_bound(i) > bound) above += counts_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+std::vector<LogHistogram::Row> LogHistogram::rows() const {
+  PDS_CHECK(total_ > 0, "rows of empty histogram");
+  std::vector<Row> out;
+  out.reserve(counts_.size());
+  std::uint64_t above = overflow_;
+  for (std::uint32_t i = num_bins(); i-- > 0;) {
+    out.push_back(Row{bin_bound(i),
+                      static_cast<double>(above) /
+                          static_cast<double>(total_)});
+    above += counts_[i];
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pds

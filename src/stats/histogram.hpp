@@ -1,0 +1,57 @@
+// Log-binned histogram for queueing-delay distributions.
+//
+// Heavy-load delays span four orders of magnitude (a 40 B packet may wait a
+// fraction of a p-unit; a class-1 packet behind a burst waits hundreds), so
+// fixed-width bins waste resolution. Bins here grow geometrically from
+// `first_bound` by `growth` per bin; an underflow bin catches values below
+// the first bound. The histogram answers CCDF queries (fraction of samples
+// strictly above a bound) and exports (bound, ccdf) rows for plotting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pds {
+
+class LogHistogram {
+ public:
+  // `first_bound` > 0; `growth` > 1; `bins` >= 1. The i-th bin covers
+  // [first_bound * growth^(i-1), first_bound * growth^i) with bin 0's lower
+  // edge replaced by first_bound; values below first_bound land in the
+  // underflow bin and values beyond the last bound in the overflow bin.
+  LogHistogram(double first_bound, double growth, std::uint32_t bins);
+
+  void add(double value);
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  // Upper bound of bin `i`.
+  double bin_bound(std::uint32_t i) const;
+  std::uint64_t bin_count(std::uint32_t i) const;
+  std::uint32_t num_bins() const noexcept {
+    return static_cast<std::uint32_t>(counts_.size());
+  }
+
+  // Fraction of samples strictly greater than `bound` (exact for bin
+  // boundaries, conservative-up otherwise). Throws on an empty histogram.
+  double ccdf(double bound) const;
+
+  struct Row {
+    double bound;
+    double ccdf;
+  };
+  // One row per bin bound, for plotting.
+  std::vector<Row> rows() const;
+
+ private:
+  double first_bound_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pds

@@ -1,0 +1,59 @@
+#include "stats/interval_monitor.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+IntervalDelayMonitor::IntervalDelayMonitor(std::uint32_t num_classes,
+                                           SimTime tau, SimTime start)
+    : num_classes_(num_classes),
+      tau_(tau),
+      bucket_start_(start),
+      sum_(num_classes, 0.0),
+      count_(num_classes, 0) {
+  PDS_CHECK(num_classes >= 2, "R_D needs at least two classes");
+  PDS_CHECK(tau > 0.0, "monitoring timescale must be positive");
+}
+
+void IntervalDelayMonitor::close_bucket() {
+  bool any = false;
+  std::vector<bool> active(num_classes_, false);
+  std::vector<double> means(num_classes_, 0.0);
+  for (std::uint32_t c = 0; c < num_classes_; ++c) {
+    if (count_[c] > 0) {
+      any = true;
+      active[c] = true;
+      means[c] = sum_[c] / static_cast<double>(count_[c]);
+    }
+    sum_[c] = 0.0;
+    count_[c] = 0;
+  }
+  if (!any) return;  // empty intervals are not counted (no departures)
+  ++intervals_;
+  double rd = 0.0;
+  if (interval_rd(means, active, &rd)) {
+    rds_.push_back(rd);
+  } else {
+    ++undefined_;
+  }
+}
+
+void IntervalDelayMonitor::record(ClassId cls, double delay, SimTime now) {
+  PDS_CHECK(cls < num_classes_, "class index out of range");
+  PDS_CHECK(!finished_, "monitor already finished");
+  if (now < bucket_start_) return;  // warmup
+  while (now >= bucket_start_ + tau_) {
+    close_bucket();
+    bucket_start_ += tau_;
+  }
+  sum_[cls] += delay;
+  ++count_[cls];
+}
+
+void IntervalDelayMonitor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  close_bucket();
+}
+
+}  // namespace pds

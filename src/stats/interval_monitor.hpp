@@ -1,0 +1,53 @@
+// Short-timescale monitoring (Figure 3).
+//
+// Partitions simulated time into consecutive intervals of length tau and
+// computes, for each interval, the per-class average delay of the packets
+// that *departed* in it (Eq. 2's metric). At interval end the successive
+// active-class ratios are folded into the scalar R_D (see interval_rd);
+// the resulting R_D series feeds the percentile boxes of Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsim/time.hpp"
+#include "packet/packet.hpp"
+#include "stats/delay_stats.hpp"
+
+namespace pds {
+
+class IntervalDelayMonitor {
+ public:
+  // Departures before `start` (warmup) are ignored; the first interval is
+  // [start, start + tau).
+  IntervalDelayMonitor(std::uint32_t num_classes, SimTime tau, SimTime start);
+
+  // Records a departure; times must be non-decreasing across calls.
+  void record(ClassId cls, double delay, SimTime now);
+
+  // Closes the current interval (call once at simulation end).
+  void finish();
+
+  // R_D of every interval where it was defined (>= 2 active classes).
+  const std::vector<double>& rd_values() const noexcept { return rds_; }
+
+  // Intervals that contained at least one departure but had fewer than two
+  // active classes (R_D undefined there).
+  std::uint64_t undefined_intervals() const noexcept { return undefined_; }
+  std::uint64_t intervals_seen() const noexcept { return intervals_; }
+
+ private:
+  void close_bucket();
+
+  std::uint32_t num_classes_;
+  SimTime tau_;
+  SimTime bucket_start_;
+  std::vector<double> sum_;
+  std::vector<std::uint64_t> count_;
+  std::vector<double> rds_;
+  std::uint64_t undefined_ = 0;
+  std::uint64_t intervals_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pds

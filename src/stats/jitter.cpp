@@ -1,0 +1,37 @@
+#include "stats/jitter.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+JitterEstimator::JitterEstimator(std::uint32_t num_classes)
+    : state_(num_classes) {
+  PDS_CHECK(num_classes >= 1, "need at least one class");
+}
+
+void JitterEstimator::record(ClassId cls, double delay) {
+  PDS_CHECK(cls < state_.size(), "class index out of range");
+  PDS_CHECK(delay >= 0.0, "negative delay");
+  PerClass& s = state_[cls];
+  ++s.n;
+  if (s.has_prev) {
+    const double d = std::abs(delay - s.prev);
+    s.jitter += (d - s.jitter) / 16.0;
+  }
+  s.prev = delay;
+  s.has_prev = true;
+}
+
+double JitterEstimator::jitter(ClassId cls) const {
+  PDS_CHECK(cls < state_.size(), "class index out of range");
+  return state_[cls].jitter;
+}
+
+std::uint64_t JitterEstimator::samples(ClassId cls) const {
+  PDS_CHECK(cls < state_.size(), "class index out of range");
+  return state_[cls].n;
+}
+
+}  // namespace pds

@@ -1,0 +1,55 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  PDS_CHECK(!sorted.empty(), "percentile of empty sample");
+  PDS_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) out.push_back(percentile_sorted(samples, p));
+  return out;
+}
+
+double SampleSet::percentile(double p) const {
+  return ::pds::percentile(samples_, p);
+}
+
+std::vector<double> SampleSet::percentiles(
+    const std::vector<double>& ps) const {
+  return ::pds::percentiles(samples_, ps);
+}
+
+double SampleSet::mean() const {
+  PDS_CHECK(!samples_.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (const double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+}  // namespace pds

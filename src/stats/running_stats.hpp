@@ -1,0 +1,80 @@
+// Streaming first/second-moment accumulator (Welford's algorithm) —
+// numerically stable for the long heavy-load runs where delays span four
+// orders of magnitude.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+
+  double mean() const {
+    PDS_CHECK(n_ > 0, "mean of empty sample");
+    return mean_;
+  }
+
+  // Population variance; sample variance uses (n-1).
+  double variance() const {
+    PDS_CHECK(n_ > 0, "variance of empty sample");
+    return m2_ / static_cast<double>(n_);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const {
+    PDS_CHECK(n_ > 0, "min of empty sample");
+    return min_;
+  }
+
+  double max() const {
+    PDS_CHECK(n_ > 0, "max of empty sample");
+    return max_;
+  }
+
+  // Merges another accumulator (Chan et al. parallel formula).
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pds

@@ -1,0 +1,57 @@
+#include "stats/sawtooth.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+SawtoothIndex::SawtoothIndex(std::uint32_t num_classes)
+    : per_class_(num_classes) {
+  PDS_CHECK(num_classes >= 1, "need at least one class");
+}
+
+void SawtoothIndex::record(ClassId cls, double delay) {
+  PDS_CHECK(cls < per_class_.size(), "class index out of range");
+  PDS_CHECK(delay >= 0.0, "negative delay");
+  PerClass& s = per_class_[cls];
+  ++s.n;
+  s.mean += (delay - s.mean) / static_cast<double>(s.n);
+  s.mass += delay;
+  if (s.has_prev) {
+    s.variation += std::abs(delay - s.prev);
+    if (s.prev - delay > 0.5 * s.mean) ++s.collapses;
+  }
+  s.prev = delay;
+  s.has_prev = true;
+}
+
+double SawtoothIndex::index(ClassId cls) const {
+  PDS_CHECK(cls < per_class_.size(), "class index out of range");
+  const PerClass& s = per_class_[cls];
+  if (s.n < 2 || s.mass <= 0.0) return 0.0;
+  return s.variation / s.mass;
+}
+
+double SawtoothIndex::overall() const {
+  double variation = 0.0;
+  double mass = 0.0;
+  for (const auto& s : per_class_) {
+    variation += s.variation;
+    mass += s.mass;
+  }
+  return mass > 0.0 ? variation / mass : 0.0;
+}
+
+std::uint64_t SawtoothIndex::collapses(ClassId cls) const {
+  PDS_CHECK(cls < per_class_.size(), "class index out of range");
+  return per_class_[cls].collapses;
+}
+
+std::uint64_t SawtoothIndex::total_collapses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : per_class_) total += s.collapses;
+  return total;
+}
+
+}  // namespace pds

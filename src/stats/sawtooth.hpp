@@ -1,0 +1,48 @@
+// Sawtooth index: quantifies the "noisy queueing delay variations" the
+// paper's microscopic views attribute to BPR (Figure 4) versus WTP's smooth
+// tracking (Figure 5).
+//
+// For each class we accumulate the absolute difference between the delays of
+// consecutive departing packets; the index is that total variation divided
+// by the total delay mass. A smooth delay trajectory scores near 0; a
+// trajectory that repeatedly ramps up and collapses scores high. We also
+// count "collapses" — drops of more than half the running mean delay between
+// consecutive packets — which correspond to the sudden sawtooth resets after
+// new arrivals refill a nearly-empty BPR queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace pds {
+
+class SawtoothIndex {
+ public:
+  explicit SawtoothIndex(std::uint32_t num_classes);
+
+  void record(ClassId cls, double delay);
+
+  // Total-variation-to-mass ratio for one class; 0 when < 2 samples.
+  double index(ClassId cls) const;
+  // Aggregate over all classes.
+  double overall() const;
+
+  std::uint64_t collapses(ClassId cls) const;
+  std::uint64_t total_collapses() const;
+
+ private:
+  struct PerClass {
+    bool has_prev = false;
+    double prev = 0.0;
+    double variation = 0.0;
+    double mass = 0.0;
+    double mean = 0.0;  // running mean for the collapse threshold
+    std::uint64_t n = 0;
+    std::uint64_t collapses = 0;
+  };
+  std::vector<PerClass> per_class_;
+};
+
+}  // namespace pds

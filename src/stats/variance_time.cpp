@@ -1,0 +1,88 @@
+#include "stats/variance_time.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+CountSeries::CountSeries(SimTime slot, SimTime start)
+    : slot_(slot), next_boundary_(start + slot) {
+  PDS_CHECK(slot > 0.0, "slot must be positive");
+}
+
+void CountSeries::record(SimTime t) {
+  PDS_CHECK(!finished_, "series already finished");
+  if (t < next_boundary_ - slot_) return;  // before start
+  while (t >= next_boundary_) {
+    counts_.push_back(current_);
+    current_ = 0.0;
+    next_boundary_ += slot_;
+  }
+  current_ += 1.0;
+}
+
+std::vector<double> CountSeries::finish() {
+  PDS_CHECK(!finished_, "series already finished");
+  finished_ = true;
+  counts_.push_back(current_);
+  return counts_;
+}
+
+namespace {
+
+// Variance of the means of consecutive blocks of length m.
+double block_mean_variance(const std::vector<double>& counts,
+                           std::uint64_t m) {
+  const std::size_t blocks = counts.size() / m;
+  PDS_CHECK(blocks >= 2, "need at least two blocks at this level");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double block = 0.0;
+    for (std::size_t i = 0; i < m; ++i) block += counts[b * m + i];
+    block /= static_cast<double>(m);
+    sum += block;
+    sum_sq += block * block;
+  }
+  const double n = static_cast<double>(blocks);
+  const double mean = sum / n;
+  return sum_sq / n - mean * mean;
+}
+
+}  // namespace
+
+std::vector<VarianceTimePoint> variance_time(
+    const std::vector<double>& counts,
+    const std::vector<std::uint64_t>& levels) {
+  PDS_CHECK(!levels.empty(), "no aggregation levels");
+  PDS_CHECK(counts.size() >= 4, "series too short");
+  const double base_var = block_mean_variance(counts, 1);
+  PDS_CHECK(base_var > 0.0, "constant series has no variance structure");
+  std::vector<VarianceTimePoint> out;
+  for (const auto m : levels) {
+    PDS_CHECK(m >= 1, "aggregation level must be at least 1");
+    out.push_back({m, block_mean_variance(counts, m) / base_var});
+  }
+  return out;
+}
+
+double variance_time_slope(const std::vector<VarianceTimePoint>& points) {
+  PDS_CHECK(points.size() >= 2, "need at least two points for a slope");
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const auto& p : points) {
+    PDS_CHECK(p.normalized_var > 0.0, "non-positive variance point");
+    const double x = std::log10(static_cast<double>(p.m));
+    const double y = std::log10(p.normalized_var);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(points.size());
+  const double denom = n * sxx - sx * sx;
+  PDS_CHECK(denom > 0.0, "degenerate level spacing");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace pds

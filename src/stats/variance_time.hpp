@@ -1,0 +1,59 @@
+// Variance-time analysis: quantifying "bursty over a wide range of
+// timescales" (Section 1).
+//
+// For a stationary count process, let X^(m) be the series of arrival
+// counts aggregated over windows of m base slots. For short-range-
+// dependent traffic Var[X^(m)] decays like m^-1; for (asymptotically)
+// self-similar traffic with Hurst parameter H it decays like m^(2H-2).
+// Plotting log Var[X^(m)]/Var[X] against log m and fitting the slope beta
+// yields H = 1 + beta/2: H ~ 0.5 for Poisson, H -> 1 for strongly
+// long-range-dependent traffic such as aggregated Pareto on/off sources.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsim/time.hpp"
+
+namespace pds {
+
+// Accumulates an arrival-count series over fixed base slots.
+class CountSeries {
+ public:
+  // `slot` is the base aggregation window (time units); recording starts
+  // at time `start`.
+  CountSeries(SimTime slot, SimTime start);
+
+  // Records one arrival at `t >= start`; times must be non-decreasing.
+  void record(SimTime t);
+
+  // Closes the current slot and returns the completed series.
+  std::vector<double> finish();
+
+ private:
+  SimTime slot_;
+  SimTime next_boundary_;
+  double current_ = 0.0;
+  std::vector<double> counts_;
+  bool finished_ = false;
+};
+
+struct VarianceTimePoint {
+  std::uint64_t m;           // aggregation level (in base slots)
+  double normalized_var;     // Var[X^(m)] / (Var[X] * m^... ) — see note
+};
+
+// Variance of window sums at each aggregation level in `levels`,
+// normalized by the level-1 variance: out[i] = Var[mean of m samples].
+// (Dividing the m-window *mean* keeps the Poisson reference slope at -1.)
+std::vector<VarianceTimePoint> variance_time(
+    const std::vector<double>& counts,
+    const std::vector<std::uint64_t>& levels);
+
+// Least-squares slope of log10(normalized_var) vs log10(m); the Hurst
+// estimate is H = 1 + slope / 2. Requires at least two points.
+double variance_time_slope(const std::vector<VarianceTimePoint>& points);
+
+inline double hurst_from_slope(double slope) { return 1.0 + slope / 2.0; }
+
+}  // namespace pds

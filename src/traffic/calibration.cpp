@@ -1,0 +1,47 @@
+#include "traffic/calibration.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+std::vector<double> normalize_fractions(const std::vector<double>& fractions) {
+  PDS_CHECK(!fractions.empty(), "empty fraction vector");
+  double total = 0.0;
+  for (const double f : fractions) {
+    PDS_CHECK(f >= 0.0, "negative load fraction");
+    total += f;
+  }
+  PDS_CHECK(total > 0.0, "all load fractions are zero");
+  std::vector<double> out;
+  out.reserve(fractions.size());
+  for (const double f : fractions) out.push_back(f / total);
+  return out;
+}
+
+double class_mean_interarrival(double utilization, double fraction,
+                               double capacity_bytes_per_tu,
+                               double mean_packet_bytes) {
+  PDS_CHECK(utilization > 0.0, "utilization must be positive");
+  PDS_CHECK(fraction > 0.0, "fraction must be positive");
+  PDS_CHECK(capacity_bytes_per_tu > 0.0, "capacity must be positive");
+  PDS_CHECK(mean_packet_bytes > 0.0, "mean packet size must be positive");
+  const double lambda =
+      utilization * fraction * capacity_bytes_per_tu / mean_packet_bytes;
+  return 1.0 / lambda;
+}
+
+std::vector<double> class_mean_interarrivals(
+    double utilization, const std::vector<double>& fractions,
+    double capacity_bytes_per_tu, double mean_packet_bytes) {
+  const auto norm = normalize_fractions(fractions);
+  std::vector<double> out;
+  out.reserve(norm.size());
+  for (const double f : norm) {
+    out.push_back(class_mean_interarrival(utilization, f,
+                                          capacity_bytes_per_tu,
+                                          mean_packet_bytes));
+  }
+  return out;
+}
+
+}  // namespace pds

@@ -1,0 +1,28 @@
+// Load calibration: converts the experiment knobs the paper reports
+// (utilization rho, per-class load fractions) into the mean interarrival
+// times the sources need.
+//
+// With link capacity R (bytes/tu) and mean packet size E[L] (bytes), a class
+// carrying fraction f of a total utilization rho emits packets at rate
+// lambda = rho * f * R / E[L], i.e. mean interarrival E[L] / (rho * f * R).
+#pragma once
+
+#include <vector>
+
+namespace pds {
+
+// Mean interarrival time (time units per packet) for one class.
+double class_mean_interarrival(double utilization, double fraction,
+                               double capacity_bytes_per_tu,
+                               double mean_packet_bytes);
+
+// Mean interarrival for every class of a load-fraction vector. Fractions
+// are normalized internally, so {40,30,20,10} and {0.4,0.3,0.2,0.1} agree.
+std::vector<double> class_mean_interarrivals(
+    double utilization, const std::vector<double>& fractions,
+    double capacity_bytes_per_tu, double mean_packet_bytes);
+
+// Normalizes a fraction vector to sum to 1; throws on non-positive input.
+std::vector<double> normalize_fractions(const std::vector<double>& fractions);
+
+}  // namespace pds

@@ -1,0 +1,115 @@
+#include "traffic/ecn.hpp"
+
+#include <algorithm>
+
+#include "rng/distributions.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+EcnMarker::EcnMarker(std::uint64_t threshold_packets)
+    : threshold_(threshold_packets) {
+  PDS_CHECK(threshold_packets >= 1, "threshold must be at least 1 packet");
+}
+
+bool EcnMarker::should_mark(const Scheduler& sched) const {
+  std::uint64_t total = 0;
+  for (ClassId c = 0; c < sched.num_classes(); ++c) {
+    total += sched.backlog_packets(c);
+    if (total >= threshold_) return true;
+  }
+  return false;
+}
+
+void EcnSourceConfig::validate() const {
+  PDS_CHECK(packet_bytes > 0, "packet size must be positive");
+  PDS_CHECK(min_rate > 0.0, "min rate must be positive");
+  PDS_CHECK(initial_rate >= min_rate && initial_rate <= max_rate,
+            "initial rate outside [min, max]");
+  PDS_CHECK(max_rate >= min_rate, "max rate below min rate");
+  PDS_CHECK(additive_increase > 0.0, "additive increase must be positive");
+  PDS_CHECK(multiplicative_decrease > 0.0 && multiplicative_decrease < 1.0,
+            "multiplicative decrease must be in (0,1)");
+}
+
+struct EcnAdaptiveSource::State {
+  Simulator& sim;
+  PacketIdAllocator& ids;
+  EcnSourceConfig config;
+  Rng rng;
+  PacketHandler handler;
+  double rate;
+  bool stopped = false;
+  bool started = false;
+  std::uint64_t emitted = 0;
+  std::uint64_t marks = 0;
+
+  // Exponential gaps with the current mean keep emissions well-behaved
+  // when the rate changes between packets.
+  static void arm(const std::shared_ptr<State>& st) {
+    const double mean_gap =
+        static_cast<double>(st->config.packet_bytes) / st->rate;
+    const ExponentialDist gap(mean_gap);
+    st->sim.schedule_in(gap.sample(st->rng), [st]() {
+      if (st->stopped) return;
+      Packet p;
+      p.id = st->ids.next();
+      p.cls = st->config.cls;
+      p.size_bytes = st->config.packet_bytes;
+      p.created = st->sim.now();
+      st->handler(std::move(p));
+      ++st->emitted;
+      arm(st);
+    });
+  }
+};
+
+EcnAdaptiveSource::EcnAdaptiveSource(Simulator& sim, PacketIdAllocator& ids,
+                                     EcnSourceConfig config, Rng rng,
+                                     PacketHandler handler)
+    : state_(std::make_shared<State>(
+          State{sim, ids, config, rng, std::move(handler),
+                config.initial_rate})) {
+  config.validate();
+  PDS_CHECK(static_cast<bool>(state_->handler), "null packet handler");
+}
+
+EcnAdaptiveSource::~EcnAdaptiveSource() {
+  if (state_) state_->stopped = true;
+}
+
+void EcnAdaptiveSource::start(SimTime at) {
+  PDS_CHECK(!state_->started, "source already started");
+  state_->started = true;
+  auto st = state_;
+  state_->sim.schedule_at(at, [st]() {
+    if (!st->stopped) State::arm(st);
+  });
+}
+
+void EcnAdaptiveSource::stop() noexcept { state_->stopped = true; }
+
+void EcnAdaptiveSource::on_feedback(bool marked) {
+  State& st = *state_;
+  if (marked) {
+    ++st.marks;
+    st.rate *= st.config.multiplicative_decrease;
+  } else {
+    st.rate += st.config.additive_increase;
+  }
+  st.rate = std::clamp(st.rate, st.config.min_rate, st.config.max_rate);
+}
+
+double EcnAdaptiveSource::current_rate() const noexcept {
+  return state_->rate;
+}
+
+std::uint64_t EcnAdaptiveSource::packets_emitted() const noexcept {
+  return state_->emitted;
+}
+
+std::uint64_t EcnAdaptiveSource::marks_received() const noexcept {
+  return state_->marks;
+}
+
+}  // namespace pds

@@ -1,0 +1,115 @@
+#include "traffic/onoff.hpp"
+
+#include "rng/distributions.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+void OnOffConfig::validate() const {
+  PDS_CHECK(packet_bytes > 0, "packet size must be positive");
+  PDS_CHECK(peak_rate > 0.0, "peak rate must be positive");
+  PDS_CHECK(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+  PDS_CHECK(pareto_alpha > 1.0, "Pareto shape must exceed 1 (finite mean)");
+  // An ON period must fit at least one packet on average.
+  PDS_CHECK(mean_on * peak_rate >= static_cast<double>(packet_bytes),
+            "mean ON period shorter than one packet");
+}
+
+struct OnOffSource::State {
+  Simulator& sim;
+  PacketIdAllocator& ids;
+  OnOffConfig config;
+  ParetoDist on_law;
+  ParetoDist off_law;
+  ExponentialDist off_exp;
+  Rng rng;
+  PacketHandler handler;
+  bool stopped = false;
+  bool started = false;
+  std::uint64_t emitted = 0;
+  std::uint64_t bursts = 0;
+
+  State(Simulator& sim_in, PacketIdAllocator& ids_in, OnOffConfig cfg,
+        Rng rng_in, PacketHandler handler_in)
+      : sim(sim_in),
+        ids(ids_in),
+        config(cfg),
+        on_law(ParetoDist::with_mean(cfg.pareto_alpha, cfg.mean_on)),
+        off_law(ParetoDist::with_mean(cfg.pareto_alpha, cfg.mean_off)),
+        off_exp(cfg.mean_off),
+        rng(rng_in),
+        handler(std::move(handler_in)) {}
+
+  double draw_off() {
+    return config.pareto_off ? off_law.sample(rng) : off_exp.sample(rng);
+  }
+
+  void emit_packet() {
+    Packet p;
+    p.id = ids.next();
+    p.cls = config.cls;
+    p.size_bytes = config.packet_bytes;
+    p.created = sim.now();
+    handler(std::move(p));
+    ++emitted;
+  }
+
+  // Emits packets separated by the packet serialization time at the peak
+  // rate until `burst_end`, then sleeps an OFF period and repeats.
+  static void run_on_period(const std::shared_ptr<State>& st,
+                            SimTime burst_end) {
+    if (st->stopped) return;
+    st->emit_packet();
+    const double gap = static_cast<double>(st->config.packet_bytes) /
+                       st->config.peak_rate;
+    if (st->sim.now() + gap <= burst_end) {
+      st->sim.schedule_in(gap, [st, burst_end]() {
+        run_on_period(st, burst_end);
+      });
+    } else {
+      schedule_next_burst(st);
+    }
+  }
+
+  static void schedule_next_burst(const std::shared_ptr<State>& st) {
+    if (st->stopped) return;
+    const double off = st->draw_off();
+    st->sim.schedule_in(off, [st]() {
+      if (st->stopped) return;
+      ++st->bursts;
+      const double on = st->on_law.sample(st->rng);
+      run_on_period(st, st->sim.now() + on);
+    });
+  }
+};
+
+OnOffSource::OnOffSource(Simulator& sim, PacketIdAllocator& ids,
+                         OnOffConfig config, Rng rng, PacketHandler handler)
+    : state_(std::make_shared<State>(sim, ids, config, rng,
+                                     std::move(handler))) {
+  config.validate();
+  PDS_CHECK(static_cast<bool>(state_->handler), "null packet handler");
+}
+
+OnOffSource::~OnOffSource() {
+  if (state_) state_->stopped = true;
+}
+
+void OnOffSource::start(SimTime at) {
+  PDS_CHECK(!state_->started, "source already started");
+  state_->started = true;
+  auto st = state_;
+  state_->sim.schedule_at(at, [st]() { State::schedule_next_burst(st); });
+}
+
+void OnOffSource::stop() noexcept { state_->stopped = true; }
+
+std::uint64_t OnOffSource::packets_emitted() const noexcept {
+  return state_->emitted;
+}
+
+std::uint64_t OnOffSource::bursts_started() const noexcept {
+  return state_->bursts;
+}
+
+}  // namespace pds

@@ -1,0 +1,234 @@
+#include "traffic/source.hpp"
+
+#include <utility>
+
+#include "packet/size_law.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+GapSampler pareto_gaps(double alpha, double mean) {
+  const ParetoDist d = ParetoDist::with_mean(alpha, mean);
+  return [d](Rng& rng) { return d.sample(rng); };
+}
+
+GapSampler exponential_gaps(double mean) {
+  const ExponentialDist d(mean);
+  return [d](Rng& rng) { return d.sample(rng); };
+}
+
+GapSampler constant_gaps(double gap) {
+  PDS_CHECK(gap > 0.0, "gap must be positive");
+  return [gap](Rng&) { return gap; };
+}
+
+SizeSampler fixed_size(std::uint32_t bytes) {
+  PDS_CHECK(bytes > 0, "packet size must be positive");
+  return [bytes](Rng&) { return bytes; };
+}
+
+SizeSampler law_size(DiscreteDist law) {
+  return [law = std::move(law)](Rng& rng) {
+    return sample_size_bytes(law, rng);
+  };
+}
+
+namespace {
+
+// Shared emission loop for the infinite renewal sources. The shared_ptr
+// state pattern lets a destroyed source cancel its pending event safely.
+template <typename StateT>
+void arm_next(const std::shared_ptr<StateT>& st) {
+  const double gap = st->gaps(st->rng);
+  PDS_REQUIRE(gap > 0.0);
+  st->sim.schedule_in(gap, [st]() {
+    if (st->stopped) return;
+    st->emit();
+    ++st->emitted;
+    arm_next(st);
+  });
+}
+
+}  // namespace
+
+struct RenewalSource::State {
+  Simulator& sim;
+  PacketIdAllocator& ids;
+  ClassId cls;
+  GapSampler gaps;
+  SizeSampler sizes;
+  Rng rng;
+  PacketHandler handler;
+  bool stopped = false;
+  bool started = false;
+  std::uint64_t emitted = 0;
+
+  void emit() {
+    Packet p;
+    p.id = ids.next();
+    p.cls = cls;
+    p.size_bytes = sizes(rng);
+    p.created = sim.now();
+    handler(std::move(p));
+  }
+};
+
+RenewalSource::RenewalSource(Simulator& sim, PacketIdAllocator& ids,
+                             ClassId cls, GapSampler gaps, SizeSampler sizes,
+                             Rng rng, PacketHandler handler)
+    : state_(std::make_shared<State>(State{sim, ids, cls, std::move(gaps),
+                                           std::move(sizes), rng,
+                                           std::move(handler)})) {
+  PDS_CHECK(static_cast<bool>(state_->gaps), "null gap sampler");
+  PDS_CHECK(static_cast<bool>(state_->sizes), "null size sampler");
+  PDS_CHECK(static_cast<bool>(state_->handler), "null packet handler");
+}
+
+RenewalSource::~RenewalSource() {
+  if (state_) state_->stopped = true;
+}
+
+void RenewalSource::start(SimTime at) {
+  PDS_CHECK(!state_->started, "source already started");
+  state_->started = true;
+  auto st = state_;
+  state_->sim.schedule_at(at, [st]() {
+    if (!st->stopped) arm_next(st);
+  });
+}
+
+void RenewalSource::stop() noexcept { state_->stopped = true; }
+
+std::uint64_t RenewalSource::packets_emitted() const noexcept {
+  return state_->emitted;
+}
+
+struct ClassMixSource::State {
+  Simulator& sim;
+  PacketIdAllocator& ids;
+  std::vector<double> cumulative;  // cumulative class fractions
+  GapSampler gaps;
+  SizeSampler sizes;
+  Rng rng;
+  PacketHandler handler;
+  bool stopped = false;
+  bool started = false;
+  std::uint64_t emitted = 0;
+
+  ClassId draw_class() {
+    const double u = rng.uniform01();
+    for (std::size_t c = 0; c < cumulative.size(); ++c) {
+      if (u < cumulative[c]) return static_cast<ClassId>(c);
+    }
+    return static_cast<ClassId>(cumulative.size() - 1);
+  }
+
+  void emit() {
+    Packet p;
+    p.id = ids.next();
+    p.cls = draw_class();
+    p.size_bytes = sizes(rng);
+    p.created = sim.now();
+    handler(std::move(p));
+  }
+};
+
+ClassMixSource::ClassMixSource(Simulator& sim, PacketIdAllocator& ids,
+                               std::vector<double> class_fractions,
+                               GapSampler gaps, SizeSampler sizes, Rng rng,
+                               PacketHandler handler) {
+  PDS_CHECK(!class_fractions.empty(), "need at least one class fraction");
+  double total = 0.0;
+  for (const double f : class_fractions) {
+    PDS_CHECK(f >= 0.0, "negative class fraction");
+    total += f;
+  }
+  PDS_CHECK(total > 0.0, "all class fractions are zero");
+  std::vector<double> cumulative;
+  double cum = 0.0;
+  for (const double f : class_fractions) {
+    cum += f / total;
+    cumulative.push_back(cum);
+  }
+  cumulative.back() = 1.0;
+  state_ = std::make_shared<State>(State{sim, ids, std::move(cumulative),
+                                         std::move(gaps), std::move(sizes),
+                                         rng, std::move(handler)});
+  PDS_CHECK(static_cast<bool>(state_->gaps), "null gap sampler");
+  PDS_CHECK(static_cast<bool>(state_->sizes), "null size sampler");
+  PDS_CHECK(static_cast<bool>(state_->handler), "null packet handler");
+}
+
+ClassMixSource::~ClassMixSource() {
+  if (state_) state_->stopped = true;
+}
+
+void ClassMixSource::start(SimTime at) {
+  PDS_CHECK(!state_->started, "source already started");
+  state_->started = true;
+  auto st = state_;
+  state_->sim.schedule_at(at, [st]() {
+    if (!st->stopped) arm_next(st);
+  });
+}
+
+void ClassMixSource::stop() noexcept { state_->stopped = true; }
+
+std::uint64_t ClassMixSource::packets_emitted() const noexcept {
+  return state_->emitted;
+}
+
+struct CbrFlowSource::State {
+  Simulator& sim;
+  PacketIdAllocator& ids;
+  ClassId cls;
+  FlowId flow;
+  std::uint32_t count;
+  std::uint32_t size_bytes;
+  SimTime interval;
+  PacketHandler handler;
+  std::uint64_t emitted = 0;
+
+  static void emit_and_rearm(const std::shared_ptr<State>& st) {
+    Packet p;
+    p.id = st->ids.next();
+    p.cls = st->cls;
+    p.flow = st->flow;
+    p.size_bytes = st->size_bytes;
+    p.created = st->sim.now();
+    st->handler(std::move(p));
+    ++st->emitted;
+    if (st->emitted < st->count) {
+      st->sim.schedule_in(st->interval, [st]() { emit_and_rearm(st); });
+    }
+  }
+};
+
+CbrFlowSource::CbrFlowSource(Simulator& sim, PacketIdAllocator& ids,
+                             ClassId cls, FlowId flow, std::uint32_t count,
+                             std::uint32_t size_bytes, SimTime interval,
+                             PacketHandler handler)
+    : state_(std::make_shared<State>(State{sim, ids, cls, flow, count,
+                                           size_bytes, interval,
+                                           std::move(handler)})) {
+  PDS_CHECK(count > 0, "flow needs at least one packet");
+  PDS_CHECK(size_bytes > 0, "packet size must be positive");
+  PDS_CHECK(interval > 0.0, "interval must be positive");
+  PDS_CHECK(static_cast<bool>(state_->handler), "null packet handler");
+}
+
+void CbrFlowSource::start(SimTime at) {
+  PDS_CHECK(state_->emitted == 0, "flow already started");
+  auto st = state_;
+  state_->sim.schedule_at(at, [st]() { State::emit_and_rearm(st); });
+}
+
+std::uint64_t CbrFlowSource::packets_emitted() const noexcept {
+  return state_->emitted;
+}
+
+bool CbrFlowSource::finished() const noexcept {
+  return state_->emitted >= state_->count;
+}
+
+}  // namespace pds

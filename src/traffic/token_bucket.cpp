@@ -1,0 +1,62 @@
+#include "traffic/token_bucket.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+void TokenBucketConfig::validate() const {
+  PDS_CHECK(rate > 0.0, "token rate must be positive");
+  PDS_CHECK(burst_bytes > 0.0, "burst must be positive");
+}
+
+TokenBucketShaper::TokenBucketShaper(Simulator& sim, TokenBucketConfig config,
+                                     PacketHandler out)
+    : sim_(sim),
+      config_(config),
+      out_(std::move(out)),
+      tokens_(config.start_full ? config.burst_bytes : 0.0),
+      last_update_(sim.now()) {
+  config.validate();
+  PDS_CHECK(static_cast<bool>(out_), "null output handler");
+}
+
+double TokenBucketShaper::tokens(SimTime now) const {
+  PDS_CHECK(now >= last_update_, "clock went backwards");
+  return std::min(config_.burst_bytes,
+                  tokens_ + config_.rate * (now - last_update_));
+}
+
+void TokenBucketShaper::offer(Packet p) {
+  PDS_CHECK(static_cast<double>(p.size_bytes) <= config_.burst_bytes,
+            "packet larger than the bucket can ever hold");
+  backlog_.push_back(std::move(p));
+  if (!draining_) pump();
+}
+
+void TokenBucketShaper::pump() {
+  // Accrue tokens, forward every head that conforms, then sleep exactly
+  // until the next head's deficit is covered.
+  tokens_ = tokens(sim_.now());
+  last_update_ = sim_.now();
+  while (!backlog_.empty() &&
+         tokens_ >= static_cast<double>(backlog_.front().size_bytes)) {
+    Packet p = std::move(backlog_.front());
+    backlog_.pop_front();
+    tokens_ -= static_cast<double>(p.size_bytes);
+    ++forwarded_;
+    out_(std::move(p));
+  }
+  if (backlog_.empty()) {
+    draining_ = false;
+    return;
+  }
+  draining_ = true;
+  const double deficit =
+      static_cast<double>(backlog_.front().size_bytes) - tokens_;
+  PDS_REQUIRE(deficit > 0.0);
+  sim_.schedule_in(deficit / config_.rate, [this]() { pump(); });
+}
+
+}  // namespace pds

@@ -1,0 +1,69 @@
+// Token-bucket traffic shaper — the DiffServ edge-conditioning substrate.
+//
+// The paper's relative-differentiation architecture lives inside the IETF
+// DS framework (Section 1), whose edges condition traffic before it enters
+// the core. A token bucket (rate r bytes/tu, burst b bytes) admits a packet
+// when the bucket holds at least its size in tokens, and otherwise delays
+// it until enough tokens accrue; output is (r, b)-conformant by
+// construction. The shaper preserves packet order and is lossless.
+//
+// Used by tests and available to scenario builders; e.g. shaping a user
+// flow before injection bounds the burst a high class can slam into a WTP
+// queue (the Prop. 2 starvation scenario becomes impossible for shaped
+// sources with peak rate <= link rate).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "dsim/simulator.hpp"
+#include "packet/packet.hpp"
+#include "traffic/source.hpp"
+
+namespace pds {
+
+struct TokenBucketConfig {
+  double rate = 1.0;          // token accrual, bytes per time unit
+  double burst_bytes = 1500;  // bucket depth; must fit the largest packet
+  bool start_full = true;     // initial bucket level
+
+  void validate() const;
+};
+
+class TokenBucketShaper {
+ public:
+  // Conformant packets are forwarded through `out` (possibly later than
+  // their arrival; Packet::arrival is left for the next hop to stamp).
+  TokenBucketShaper(Simulator& sim, TokenBucketConfig config,
+                    PacketHandler out);
+
+  TokenBucketShaper(const TokenBucketShaper&) = delete;
+  TokenBucketShaper& operator=(const TokenBucketShaper&) = delete;
+
+  // Offers a packet to the shaper at the current simulation time. Throws
+  // std::invalid_argument if the packet can never conform (size > burst).
+  void offer(Packet p);
+
+  // Current token level (bytes), accrued up to `now`.
+  double tokens(SimTime now) const;
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t queued() const noexcept {
+    return static_cast<std::uint64_t>(backlog_.size());
+  }
+
+ private:
+  void pump();
+
+  Simulator& sim_;
+  TokenBucketConfig config_;
+  PacketHandler out_;
+  double tokens_;
+  SimTime last_update_;
+  std::deque<Packet> backlog_;
+  bool draining_ = false;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace pds

@@ -1,0 +1,127 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+
+bool looks_like_key(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!looks_like_key(tok)) {
+      throw std::invalid_argument("unexpected positional argument: " + tok);
+    }
+    tok = tok.substr(2);
+    std::string key;
+    std::string value;
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      key = tok.substr(0, eq);
+      value = tok.substr(eq + 1);
+    } else {
+      key = tok;
+      // `--key value` form: consume the next token iff it is not a key.
+      if (i + 1 < argc && !looks_like_key(argv[i + 1])) {
+        value = argv[++i];
+      }
+    }
+    PDS_CHECK(!key.empty(), "empty option name");
+    if (values_.find(key) == values_.end()) order_.push_back(key);
+    values_[key] = value;  // last occurrence wins
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  std::string def) const {
+  const auto v = raw(key);
+  return v ? *v : def;
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    PDS_CHECK(pos == v->size(), "trailing characters in --" + key);
+    return d;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("--" + key + ": not a number: " + *v);
+  }
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t n = std::stoll(*v, &pos);
+    PDS_CHECK(pos == v->size(), "trailing characters in --" + key);
+    return n;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("--" + key + ": not an integer: " + *v);
+  }
+}
+
+bool ArgParser::get_bool(const std::string& key, bool def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  if (v->empty() || *v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("--" + key + ": not a boolean: " + *v);
+}
+
+std::vector<double> ArgParser::get_double_list(
+    const std::string& key, std::vector<double> def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= v->size()) {
+    const auto comma = v->find(',', start);
+    const std::string item =
+        v->substr(start, comma == std::string::npos ? std::string::npos
+                                                    : comma - start);
+    PDS_CHECK(!item.empty(), "empty element in --" + key);
+    out.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  PDS_CHECK(!out.empty(), "empty list in --" + key);
+  return out;
+}
+
+std::vector<std::string> ArgParser::unknown_keys(
+    const std::vector<std::string>& allowed) const {
+  std::vector<std::string> out;
+  for (const auto& k : order_) {
+    if (std::find(allowed.begin(), allowed.end(), k) == allowed.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace pds

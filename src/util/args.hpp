@@ -1,0 +1,48 @@
+// Minimal command-line argument parser for the bench and example binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms. Unknown
+// keys are collected so callers can reject typos. Values are converted on
+// access with a caller-supplied default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pds {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  // True if `--key` appeared at all (with or without a value).
+  bool has(const std::string& key) const;
+
+  // Typed access; returns `def` when the key is absent. Throws
+  // std::invalid_argument when the value cannot be converted.
+  std::string get_string(const std::string& key, std::string def) const;
+  double get_double(const std::string& key, double def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  // Comma-separated list of doubles, e.g. `--sdp=1,2,4,8`.
+  std::vector<double> get_double_list(const std::string& key,
+                                      std::vector<double> def) const;
+
+  // Keys seen on the command line, in order of first appearance.
+  const std::vector<std::string>& keys() const { return order_; }
+
+  // Returns the keys that are not in `allowed` (for typo detection).
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& allowed) const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pds

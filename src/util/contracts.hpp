@@ -1,0 +1,43 @@
+// Contract-checking helpers used across the pds library.
+//
+// PDS_CHECK  — validates arguments of public API entry points; throws
+//              std::invalid_argument with a descriptive message on failure.
+// PDS_REQUIRE— validates internal invariants that indicate a programming
+//              error; throws std::logic_error. Kept on in all build types:
+//              the simulator is a research tool where silent corruption is
+//              far worse than the cost of a branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pds::detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": check failed: " + expr +
+                              (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file,
+                                           int line) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": invariant violated: " + expr);
+}
+
+}  // namespace pds::detail
+
+#define PDS_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::pds::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,   \
+                                            (msg));                      \
+  } while (0)
+
+#define PDS_REQUIRE(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::pds::detail::throw_logic_error(#cond, __FILE__, __LINE__);       \
+  } while (0)

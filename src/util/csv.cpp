@@ -1,0 +1,33 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  PDS_CHECK(!header.empty(), "CSV needs at least one column");
+  if (!out_) throw std::runtime_error("cannot open for writing: " + path);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out_ << header[c] << (c + 1 == header.size() ? "\n" : ",");
+  }
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  PDS_CHECK(values.size() == columns_, "CSV row width mismatch");
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    out_ << values[c] << (c + 1 == values.size() ? "\n" : ",");
+  }
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& values) {
+  PDS_CHECK(values.size() == columns_, "CSV row width mismatch");
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    out_ << values[c] << (c + 1 == values.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace pds

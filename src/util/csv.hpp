@@ -1,0 +1,28 @@
+// Tiny CSV writer used by the microscopic-view benches (Figures 4 and 5) to
+// dump per-packet and per-window delay series for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pds {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws
+  // std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace pds

@@ -1,0 +1,31 @@
+// Aligned plain-text table printer used by the bench harnesses to emit
+// paper-style rows (one table per figure/table in the evaluation).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pds {
+
+class TablePrinter {
+ public:
+  // `header` defines the number of columns; every row must match it.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  // Renders the table with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pds

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/bpr_fluid.hpp"
+#include "test_helpers.hpp"
+
+namespace pds {
+namespace {
+
+using testutil::packet;
+
+struct FluidDeparture {
+  std::uint64_t id;
+  ClassId cls;
+  SimTime time;
+};
+
+struct FluidFixture {
+  std::vector<FluidDeparture> out;
+  BprFluidServer server;
+
+  explicit FluidFixture(std::vector<double> sdp, double capacity = 10.0)
+      : server(make_config(std::move(sdp), capacity),
+               [this](const Packet& p, SimTime t) {
+                 out.push_back(FluidDeparture{p.id, p.cls, t});
+               }) {}
+
+  static SchedulerConfig make_config(std::vector<double> sdp,
+                                     double capacity) {
+    SchedulerConfig c;
+    c.sdp = std::move(sdp);
+    c.link_capacity = capacity;
+    return c;
+  }
+};
+
+TEST(BprFluid, SingleClassBehavesLikeFifo) {
+  FluidFixture f({1.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(2, 0, 200, 0.0), 0.0);
+  f.server.arrive(packet(3, 0, 100, 0.0), 0.0);
+  f.server.drain();
+  ASSERT_EQ(f.out.size(), 3u);
+  EXPECT_EQ(f.out[0].id, 1u);
+  EXPECT_NEAR(f.out[0].time, 10.0, 1e-9);   // 100 B at 10 B/tu
+  EXPECT_NEAR(f.out[1].time, 30.0, 1e-9);
+  EXPECT_NEAR(f.out[2].time, 40.0, 1e-9);
+}
+
+TEST(BprFluid, Proposition1SimultaneousClearing) {
+  // Very asymmetric backlogs and SDPs: all queues must still empty at the
+  // same instant, t = total backlog / capacity.
+  FluidFixture f({1.0, 2.0, 8.0});
+  f.server.arrive(packet(1, 0, 1500, 0.0), 0.0);
+  f.server.arrive(packet(2, 1, 40, 0.0), 0.0);
+  f.server.arrive(packet(3, 2, 550, 0.0), 0.0);
+  const SimTime end = f.server.drain();
+  EXPECT_NEAR(end, (1500.0 + 40.0 + 550.0) / 10.0, 1e-9);
+  ASSERT_EQ(f.out.size(), 3u);
+  for (const auto& d : f.out) EXPECT_NEAR(d.time, end, 1e-9);
+}
+
+TEST(BprFluid, Proposition1HoldsWithQueuedTails) {
+  // Multi-packet queues: heads depart earlier, but the *last* packet of
+  // every backlogged queue departs exactly at the busy-period end.
+  FluidFixture f({1.0, 4.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(2, 0, 300, 0.0), 0.0);
+  f.server.arrive(packet(3, 1, 200, 0.0), 0.0);
+  f.server.arrive(packet(4, 1, 400, 0.0), 0.0);
+  const SimTime end = f.server.drain();
+  EXPECT_NEAR(end, 100.0, 1e-9);  // 1000 B / 10
+  SimTime last0 = 0.0, last1 = 0.0;
+  for (const auto& d : f.out) {
+    (d.cls == 0 ? last0 : last1) = std::max(d.cls == 0 ? last0 : last1,
+                                            d.time);
+  }
+  EXPECT_NEAR(last0, end, 1e-9);
+  EXPECT_NEAR(last1, end, 1e-9);
+}
+
+TEST(BprFluid, HigherSdpHeadDepartsFirstOnEqualBacklogs) {
+  FluidFixture f({1.0, 4.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(2, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(3, 1, 100, 0.0), 0.0);
+  f.server.arrive(packet(4, 1, 100, 0.0), 0.0);
+  f.server.drain();
+  ASSERT_EQ(f.out.size(), 4u);
+  // Class 1 drains at 4x the rate per byte of backlog: its head leaves
+  // first.
+  EXPECT_EQ(f.out[0].cls, 1u);
+  EXPECT_EQ(f.out[0].id, 3u);
+}
+
+TEST(BprFluid, HeadCompletionTimeMatchesClosedForm) {
+  // Two classes, equal SDP s=1, q0 = 200 (2 packets), q1 = 100 (1 packet).
+  // Head of class 0 (100 B) completes when q0 drops from 200 to 100:
+  //   e^{-R u} = 1/2  => u* = ln 2 / R
+  //   t(u*) = (q0 (1 - e^{-Ru}) + q1 (1 - e^{-Ru})) / R = 300 * 0.5 / 10.
+  FluidFixture f({1.0, 1.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(2, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(3, 1, 100, 0.0), 0.0);
+  f.server.drain();
+  ASSERT_EQ(f.out.size(), 3u);
+  EXPECT_EQ(f.out[0].id, 1u);
+  EXPECT_NEAR(f.out[0].time, 15.0, 1e-9);
+  // The remaining single packets clear together at Q/R = 30.
+  EXPECT_NEAR(f.out[1].time, 30.0, 1e-9);
+  EXPECT_NEAR(f.out[2].time, 30.0, 1e-9);
+}
+
+TEST(BprFluid, ArrivalsExtendTheBusyPeriod) {
+  FluidFixture f({1.0, 1.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.arrive(packet(2, 1, 100, 5.0), 5.0);
+  const SimTime end = f.server.drain();
+  // 200 B of work arriving by t=5 into a 10 B/tu server started at 0:
+  // busy until t = 20.
+  EXPECT_NEAR(end, 20.0, 1e-9);
+  ASSERT_EQ(f.out.size(), 2u);
+  EXPECT_NEAR(f.out[0].time, end, 1e-9);
+  EXPECT_NEAR(f.out[1].time, end, 1e-9);
+}
+
+TEST(BprFluid, AdvanceToLeavesConsistentPartialBacklog) {
+  FluidFixture f({1.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.advance_to(4.0);
+  EXPECT_NEAR(f.server.backlog_bytes(0), 60.0, 1e-9);
+  EXPECT_TRUE(f.out.empty());
+  f.server.advance_to(10.0);
+  ASSERT_EQ(f.out.size(), 1u);
+  EXPECT_NEAR(f.out[0].time, 10.0, 1e-9);
+  EXPECT_TRUE(f.server.empty());
+}
+
+TEST(BprFluid, IdlePeriodsDoNotAccrueService) {
+  FluidFixture f({1.0});
+  f.server.arrive(packet(1, 0, 100, 0.0), 0.0);
+  f.server.drain();
+  f.server.arrive(packet(2, 0, 100, 50.0), 50.0);
+  f.server.drain();
+  ASSERT_EQ(f.out.size(), 2u);
+  EXPECT_NEAR(f.out[1].time, 60.0, 1e-9);
+}
+
+TEST(BprFluid, RejectsTimeTravel) {
+  FluidFixture f({1.0});
+  f.server.arrive(packet(1, 0, 100, 10.0), 10.0);
+  EXPECT_THROW(f.server.advance_to(5.0), std::invalid_argument);
+  EXPECT_THROW(f.server.arrive(packet(2, 0, 100, 5.0), 5.0),
+               std::invalid_argument);
+}
+
+TEST(BprFluid, RejectsMalformedPackets) {
+  FluidFixture f({1.0, 2.0});
+  EXPECT_THROW(f.server.arrive(packet(1, 7, 100, 0.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(f.server.arrive(packet(1, 0, 0, 0.0), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "sched/bpr.hpp"
+#include "test_helpers.hpp"
+
+namespace pds {
+namespace {
+
+using testutil::packet;
+
+BprScheduler make_bpr(std::vector<double> sdp, double capacity = 10.0) {
+  SchedulerConfig c;
+  c.sdp = std::move(sdp);
+  c.link_capacity = capacity;
+  return BprScheduler(c);
+}
+
+TEST(Bpr, RequiresLinkCapacity) {
+  SchedulerConfig c;
+  c.sdp = {1.0, 2.0};
+  EXPECT_THROW(BprScheduler{c}, std::invalid_argument);
+}
+
+TEST(Bpr, RatesFollowWeightedBacklogsAfterDeparture) {
+  auto bpr = make_bpr({1.0, 3.0});
+  bpr.enqueue(packet(1, 0, 300, 0.0), 0.0);
+  bpr.enqueue(packet(2, 0, 300, 0.0), 0.0);
+  bpr.enqueue(packet(3, 1, 100, 0.0), 0.0);
+  bpr.enqueue(packet(4, 1, 100, 0.0), 0.0);
+  // First dequeue: new heads => virtual service 0; remaining = L. Class 1
+  // head (100 B) has the least remaining work.
+  const auto first = bpr.dequeue(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->cls, 1u);
+  // Post-departure backlogs: q0 = 600, q1 = 100.
+  // r_i = R * s_i q_i / sum: denom = 600 + 300 = 900.
+  EXPECT_NEAR(bpr.rate(0), 10.0 * 600.0 / 900.0, 1e-12);
+  EXPECT_NEAR(bpr.rate(1), 10.0 * 300.0 / 900.0, 1e-12);
+}
+
+TEST(Bpr, RatesSumToCapacityWhileBacklogged) {
+  auto bpr = make_bpr({1.0, 2.0, 4.0});
+  for (int i = 0; i < 9; ++i) {
+    bpr.enqueue(packet(static_cast<std::uint64_t>(i),
+                       static_cast<ClassId>(i % 3), 100, 0.0),
+                0.0);
+  }
+  bpr.dequeue(0.0);
+  EXPECT_NEAR(bpr.rate(0) + bpr.rate(1) + bpr.rate(2), 10.0, 1e-12);
+}
+
+TEST(Bpr, EmptyClassHasZeroRate) {
+  auto bpr = make_bpr({1.0, 2.0});
+  bpr.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  bpr.enqueue(packet(2, 0, 100, 0.0), 0.0);
+  bpr.dequeue(0.0);
+  EXPECT_GT(bpr.rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(bpr.rate(1), 0.0);
+}
+
+TEST(Bpr, VirtualServiceAccruesBetweenDepartures) {
+  // Two classes with equal SDP and equal backlog: after the first departure
+  // both rates are equal; the class whose head kept waiting accrues virtual
+  // service and wins the next pick even against an equal-size head.
+  auto bpr = make_bpr({1.0, 1.0});
+  bpr.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  bpr.enqueue(packet(2, 0, 100, 0.0), 0.0);
+  bpr.enqueue(packet(3, 1, 100, 0.0), 0.0);
+  bpr.enqueue(packet(4, 1, 100, 0.0), 0.0);
+  // t=0: all v=0, remaining equal, tie -> class 1.
+  EXPECT_EQ(bpr.dequeue(0.0)->cls, 1u);
+  // t=10: class 0 head accrued v = r0*10 = 10*(200/300)*10... class 1's new
+  // head became head at t=0 (arrived before) so it also accrues. Rates after
+  // first pop: q0=200, q1=100 -> r0=20/3, r1=10/3. v0 = 66.7, v1 = 33.3.
+  // Remaining: 100-66.7=33.3 vs 100-33.3=66.7 -> class 0 wins.
+  EXPECT_EQ(bpr.dequeue(10.0)->cls, 0u);
+}
+
+TEST(Bpr, HeadArrivingAfterLastDepartureResetsVirtualService) {
+  auto bpr = make_bpr({1.0, 1.0});
+  bpr.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  bpr.enqueue(packet(2, 0, 100, 0.0), 0.0);
+  EXPECT_EQ(bpr.dequeue(0.0)->cls, 0u);
+  // Class 1 packet arrives *after* that departure; at the next decision its
+  // v must be 0 while class 0's v accrued at full capacity (only backlogged
+  // class => r0 = R = 10): v0 = 50 -> remaining 50 < 100.
+  bpr.enqueue(packet(3, 1, 100, 2.0), 2.0);
+  EXPECT_EQ(bpr.dequeue(5.0)->cls, 0u);
+}
+
+TEST(Bpr, TieOnRemainingWorkFavoursHigherClass) {
+  auto bpr = make_bpr({1.0, 1.0});
+  bpr.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  bpr.enqueue(packet(2, 1, 100, 0.0), 0.0);
+  EXPECT_EQ(bpr.dequeue(0.0)->cls, 1u);
+}
+
+TEST(Bpr, SmallerRemainingWorkWinsRegardlessOfClass) {
+  auto bpr = make_bpr({1.0, 2.0});
+  bpr.enqueue(packet(1, 0, 40, 0.0), 0.0);
+  bpr.enqueue(packet(2, 1, 1500, 0.0), 0.0);
+  EXPECT_EQ(bpr.dequeue(0.0)->cls, 0u);
+}
+
+TEST(Bpr, HigherSdpGetsProportionallyHigherRate) {
+  auto bpr = make_bpr({1.0, 4.0});
+  bpr.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  bpr.enqueue(packet(2, 0, 400, 0.0), 0.0);
+  bpr.enqueue(packet(3, 1, 100, 0.0), 0.0);
+  bpr.enqueue(packet(4, 1, 400, 0.0), 0.0);
+  const auto popped = bpr.dequeue(0.0);  // one 100 B head leaves (tie: cls 1)
+  ASSERT_TRUE(popped.has_value());
+  // Backlogs now 500 vs 400: r1/r0 = 4*400 / (1*500) = 3.2.
+  EXPECT_NEAR(bpr.rate(1) / bpr.rate(0), 3.2, 1e-12);
+}
+
+TEST(Bpr, DrainsEverythingEventually) {
+  auto bpr = make_bpr({1.0, 2.0, 4.0});
+  const auto out = testutil::replay(
+      bpr, 10.0,
+      {{0.0, 0, 100}, {1.0, 2, 550}, {2.0, 1, 40}, {3.0, 0, 1500},
+       {4.0, 2, 100}, {50.0, 1, 550}});
+  EXPECT_EQ(out.size(), 6u);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,161 @@
+// Statistical convergence tests for the paper's headline behaviours. These
+// use moderate run lengths and generous tolerances: the goal is the *shape*
+// (who converges, to what, and who is more accurate), not absolute numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/study_a.hpp"
+
+namespace pds {
+namespace {
+
+StudyAConfig heavy(SchedulerKind kind, std::uint64_t seed = 21) {
+  StudyAConfig c;
+  c.scheduler = kind;
+  c.utilization = 0.95;
+  c.sim_time = 4.0e5;
+  c.seed = seed;
+  return c;
+}
+
+double max_abs_ratio_error(const std::vector<double>& ratios,
+                           double target) {
+  double worst = 0.0;
+  for (const double r : ratios) {
+    worst = std::max(worst, std::abs(r - target));
+  }
+  return worst;
+}
+
+TEST(Convergence, WtpApproachesInverseSdpRatiosAtHeavyLoad) {
+  // Paper Fig. 1a: at rho = 0.95 WTP's successive-class delay ratios sit
+  // close to s_{i+1}/s_i = 2.
+  const auto ratios = average_ratios_over_seeds(heavy(SchedulerKind::kWtp), 3);
+  for (const double r : ratios) EXPECT_NEAR(r, 2.0, 0.35) << "WTP ratio";
+}
+
+TEST(Convergence, BprTrendsTowardTargetButLessAccurately) {
+  const auto wtp = average_ratios_over_seeds(heavy(SchedulerKind::kWtp), 3);
+  const auto bpr = average_ratios_over_seeds(heavy(SchedulerKind::kBpr), 3);
+  for (const double r : bpr) {
+    EXPECT_GT(r, 1.2) << "BPR differentiates in the right direction";
+    EXPECT_LT(r, 3.2);
+  }
+  // The paper's comparison: WTP tracks the proportional model more
+  // precisely than BPR under identical traffic.
+  EXPECT_LE(max_abs_ratio_error(wtp, 2.0),
+            max_abs_ratio_error(bpr, 2.0) + 0.05);
+}
+
+TEST(Convergence, ModerateLoadUnderDifferentiates) {
+  // Paper: at rho = 0.70 the achieved ratio is ~1.5 against a target of 2.
+  auto c = heavy(SchedulerKind::kWtp);
+  c.utilization = 0.70;
+  const auto ratios = average_ratios_over_seeds(c, 3);
+  double mean = 0.0;
+  for (const double r : ratios) mean += r;
+  mean /= static_cast<double>(ratios.size());
+  EXPECT_LT(mean, 1.9);
+  EXPECT_GT(mean, 1.1);
+}
+
+TEST(Convergence, WiderSpacingConvergesToo) {
+  // Fig. 1b: SDP ratio 4 between successive classes. The paper notes the
+  // deviations grow with the spacing; convergence to 4.0 only happens at
+  // the extreme-load end of the sweep (99.9%).
+  auto c = heavy(SchedulerKind::kWtp);
+  c.sdp = {1.0, 4.0, 16.0, 64.0};
+  c.utilization = 0.999;
+  const auto ratios = average_ratios_over_seeds(c, 3);
+  for (const double r : ratios) EXPECT_NEAR(r, 4.0, 0.7);
+  // And at 95% the ratios already exceed the narrow-spacing target 2 but
+  // undershoot 4 — the paper's "deviations increase with the spacing".
+  c.utilization = 0.95;
+  const auto at95 = average_ratios_over_seeds(c, 3);
+  for (const double r : at95) {
+    EXPECT_GT(r, 2.0);
+    EXPECT_LT(r, 4.0);
+  }
+}
+
+TEST(Convergence, StrictPriorityOverDifferentiates) {
+  // SP has no knob: its ratios blow far past any proportional target.
+  const auto sp =
+      average_ratios_over_seeds(heavy(SchedulerKind::kStrictPriority), 2);
+  double product = 1.0;
+  for (const double r : sp) product *= r;  // overall class-1/class-4 ratio
+  EXPECT_GT(product, 30.0);  // proportional target would be 8
+}
+
+TEST(Convergence, WtpIsInsensitiveToLoadDistribution) {
+  // Fig. 2a: WTP holds the ratio across very different class mixes.
+  for (const auto& mix :
+       std::vector<std::vector<double>>{{0.25, 0.25, 0.25, 0.25},
+                                        {0.1, 0.2, 0.3, 0.4},
+                                        {0.7, 0.1, 0.1, 0.1}}) {
+    auto c = heavy(SchedulerKind::kWtp);
+    c.load_fractions = mix;
+    const auto ratios = average_ratios_over_seeds(c, 2);
+    for (const double r : ratios) {
+      EXPECT_NEAR(r, 2.0, 0.45) << "mix starting with " << mix[0];
+    }
+  }
+}
+
+TEST(Convergence, AdditiveSchedulerSpacesDelaysAdditively) {
+  // Sec. 2.1: p_i = w_i + s_i tends to d_i - d_j = s_j - s_i in heavy
+  // load. Use head starts large enough to be visible over the noise.
+  // Head starts must stay small against the heavy-load delay scale
+  // (hundreds of tu) or the top classes bottom out near zero delay and the
+  // differences cannot be realized.
+  StudyAConfig c;
+  c.scheduler = SchedulerKind::kAdditiveWtp;
+  c.sdp = {1.0, 50.0, 100.0, 150.0};
+  c.utilization = 0.95;
+  c.sim_time = 4.0e5;
+  c.seed = 33;
+  const auto r = run_study_a(c);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    const double diff = r.mean_delays[i] - r.mean_delays[i + 1];
+    const double target = c.sdp[i + 1] - c.sdp[i];
+    EXPECT_GT(diff, 0.5 * target) << "pair " << i << "/" << i + 1;
+    EXPECT_LT(diff, 1.4 * target) << "pair " << i << "/" << i + 1;
+  }
+}
+
+TEST(Convergence, PadHoldsRatiosAtModerateLoadWhereWtpSags) {
+  // The extension schedulers' reason to exist: at rho = 0.85, where WTP
+  // sags to ~1.6-1.8, PAD pins the long-term average ratios at 2.00.
+  auto pad_cfg = heavy(SchedulerKind::kPad, 44);
+  pad_cfg.utilization = 0.85;
+  auto wtp_cfg = heavy(SchedulerKind::kWtp, 44);
+  wtp_cfg.utilization = 0.85;
+  const auto pad = average_ratios_over_seeds(pad_cfg, 3);
+  const auto wtp = average_ratios_over_seeds(wtp_cfg, 3);
+  EXPECT_LT(max_abs_ratio_error(pad, 2.0), 0.1);
+  EXPECT_LT(max_abs_ratio_error(pad, 2.0), max_abs_ratio_error(wtp, 2.0));
+}
+
+TEST(Convergence, HpdTracksProportionalTargetAtHeavyLoad) {
+  const auto hpd = average_ratios_over_seeds(heavy(SchedulerKind::kHpd), 2);
+  for (const double r : hpd) EXPECT_NEAR(r, 2.0, 0.4);
+}
+
+TEST(Convergence, BprSawtoothNoisierThanWtp) {
+  // Figures 4 vs 5: BPR's per-class delay trajectories carry much more
+  // total variation than WTP's under identical traffic.
+  auto wtp_cfg = heavy(SchedulerKind::kWtp, 55);
+  auto bpr_cfg = heavy(SchedulerKind::kBpr, 55);
+  wtp_cfg.sdp = bpr_cfg.sdp = {1.0, 2.0, 4.0};
+  wtp_cfg.load_fractions = bpr_cfg.load_fractions = {0.5, 0.3, 0.2};
+  const auto wtp = run_study_a(wtp_cfg);
+  const auto bpr = run_study_a(bpr_cfg);
+  double wtp_idx = 0.0, bpr_idx = 0.0;
+  for (const double s : wtp.sawtooth_index) wtp_idx += s;
+  for (const double s : bpr.sawtooth_index) bpr_idx += s;
+  EXPECT_GT(bpr_idx, wtp_idx);
+}
+
+}  // namespace
+}  // namespace pds

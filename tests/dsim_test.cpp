@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsim/simulator.hpp"
+
+namespace pds {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesFireInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 12.5);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsNullAction) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulator::Action{}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // clock reaches the horizon
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, EventExactlyAtHorizonFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilCanResume) {
+  Simulator sim;
+  std::vector<double> times;
+  for (double t : {1.0, 4.0, 9.0}) {
+    sim.schedule_at(t, [&, t] { times.push_back(t); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(times.size(), 1u);
+  sim.run_until(10.0);
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(Simulator, StopExitsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // A subsequent run resumes cleanly.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0.0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PeriodicProcess, FiresAtStartAndEveryPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicProcess proc(sim, 2.0, 3.0,
+                       [&](SimTime now) { times.push_back(now); });
+  sim.run_until(11.0);
+  ASSERT_EQ(times.size(), 4u);  // 2, 5, 8, 11
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[3], 11.0);
+}
+
+TEST(PeriodicProcess, CancelStopsFutureFirings) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess proc(sim, 0.0, 1.0, [&](SimTime) {
+    if (++count == 3) proc.cancel();
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(proc.cancelled());
+}
+
+TEST(PeriodicProcess, DestructionCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicProcess proc(sim, 0.0, 1.0, [&](SimTime) { ++count; });
+    sim.run_until(2.0);
+  }
+  sim.run_until(50.0);
+  EXPECT_EQ(count, 3);  // 0, 1, 2 only
+}
+
+TEST(PeriodicProcess, RejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0.0, 0.0, [](SimTime) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "core/model.hpp"
+#include "core/study_a.hpp"
+#include "core/trace.hpp"
+
+namespace pds {
+namespace {
+
+// ------------------------------------------------------------ FCFS replay
+
+TEST(FcfsReplay, LindleyRecursionHandComputed) {
+  // Capacity 10 B/tu. Arrivals: t=0 (100 B, tx 10), t=5 (100 B), t=30.
+  // Waits: 0; (10-5)=5; 0.
+  const std::vector<ArrivalRecord> trace{
+      {0.0, 0, 100}, {5.0, 0, 100}, {30.0, 0, 100}};
+  const double avg = fcfs_average_delay(trace, {true}, 10.0);
+  EXPECT_NEAR(avg, 5.0 / 3.0, 1e-12);
+}
+
+TEST(FcfsReplay, SubsetSelectionDropsOtherClasses) {
+  // Class 1's packet at t=5 queues behind class 0's only if class 0 is
+  // included in the replay.
+  const std::vector<ArrivalRecord> trace{
+      {0.0, 0, 100}, {5.0, 1, 100}};
+  const double both =
+      fcfs_average_delay(trace, {true, true}, 10.0);
+  const double only1 =
+      fcfs_average_delay(trace, {false, true}, 10.0);
+  EXPECT_NEAR(both, 2.5, 1e-12);   // waits 0 and 5
+  EXPECT_NEAR(only1, 0.0, 1e-12);  // alone, no queueing
+}
+
+TEST(FcfsReplay, WarmupExcludesEarlyArrivalsFromTheAverage) {
+  const std::vector<ArrivalRecord> trace{
+      {0.0, 0, 100}, {5.0, 0, 100}, {12.0, 0, 100}};
+  // Waits: 0, 5, 8. Warmup 4.0 keeps the 2nd and 3rd.
+  const double avg = fcfs_average_delay(trace, {true}, 10.0, 4.0);
+  EXPECT_NEAR(avg, (5.0 + 8.0) / 2.0, 1e-12);
+}
+
+TEST(FcfsReplay, RejectsUnorderedTrace) {
+  const std::vector<ArrivalRecord> trace{{5.0, 0, 100}, {0.0, 0, 100}};
+  EXPECT_THROW(fcfs_average_delay(trace, {true}, 10.0),
+               std::invalid_argument);
+}
+
+TEST(FcfsReplay, ClassCountsRespectWarmup) {
+  const std::vector<ArrivalRecord> trace{
+      {0.0, 0, 10}, {1.0, 1, 10}, {2.0, 1, 10}};
+  const auto all = class_counts(trace, 2);
+  EXPECT_EQ(all[0], 1u);
+  EXPECT_EQ(all[1], 2u);
+  const auto late = class_counts(trace, 2, 1.5);
+  EXPECT_EQ(late[0], 0u);
+  EXPECT_EQ(late[1], 1u);
+}
+
+// ------------------------------------------------------------- feasibility
+
+std::vector<ArrivalRecord> heavy_trace() {
+  StudyAConfig config;
+  config.scheduler = SchedulerKind::kFcfs;
+  config.utilization = 0.95;
+  config.sim_time = 2.0e5;
+  config.record_trace = true;
+  config.seed = 101;
+  return run_study_a(config).trace;
+}
+
+TEST(Feasibility, EqualDdpsAreAlwaysFeasible) {
+  // Equal targets reproduce the FCFS delays themselves; the subset
+  // conditions reduce to d(lambda) >= d(subset), which holds because a
+  // subset of the traffic can only see *less* queueing.
+  const auto trace = heavy_trace();
+  const auto report =
+      check_feasibility(trace, {1.0, 1.0, 1.0, 1.0}, kStudyACapacity,
+                        /*warmup_end=*/2.0e4);
+  EXPECT_TRUE(report.feasible) << report.summary();
+  EXPECT_EQ(report.checks.size(), 14u);  // 2^4 - 2
+}
+
+TEST(Feasibility, PaperDdpsAreFeasibleAtHeavyLoad) {
+  // The paper verified (Sec. 3/5) that the Figure 1-2 experiments use
+  // feasible DDPs; this is the same check on our traffic.
+  const auto trace = heavy_trace();
+  const auto report = check_feasibility(
+      trace, ddp_from_sdp({1.0, 2.0, 4.0, 8.0}), kStudyACapacity, 2.0e4);
+  EXPECT_TRUE(report.feasible) << report.summary();
+}
+
+TEST(Feasibility, ExtremeSpacingIsInfeasible) {
+  // delta ratios of 10^4 would require the top class to beat its own
+  // solo-FCFS delay: some subset condition must fail.
+  const auto trace = heavy_trace();
+  const auto report = check_feasibility(
+      trace, {1.0, 1e-2, 1e-3, 1e-4}, kStudyACapacity, 2.0e4);
+  EXPECT_FALSE(report.feasible) << report.summary();
+  EXPECT_GT(report.violated, 0u);
+}
+
+TEST(Feasibility, ReportExposesTargetsAndChecks) {
+  const auto trace = heavy_trace();
+  const auto report = check_feasibility(
+      trace, ddp_from_sdp({1.0, 2.0, 4.0, 8.0}), kStudyACapacity, 2.0e4);
+  ASSERT_EQ(report.target_delays.size(), 4u);
+  // Targets honour the DDP ratios exactly.
+  EXPECT_NEAR(report.target_delays[0] / report.target_delays[1], 2.0, 1e-9);
+  EXPECT_GT(report.aggregate_fcfs_delay, 0.0);
+  for (const auto& check : report.checks) {
+    EXPECT_FALSE(check.classes.empty());
+    EXPECT_LT(check.classes.size(), 4u);  // proper subsets only
+  }
+  EXPECT_NE(report.summary().find("FEASIBLE"), std::string::npos);
+}
+
+TEST(Feasibility, RejectsDegenerateInputs) {
+  const std::vector<ArrivalRecord> empty;
+  EXPECT_THROW(check_feasibility(empty, {1.0, 0.5}, 10.0),
+               std::invalid_argument);
+  const std::vector<ArrivalRecord> trace{{0.0, 0, 10}};
+  EXPECT_THROW(check_feasibility(trace, {1.0}, 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

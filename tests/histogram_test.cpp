@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+
+namespace pds {
+namespace {
+
+TEST(LogHistogram, BoundsGrowGeometrically) {
+  LogHistogram h(1.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_bound(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_bound(1), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_bound(3), 16.0);
+}
+
+TEST(LogHistogram, RoutesSamplesToBins) {
+  LogHistogram h(1.0, 2.0, 4);  // bins [1,2) [2,4) [4,8) [8,16)
+  h.add(0.5);   // underflow
+  h.add(1.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(7.9);   // bin 2
+  h.add(15.9);  // bin 3
+  h.add(16.0);  // overflow
+  h.add(100.0); // overflow
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(LogHistogram, CcdfAtBinBoundsIsExact) {
+  LogHistogram h(1.0, 2.0, 4);
+  for (const double v : {0.5, 1.5, 3.0, 6.0, 12.0, 24.0}) h.add(v);
+  // Above 2.0: 3.0, 6.0, 12.0, 24.0 -> 4/6.
+  EXPECT_DOUBLE_EQ(h.ccdf(2.0), 4.0 / 6.0);
+  // Above 16 (last bound): only overflow (24) -> 1/6.
+  EXPECT_DOUBLE_EQ(h.ccdf(16.0), 1.0 / 6.0);
+  // Below the first bound: everything counts.
+  EXPECT_DOUBLE_EQ(h.ccdf(0.1), 1.0);
+}
+
+TEST(LogHistogram, RowsAreMonotoneNonIncreasing) {
+  LogHistogram h(1.0, 2.0, 8);
+  for (int i = 1; i <= 200; ++i) h.add(0.3 * i);
+  const auto rows = h.rows();
+  ASSERT_EQ(rows.size(), 8u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].bound, rows[i - 1].bound);
+    EXPECT_LE(rows[i].ccdf, rows[i - 1].ccdf);
+  }
+  EXPECT_DOUBLE_EQ(rows.back().ccdf,
+                   static_cast<double>(h.overflow()) /
+                       static_cast<double>(h.count()));
+}
+
+TEST(LogHistogram, RejectsBadInput) {
+  EXPECT_THROW(LogHistogram(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 2.0, 0), std::invalid_argument);
+  LogHistogram h(1.0, 2.0, 4);
+  EXPECT_THROW(h.add(-1.0), std::invalid_argument);
+  EXPECT_THROW(h.ccdf(1.0), std::invalid_argument);  // empty
+  EXPECT_THROW(h.bin_bound(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

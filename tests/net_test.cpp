@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "net/chain.hpp"
+#include "net/study_b.hpp"
+
+namespace pds {
+namespace {
+
+SchedulerConfig chain_config() {
+  SchedulerConfig c;
+  c.sdp = {1.0, 2.0};
+  c.link_capacity = 100.0;
+  return c;
+}
+
+Packet user_packet(std::uint64_t id, ClassId cls, FlowId flow) {
+  Packet p;
+  p.id = id;
+  p.cls = cls;
+  p.flow = flow;
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(ChainNetwork, UserPacketTraversesEveryHop) {
+  Simulator sim;
+  std::vector<Packet> exited;
+  ChainNetwork net(sim, 3, SchedulerKind::kWtp, chain_config(), 100.0,
+                   [&](const Packet& p, SimTime) { exited.push_back(p); });
+  sim.schedule_at(0.0, [&] { net.inject_user(user_packet(1, 0, 5)); });
+  sim.run();
+  ASSERT_EQ(exited.size(), 1u);
+  EXPECT_EQ(exited[0].hops_done, 3u);
+  EXPECT_EQ(exited[0].flow, 5u);
+  // Uncontended path: zero queueing at every hop.
+  EXPECT_DOUBLE_EQ(exited[0].cum_queueing, 0.0);
+}
+
+TEST(ChainNetwork, CrossTrafficExitsAfterOneHop) {
+  Simulator sim;
+  std::vector<Packet> exited;
+  ChainNetwork net(sim, 3, SchedulerKind::kWtp, chain_config(), 100.0,
+                   [&](const Packet& p, SimTime) { exited.push_back(p); });
+  Packet cross;
+  cross.id = 2;
+  cross.cls = 1;
+  cross.size_bytes = 100;
+  sim.schedule_at(0.0, [&] { net.inject_cross(1, std::move(cross)); });
+  sim.run();
+  EXPECT_TRUE(exited.empty());  // cross traffic never reaches the exit
+  EXPECT_EQ(net.cross_sunk(), 1u);
+  EXPECT_EQ(net.link(1).packets_sent(), 1u);
+  EXPECT_EQ(net.link(0).packets_sent(), 0u);
+}
+
+TEST(ChainNetwork, QueueingAccumulatesAcrossHops) {
+  Simulator sim;
+  std::vector<Packet> exited;
+  ChainNetwork net(sim, 2, SchedulerKind::kWtp, chain_config(), 100.0,
+                   [&](const Packet& p, SimTime) { exited.push_back(p); });
+  // Two user packets back-to-back: the second queues behind the first at
+  // hop 0 AND at hop 1? At hop 1 they arrive spaced by one transmission
+  // time, so only hop 0 queues it (wait = 1 tu).
+  sim.schedule_at(0.0, [&] {
+    net.inject_user(user_packet(1, 0, 0));
+    net.inject_user(user_packet(2, 0, 1));
+  });
+  sim.run();
+  ASSERT_EQ(exited.size(), 2u);
+  EXPECT_DOUBLE_EQ(exited[0].cum_queueing, 0.0);
+  EXPECT_DOUBLE_EQ(exited[1].cum_queueing, 1.0);
+}
+
+TEST(ChainNetwork, HopObserverSeesEveryDeparture) {
+  Simulator sim;
+  ChainNetwork net(sim, 2, SchedulerKind::kWtp, chain_config(), 100.0,
+                   [](const Packet&, SimTime) {});
+  std::vector<std::tuple<std::uint32_t, std::uint64_t, double>> seen;
+  net.set_hop_observer(
+      [&](std::uint32_t hop, const Packet& p, SimTime wait, SimTime) {
+        seen.emplace_back(hop, p.id, wait);
+      });
+  sim.schedule_at(0.0, [&] {
+    net.inject_user(user_packet(1, 0, 0));   // traverses hops 0 and 1
+    Packet cross;
+    cross.id = 2;
+    cross.cls = 1;
+    cross.size_bytes = 100;
+    net.inject_cross(1, std::move(cross));   // hop 1 only
+  });
+  sim.run();
+  // User packet: 2 observations; cross packet: 1.
+  ASSERT_EQ(seen.size(), 3u);
+  int user_hits = 0, cross_hits = 0;
+  for (const auto& [hop, id, wait] : seen) {
+    EXPECT_GE(wait, 0.0);
+    (id == 1 ? user_hits : cross_hits)++;
+    EXPECT_LT(hop, 2u);
+  }
+  EXPECT_EQ(user_hits, 2);
+  EXPECT_EQ(cross_hits, 1);
+}
+
+TEST(ChainNetwork, ValidatesInputs) {
+  Simulator sim;
+  const auto exit_handler = [](const Packet&, SimTime) {};
+  EXPECT_THROW(ChainNetwork(sim, 0, SchedulerKind::kWtp, chain_config(),
+                            100.0, exit_handler),
+               std::invalid_argument);
+  ChainNetwork net(sim, 2, SchedulerKind::kWtp, chain_config(), 100.0,
+                   exit_handler);
+  Packet no_flow;
+  no_flow.cls = 0;
+  no_flow.size_bytes = 10;
+  EXPECT_THROW(net.inject_user(std::move(no_flow)), std::invalid_argument);
+  Packet flowed = user_packet(1, 0, 1);
+  EXPECT_THROW(net.inject_cross(5, std::move(flowed)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Study B
+
+StudyBConfig quick_b() {
+  StudyBConfig c;
+  c.hops = 2;
+  c.user_experiments = 10;
+  c.warmup_s = 3.0;
+  c.utilization = 0.9;
+  c.seed = 3;
+  return c;
+}
+
+TEST(StudyB, AllFlowsCompleteAndRdIsPlausible) {
+  const auto r = run_study_b(quick_b());
+  EXPECT_EQ(r.experiments, 10u);
+  // WTP at rho = 0.9 over 2 hops: the end-to-end ratio must land in the
+  // right neighbourhood of the ideal 2.0.
+  EXPECT_GT(r.rd, 1.2);
+  EXPECT_LT(r.rd, 3.2);
+  ASSERT_EQ(r.mean_e2e_delay_per_class.size(), 4u);
+  // Monotone class ordering of mean end-to-end delays.
+  for (std::size_t c = 0; c + 1 < 4; ++c) {
+    EXPECT_GT(r.mean_e2e_delay_per_class[c],
+              r.mean_e2e_delay_per_class[c + 1]);
+  }
+}
+
+TEST(StudyB, UtilizationIsCalibratedPerHop) {
+  auto cfg = quick_b();
+  cfg.utilization = 0.85;
+  cfg.user_experiments = 8;
+  const auto r = run_study_b(cfg);
+  ASSERT_EQ(r.mean_utilization_per_hop.size(), 2u);
+  for (const double u : r.mean_utilization_per_hop) {
+    EXPECT_NEAR(u, 0.85, 0.12);
+  }
+}
+
+TEST(StudyB, PercentileListMatchesPaper) {
+  const auto& ps = study_b_percentiles();
+  ASSERT_EQ(ps.size(), 10u);
+  EXPECT_DOUBLE_EQ(ps.front(), 10.0);
+  EXPECT_DOUBLE_EQ(ps[8], 90.0);
+  EXPECT_DOUBLE_EQ(ps.back(), 99.0);
+}
+
+TEST(StudyB, ValidatesConfig) {
+  auto c = quick_b();
+  c.utilization = 0.0;
+  EXPECT_THROW(run_study_b(c), std::invalid_argument);
+  c = quick_b();
+  c.cross_mix = {1.0};
+  EXPECT_THROW(run_study_b(c), std::invalid_argument);
+  c = quick_b();
+  c.hops = 0;
+  EXPECT_THROW(run_study_b(c), std::invalid_argument);
+  c = quick_b();
+  // User flows alone exceeding the utilization target must be rejected.
+  c.flow_rate_kbps = 50.0;
+  c.flow_packets = 20000;
+  EXPECT_THROW(run_study_b(c), std::invalid_argument);
+}
+
+TEST(StudyB, DeterministicPerSeed) {
+  const auto a = run_study_b(quick_b());
+  const auto b = run_study_b(quick_b());
+  EXPECT_DOUBLE_EQ(a.rd, b.rd);
+  EXPECT_EQ(a.inconsistent_experiments, b.inconsistent_experiments);
+}
+
+TEST(StudyB, PerHopStatsAreCoherent) {
+  const auto r = run_study_b(quick_b());
+  ASSERT_EQ(r.per_hop_class_delay.size(), 2u);
+  ASSERT_EQ(r.per_hop_rd.size(), 2u);
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    // Per-hop class delays ordered (higher class = lower delay) and the
+    // per-hop ratio in a heavy-load WTP band.
+    for (std::size_t c = 0; c + 1 < 4; ++c) {
+      EXPECT_GT(r.per_hop_class_delay[h][c],
+                r.per_hop_class_delay[h][c + 1]);
+    }
+    EXPECT_GT(r.per_hop_rd[h], 1.3);
+    EXPECT_LT(r.per_hop_rd[h], 2.6);
+  }
+}
+
+TEST(StudyB, MoreHopsSmoothTheRatio) {
+  // Paper Table 1: deviations cancel over more hops, pulling R_D toward
+  // the ideal 2.0. Test the weaker, robust form: both settings stay in a
+  // sane band and produce consistent output sizes.
+  auto c4 = quick_b();
+  c4.hops = 4;
+  c4.user_experiments = 8;
+  const auto r = run_study_b(c4);
+  EXPECT_GT(r.rd, 1.2);
+  EXPECT_LT(r.rd, 3.2);
+  ASSERT_EQ(r.mean_utilization_per_hop.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "packet/packet.hpp"
+#include "packet/size_law.hpp"
+#include "rng/rng.hpp"
+
+namespace pds {
+namespace {
+
+TEST(SizeLaw, PaperMeanIs441Bytes) {
+  EXPECT_NEAR(paper_size_law().mean(), kPaperMeanPacketBytes, 1e-9);
+}
+
+TEST(SizeLaw, StudyACapacityYieldsOnePUnitMeanTransmission) {
+  // mean packet (441 B) / capacity == 11.2 time units, the paper's p-unit.
+  EXPECT_NEAR(kPaperMeanPacketBytes / kStudyACapacity, kPUnit, 1e-12);
+}
+
+TEST(SizeLaw, SamplesOnlyPaperSizes) {
+  const auto law = paper_size_law();
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = sample_size_bytes(law, rng);
+    EXPECT_TRUE(s == 40 || s == 550 || s == 1500) << s;
+  }
+}
+
+TEST(SizeLaw, SampleProportionsMatchPaper) {
+  const auto law = paper_size_law();
+  Rng rng(2);
+  int small = 0, mid = 0, large = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    switch (sample_size_bytes(law, rng)) {
+      case 40: ++small; break;
+      case 550: ++mid; break;
+      default: ++large; break;
+    }
+  }
+  EXPECT_NEAR(small / static_cast<double>(n), 0.40, 0.01);
+  EXPECT_NEAR(mid / static_cast<double>(n), 0.50, 0.01);
+  EXPECT_NEAR(large / static_cast<double>(n), 0.10, 0.01);
+}
+
+TEST(Packet, DefaultsAreInert) {
+  const Packet p;
+  EXPECT_EQ(p.flow, kNoFlow);
+  EXPECT_EQ(p.hops_done, 0u);
+  EXPECT_DOUBLE_EQ(p.cum_queueing, 0.0);
+}
+
+TEST(Packet, PaperClassLabelIsOneBased) {
+  EXPECT_EQ(paper_class_label(0), 1);
+  EXPECT_EQ(paper_class_label(3), 4);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "sched/pad.hpp"
+#include "sched/wtp.hpp"
+#include "test_helpers.hpp"
+
+namespace pds {
+namespace {
+
+using testutil::packet;
+
+SchedulerConfig config2(double g = 0.875) {
+  SchedulerConfig c;
+  c.sdp = {1.0, 2.0};
+  c.hpd_g = g;
+  return c;
+}
+
+TEST(Pad, NormalizedAverageIncludesProspectiveHead) {
+  PadScheduler pad(config2());
+  pad.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  // No history: the metric is the head's prospective delay * s.
+  EXPECT_DOUBLE_EQ(pad.normalized_average_delay(0, 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(pad.normalized_average_delay(1, 8.0), 0.0);
+}
+
+TEST(Pad, ServesClassWithLargestNormalizedAverage) {
+  PadScheduler pad(config2());
+  pad.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  pad.enqueue(packet(2, 1, 100, 4.0), 4.0);
+  // At t=10: class0 metric = 10*1 = 10; class1 metric = 6*2 = 12.
+  EXPECT_EQ(pad.dequeue(10.0)->cls, 1u);
+}
+
+TEST(Pad, HistoryShiftsTheChoice) {
+  PadScheduler pad(config2());
+  // Build class-0 history: one packet served after waiting 20.
+  pad.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  EXPECT_EQ(pad.dequeue(20.0)->cls, 0u);  // avg0 = 20
+  // Now heads wait equally, but class 0's average keeps it ahead even
+  // though class 1's SDP is twice as large:
+  // class0: (20 + 2)/2 * 1 = 11;  class1: 2 * 2 = 4.
+  pad.enqueue(packet(2, 0, 100, 20.0), 20.0);
+  pad.enqueue(packet(3, 1, 100, 20.0), 20.0);
+  EXPECT_EQ(pad.dequeue(22.0)->cls, 0u);
+}
+
+TEST(Pad, DequeueOnEmptyIsNullopt) {
+  PadScheduler pad(config2());
+  EXPECT_FALSE(pad.dequeue(0.0).has_value());
+}
+
+TEST(Hpd, GEqualToOneMatchesWtpChoice) {
+  HpdScheduler hpd(config2(1.0));
+  WtpScheduler wtp(config2());
+  for (auto* s : std::vector<ClassBasedScheduler*>{&hpd, &wtp}) {
+    s->enqueue(packet(1, 0, 100, 0.0), 0.0);
+    s->enqueue(packet(2, 1, 100, 4.0), 4.0);
+  }
+  const auto a = hpd.dequeue(10.0);
+  const auto b = wtp.dequeue(10.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->cls, b->cls);
+}
+
+TEST(Hpd, GEqualToZeroMatchesPadChoice) {
+  HpdScheduler hpd(config2(0.0));
+  PadScheduler pad(config2());
+  // Give class 0 heavy history on both schedulers.
+  for (auto* s : std::vector<PadScheduler*>{&hpd, &pad}) {
+    s->enqueue(packet(1, 0, 100, 0.0), 0.0);
+    ASSERT_EQ(s->dequeue(30.0)->cls, 0u);
+    s->enqueue(packet(2, 0, 100, 30.0), 30.0);
+    s->enqueue(packet(3, 1, 100, 30.0), 30.0);
+  }
+  const auto a = hpd.dequeue(31.0);
+  const auto b = pad.dequeue(31.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->cls, b->cls);
+  EXPECT_EQ(a->cls, 0u);
+}
+
+TEST(Hpd, BlendsBothComponents) {
+  // Construct a case where WTP picks class 1 (bigger s on equal waits) and
+  // PAD picks class 0 (heavy history); g = 0.9 leans WTP, g = 0.1 leans PAD.
+  const auto build = [](double g) {
+    auto hpd = std::make_unique<HpdScheduler>(config2(g));
+    hpd->enqueue(packet(1, 0, 100, 0.0), 0.0);
+    EXPECT_EQ(hpd->dequeue(50.0)->cls, 0u);  // class-0 avg delay = 50
+    hpd->enqueue(packet(2, 0, 100, 50.0), 50.0);
+    hpd->enqueue(packet(3, 1, 100, 50.0), 50.0);
+    return hpd;
+  };
+  // At t=52: waits are 2 for both heads.
+  //   WTP part:  class0 = 2,  class1 = 4.
+  //   PAD part:  class0 = (50+2)/2 = 26, class1 = 4.
+  // g=0.99: class0 = 2.24 < class1 = 4.00  -> WTP-ish choice.
+  // g=0.10: class0 = 23.6 > class1 = 4.00  -> PAD-ish choice.
+  auto leans_wtp = build(0.99);
+  EXPECT_EQ(leans_wtp->dequeue(52.0)->cls, 1u);
+  auto leans_pad = build(0.1);
+  EXPECT_EQ(leans_pad->dequeue(52.0)->cls, 0u);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "core/provisioning.hpp"
+#include "core/study_a.hpp"
+
+namespace pds {
+namespace {
+
+std::vector<ArrivalRecord> heavy_trace() {
+  StudyAConfig config;
+  config.scheduler = SchedulerKind::kFcfs;
+  config.utilization = 0.95;
+  config.sim_time = 2.0e5;
+  config.record_trace = true;
+  config.seed = 202;
+  return run_study_a(config).trace;
+}
+
+constexpr double kWarmup = 2.0e4;
+
+TEST(GeometricDdp, BuildsTheLadder) {
+  const auto ddp = geometric_ddp(2.0, 4);
+  ASSERT_EQ(ddp.size(), 4u);
+  EXPECT_DOUBLE_EQ(ddp[0], 1.0);
+  EXPECT_DOUBLE_EQ(ddp[1], 0.5);
+  EXPECT_DOUBLE_EQ(ddp[3], 0.125);
+  EXPECT_THROW(geometric_ddp(0.5, 4), std::invalid_argument);
+}
+
+TEST(MaxFeasibleSpacing, FindsTheBoundary) {
+  const auto trace = heavy_trace();
+  const auto result =
+      max_feasible_spacing(trace, 4, kStudyACapacity, kWarmup);
+  ASSERT_TRUE(result.bounded);
+  // The paper's spacing 2 is feasible at this load; the boundary must lie
+  // beyond it and below the absurd end of the scale.
+  EXPECT_GT(result.spacing, 2.0);
+  EXPECT_LT(result.spacing, 64.0);
+  // Just inside is feasible, just outside is not.
+  EXPECT_TRUE(check_feasibility(trace,
+                                geometric_ddp(result.spacing * 0.98, 4),
+                                kStudyACapacity, kWarmup)
+                  .feasible);
+  EXPECT_FALSE(check_feasibility(trace,
+                                 geometric_ddp(result.spacing * 1.05, 4),
+                                 kStudyACapacity, kWarmup)
+                   .feasible);
+  ASSERT_EQ(result.target_delays.size(), 4u);
+}
+
+TEST(MaxFeasibleSpacing, MergingClassesWidensTheBoundary) {
+  // A two-rung ladder strains the FCFS floors less than a four-rung one
+  // on the same traffic: merge classes {0,1} -> 0 and {2,3} -> 1 and the
+  // feasible spacing must not shrink.
+  auto trace = heavy_trace();
+  const auto four = max_feasible_spacing(trace, 4, kStudyACapacity, kWarmup);
+  for (auto& rec : trace) rec.cls = rec.cls / 2;
+  const auto two = max_feasible_spacing(trace, 2, kStudyACapacity, kWarmup);
+  EXPECT_GE(two.spacing + 0.05, four.spacing);
+}
+
+TEST(SpacingForTargetDelay, LooseTargetNeedsNoSpacing) {
+  const auto trace = heavy_trace();
+  // Target above the aggregate FCFS delay: spacing 1 suffices.
+  const auto result = spacing_for_target_delay(trace, 4, kStudyACapacity,
+                                               1.0e5, kWarmup);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->spacing, 1.0);
+  EXPECT_TRUE(result->feasible);
+}
+
+TEST(SpacingForTargetDelay, TightTargetNeedsSpacing) {
+  const auto trace = heavy_trace();
+  // Ask for the top class at a quarter of the aggregate delay.
+  std::vector<bool> all(4, true);
+  const double d_agg =
+      fcfs_average_delay(trace, all, kStudyACapacity, kWarmup);
+  const auto result = spacing_for_target_delay(trace, 4, kStudyACapacity,
+                                               0.25 * d_agg, kWarmup);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->spacing, 1.3);
+  // The prediction at the found spacing honours the target.
+  EXPECT_LE(result->target_delays.back(), 0.25 * d_agg * 1.02);
+}
+
+TEST(SpacingForTargetDelay, ImpossibleTargetReturnsNullopt) {
+  const auto trace = heavy_trace();
+  const auto result = spacing_for_target_delay(trace, 4, kStudyACapacity,
+                                               1e-7, kWarmup);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(SpacingForTargetDelay, AggressiveTargetMayBeInfeasible) {
+  // A target achievable on paper (Eq. 6) can still fail Eq. 7 — exactly
+  // the gap the operator needs to see. Construct it by asking for a top
+  // delay near the solo-FCFS floor.
+  const auto trace = heavy_trace();
+  const auto bound = max_feasible_spacing(trace, 4, kStudyACapacity,
+                                          kWarmup);
+  // A target just below what the boundary spacing delivers requires a
+  // wider-than-feasible ladder.
+  const double target = bound.target_delays.back() * 0.7;
+  const auto result = spacing_for_target_delay(trace, 4, kStudyACapacity,
+                                               target, kWarmup);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->spacing, bound.spacing);
+  EXPECT_FALSE(result->feasible);
+}
+
+}  // namespace
+}  // namespace pds

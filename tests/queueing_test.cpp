@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "queueing/backlog.hpp"
+#include "queueing/class_queue.hpp"
+
+namespace pds {
+namespace {
+
+Packet make_packet(std::uint64_t id, ClassId cls, std::uint32_t bytes) {
+  Packet p;
+  p.id = id;
+  p.cls = cls;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(ClassQueue, FifoOrder) {
+  ClassQueue q;
+  q.push(make_packet(1, 0, 100));
+  q.push(make_packet(2, 0, 200));
+  q.push(make_packet(3, 0, 300));
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_EQ(q.pop().id, 3u);
+}
+
+TEST(ClassQueue, TracksBytesAndPackets) {
+  ClassQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(make_packet(1, 0, 100));
+  q.push(make_packet(2, 0, 250));
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_EQ(q.bytes(), 350u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 250u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST(ClassQueue, PopTailRemovesNewest) {
+  ClassQueue q;
+  q.push(make_packet(1, 0, 100));
+  q.push(make_packet(2, 0, 200));
+  EXPECT_EQ(q.pop_tail().id, 2u);
+  EXPECT_EQ(q.bytes(), 100u);
+  EXPECT_EQ(q.head().id, 1u);
+}
+
+TEST(ClassQueue, CountsTotalArrivals) {
+  ClassQueue q;
+  q.push(make_packet(1, 0, 10));
+  q.pop();
+  q.push(make_packet(2, 0, 10));
+  EXPECT_EQ(q.total_arrived(), 2u);
+}
+
+TEST(ClassQueue, EmptyAccessViolatesInvariant) {
+  ClassQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.pop_tail(), std::logic_error);
+  EXPECT_THROW(q.head(), std::logic_error);
+}
+
+TEST(MultiClassBacklog, RoutesByClass) {
+  MultiClassBacklog b(3);
+  b.push(make_packet(1, 2, 100));
+  b.push(make_packet(2, 0, 50));
+  EXPECT_EQ(b.queue(2).packets(), 1u);
+  EXPECT_EQ(b.queue(0).packets(), 1u);
+  EXPECT_EQ(b.queue(1).packets(), 0u);
+  EXPECT_EQ(b.pop(2).id, 1u);
+}
+
+TEST(MultiClassBacklog, AggregateAccounting) {
+  MultiClassBacklog b(2);
+  EXPECT_TRUE(b.empty());
+  b.push(make_packet(1, 0, 100));
+  b.push(make_packet(2, 1, 200));
+  EXPECT_EQ(b.total_packets(), 2u);
+  EXPECT_EQ(b.total_bytes(), 300u);
+  b.pop(1);
+  EXPECT_EQ(b.total_bytes(), 100u);
+  b.pop_tail(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.total_bytes(), 0u);
+}
+
+TEST(MultiClassBacklog, BackloggedListsNonEmptyClassesAscending) {
+  MultiClassBacklog b(4);
+  b.push(make_packet(1, 3, 10));
+  b.push(make_packet(2, 1, 10));
+  const auto active = b.backlogged();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], 1u);
+  EXPECT_EQ(active[1], 3u);
+}
+
+TEST(MultiClassBacklog, RejectsOutOfRangeClass) {
+  MultiClassBacklog b(2);
+  EXPECT_THROW(b.push(make_packet(1, 5, 10)), std::invalid_argument);
+  EXPECT_THROW(b.pop(2), std::invalid_argument);
+  EXPECT_THROW(b.queue(2), std::invalid_argument);
+}
+
+TEST(MultiClassBacklog, RejectsZeroClasses) {
+  EXPECT_THROW(MultiClassBacklog(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+
+namespace pds {
+namespace {
+
+const char* kValid = R"(
+# A two-hop chain with a renewal source and a short CBR flow.
+link a capacity=39.375 sched=wtp sdp=1,2,4,8
+link b capacity=39.375 sched=wtp sdp=1,2,4,8
+route chain a b
+source renewal chain class=0 gap=30 size=441 pareto=1.9
+source cbr chain class=3 count=50 size=441 interval=20 start=10000
+run until=50000 warmup=5000 seed=3
+)";
+
+// ----------------------------------------------------------------- parsing
+
+TEST(ScenarioParse, AcceptsTheReferenceScenario) {
+  const auto s = parse_scenario(kValid);
+  ASSERT_EQ(s.links.size(), 2u);
+  EXPECT_EQ(s.links[0].name, "a");
+  EXPECT_EQ(s.links[0].kind, SchedulerKind::kWtp);
+  ASSERT_EQ(s.links[0].sdp.size(), 4u);
+  ASSERT_EQ(s.routes.size(), 1u);
+  EXPECT_EQ(s.routes[0].links, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(s.sources.size(), 2u);
+  EXPECT_EQ(s.sources[0].kind, ScenarioSourceKind::kRenewal);
+  EXPECT_DOUBLE_EQ(s.sources[0].pareto_alpha, 1.9);
+  EXPECT_EQ(s.sources[1].kind, ScenarioSourceKind::kCbr);
+  EXPECT_DOUBLE_EQ(s.sources[1].start, 10000.0);
+  EXPECT_DOUBLE_EQ(s.run.until, 50000.0);
+  EXPECT_EQ(s.run.seed, 3u);
+}
+
+TEST(ScenarioParse, PoissonFlagSelectsExponentialGaps) {
+  const auto s = parse_scenario(
+      "link a capacity=10 sched=fcfs sdp=1\n"
+      "route r a\n"
+      "source renewal r class=0 gap=5 size=100 poisson\n"
+      "run until=100\n");
+  EXPECT_DOUBLE_EQ(s.sources[0].pareto_alpha, 0.0);
+}
+
+TEST(ScenarioParse, CommentsAndBlankLinesIgnored) {
+  EXPECT_NO_THROW(parse_scenario(
+      "# header\n\nlink a capacity=10 sched=fcfs sdp=1\n"
+      "route r a   # inline comment\n"
+      "source renewal r class=0 gap=5 size=100\n"
+      "run until=10\n"));
+}
+
+TEST(ScenarioParse, RejectsUnknownDirective) {
+  try {
+    parse_scenario("frobnicate x\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(ScenarioParse, RejectsDanglingReferences) {
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=fcfs sdp=1\n"
+                              "route r a b\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=fcfs sdp=1\n"
+                              "route r a\n"
+                              "source renewal other class=0 gap=5 size=9\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParse, RejectsDuplicatesAndMissingSections) {
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=fcfs sdp=1\n"
+                              "link a capacity=10 sched=fcfs sdp=1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(""), std::invalid_argument);
+  // No run directive.
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=fcfs sdp=1\n"
+                              "route r a\n"
+                              "source renewal r class=0 gap=5 size=9\n"),
+               std::invalid_argument);
+  // No sources.
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=fcfs sdp=1\n"
+                              "route r a\nrun until=10\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParse, RejectsUnknownOrMissingOptions) {
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=fcfs sdp=1 bogus=1\n"
+                              "route r a\n"
+                              "source renewal r class=0 gap=5 size=9\n"
+                              "run until=10\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("link a sched=fcfs sdp=1\n"),  // no capacity
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("link a capacity=ten sched=fcfs sdp=1\n"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- running
+
+TEST(ScenarioRun, ExecutesAndReports) {
+  const auto report = run_scenario(kValid);
+  EXPECT_GT(report.total_exits, 500u);
+  ASSERT_EQ(report.link_stats.size(), 2u);
+  for (const auto& ls : report.link_stats) {
+    EXPECT_GT(ls.utilization, 0.1);
+    EXPECT_LT(ls.utilization, 1.0);
+    EXPECT_GT(ls.packets_sent, 0u);
+  }
+  // Both the renewal class (0) and the CBR class (3) produced stats.
+  bool saw0 = false, saw3 = false;
+  for (const auto& rs : report.route_stats) {
+    if (rs.cls == 0) saw0 = true;
+    if (rs.cls == 3) saw3 = true;
+    EXPECT_GE(rs.mean_delay, 0.0);
+    EXPECT_GE(rs.p95_delay, 0.0);  // mostly-zero delays are legal at 37% load
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw3);
+}
+
+TEST(ScenarioRun, SeedOverrideChangesTheRun) {
+  const auto a = run_scenario(kValid);
+  const auto b = run_scenario(kValid, 99u);
+  const auto c = run_scenario(kValid, 99u);
+  EXPECT_EQ(b.total_exits, c.total_exits);  // deterministic per seed
+  EXPECT_NE(a.total_exits, b.total_exits);
+}
+
+TEST(ScenarioRun, DifferentiationShowsUpInTheReport) {
+  // Two classes at heavy load on one WTP link: class-1 mean delay must be
+  // about half of class-0's.
+  const char* scenario = R"(
+link l capacity=39.375 sched=wtp sdp=1,2
+route r l
+source renewal r class=0 gap=23.6 size=441 pareto=1.9
+source renewal r class=1 gap=23.6 size=441 pareto=1.9
+run until=400000 warmup=40000 seed=5
+)";
+  const auto report = run_scenario(scenario);
+  double d0 = 0.0, d1 = 0.0;
+  for (const auto& rs : report.route_stats) {
+    if (rs.cls == 0) d0 = rs.mean_delay;
+    if (rs.cls == 1) d1 = rs.mean_delay;
+  }
+  ASSERT_GT(d0, 0.0);
+  ASSERT_GT(d1, 0.0);
+  EXPECT_NEAR(d0 / d1, 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,102 @@
+// Study C (finite buffer + droppers): coupled delay and loss
+// differentiation, the paper's stated future work.
+#include <gtest/gtest.h>
+
+#include "core/study_c.hpp"
+
+namespace pds {
+namespace {
+
+StudyCConfig overload_config() {
+  StudyCConfig c;
+  c.offered_load = 1.3;
+  c.sim_time = 1.5e5;
+  c.buffer_packets = 100;
+  c.seed = 5;
+  return c;
+}
+
+TEST(StudyC, ShedsExactlyTheExcessLoad) {
+  const auto r = run_study_c(overload_config());
+  // 30% overload: aggregate loss ~ 0.3/1.3 = 0.23; the link stays pinned
+  // near full utilization.
+  EXPECT_NEAR(r.aggregate_loss_rate, 0.3 / 1.3, 0.05);
+  EXPECT_GT(r.measured_utilization, 0.95);
+  EXPECT_GT(r.total_drops, 1000u);
+}
+
+TEST(StudyC, PlrPinsLossRatiosToLdps) {
+  const auto r = run_study_c(overload_config());
+  ASSERT_EQ(r.loss_ratios.size(), 3u);
+  for (const double ratio : r.loss_ratios) {
+    EXPECT_NEAR(ratio, 2.0, 0.2);  // LDPs 8,4,2,1
+  }
+}
+
+TEST(StudyC, WtpStillDifferentiatesSurvivorDelays) {
+  const auto r = run_study_c(overload_config());
+  ASSERT_EQ(r.delay_ratios.size(), 3u);
+  for (const double ratio : r.delay_ratios) {
+    EXPECT_GT(ratio, 1.4);  // proportional-ish even while dropping
+    EXPECT_LT(ratio, 2.8);
+  }
+}
+
+TEST(StudyC, DropTailFollowsLoadNotLdps) {
+  auto c = overload_config();
+  c.policy = DropPolicy::kDropIncoming;
+  c.ldp.clear();  // unused by drop-tail
+  const auto r = run_study_c(c);
+  // Equal class loads + classless drops: loss rates roughly equal.
+  for (const double ratio : r.loss_ratios) {
+    EXPECT_NEAR(ratio, 1.0, 0.25);
+  }
+}
+
+TEST(StudyC, SlidingWindowTracksLdpsToo) {
+  auto c = overload_config();
+  c.plr_window = 2000;
+  const auto r = run_study_c(c);
+  for (const double ratio : r.loss_ratios) {
+    EXPECT_NEAR(ratio, 2.0, 0.3);
+  }
+}
+
+TEST(StudyC, UnevenLoadsStillHitLossTargets) {
+  auto c = overload_config();
+  c.load_fractions = {0.1, 0.2, 0.3, 0.4};  // heavy high classes
+  const auto r = run_study_c(c);
+  for (const double ratio : r.loss_ratios) {
+    EXPECT_NEAR(ratio, 2.0, 0.35);
+  }
+}
+
+TEST(StudyC, UnderloadProducesNoLoss) {
+  auto c = overload_config();
+  c.offered_load = 0.6;
+  const auto r = run_study_c(c);
+  EXPECT_EQ(r.total_drops, 0u);
+  EXPECT_DOUBLE_EQ(r.aggregate_loss_rate, 0.0);
+}
+
+TEST(StudyC, DeterministicPerSeed) {
+  const auto a = run_study_c(overload_config());
+  const auto b = run_study_c(overload_config());
+  EXPECT_EQ(a.total_drops, b.total_drops);
+  EXPECT_EQ(a.total_arrivals, b.total_arrivals);
+}
+
+TEST(StudyC, ValidatesConfig) {
+  auto c = overload_config();
+  c.offered_load = 0.0;
+  EXPECT_THROW(run_study_c(c), std::invalid_argument);
+  c = overload_config();
+  c.ldp = {1.0};  // size mismatch under kPlr
+  EXPECT_THROW(run_study_c(c), std::invalid_argument);
+  c = overload_config();
+  c.buffer_packets = 0;
+  EXPECT_THROW(run_study_c(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,65 @@
+// Shared helpers for the scheduler tests: packet construction with explicit
+// arrival stamps and a tiny driver that replays a scripted arrival sequence
+// through a Link on a Simulator.
+#pragma once
+
+#include <vector>
+
+#include "dsim/simulator.hpp"
+#include "packet/packet.hpp"
+#include "sched/link.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pds::testutil {
+
+inline Packet packet(std::uint64_t id, ClassId cls, std::uint32_t bytes,
+                     SimTime arrival) {
+  Packet p;
+  p.id = id;
+  p.cls = cls;
+  p.size_bytes = bytes;
+  p.arrival = arrival;
+  p.created = arrival;
+  return p;
+}
+
+struct ScriptedArrival {
+  SimTime time;
+  ClassId cls;
+  std::uint32_t bytes;
+};
+
+struct Departure {
+  std::uint64_t id;
+  ClassId cls;
+  SimTime wait;
+  SimTime completed;
+};
+
+// Feeds the scripted arrivals (must be time-sorted) into a link over the
+// given scheduler and returns all departures in completion order. Packet ids
+// are assigned by script position.
+inline std::vector<Departure> replay(Scheduler& sched, double capacity,
+                                     const std::vector<ScriptedArrival>& in) {
+  Simulator sim;
+  std::vector<Departure> out;
+  Link link(sim, sched, capacity, [&](Packet&& p, SimTime wait, SimTime now) {
+    out.push_back(Departure{p.id, p.cls, wait, now});
+  });
+  std::uint64_t id = 0;
+  for (const auto& a : in) {
+    sim.schedule_at(a.time, [&link, a, id]() {
+      Packet p;
+      p.id = id;
+      p.cls = a.cls;
+      p.size_bytes = a.bytes;
+      p.created = a.time;
+      link.arrive(std::move(p));
+    });
+    ++id;
+  }
+  sim.run();
+  return out;
+}
+
+}  // namespace pds::testutil

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/wtp.hpp"
+#include "sched/link.hpp"
+#include "traffic/token_bucket.hpp"
+
+namespace pds {
+namespace {
+
+Packet make_packet(std::uint64_t id, std::uint32_t bytes, ClassId cls = 0) {
+  Packet p;
+  p.id = id;
+  p.cls = cls;
+  p.size_bytes = bytes;
+  return p;
+}
+
+struct Forwarded {
+  std::vector<std::pair<std::uint64_t, SimTime>> out;
+};
+
+struct Fixture {
+  Simulator sim;
+  Forwarded fwd;
+  TokenBucketShaper shaper;
+
+  explicit Fixture(TokenBucketConfig c)
+      : shaper(sim, c, [this](Packet p) {
+          fwd.out.emplace_back(p.id, sim.now());
+        }) {}
+};
+
+TokenBucketConfig config(double rate, double burst, bool full = true) {
+  TokenBucketConfig c;
+  c.rate = rate;
+  c.burst_bytes = burst;
+  c.start_full = full;
+  return c;
+}
+
+TEST(TokenBucket, ForwardsImmediatelyWithinBurst) {
+  Fixture f(config(10.0, 500.0));
+  f.sim.schedule_at(0.0, [&] {
+    f.shaper.offer(make_packet(1, 200));
+    f.shaper.offer(make_packet(2, 300));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.fwd.out.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.fwd.out[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(f.fwd.out[1].second, 0.0);
+}
+
+TEST(TokenBucket, DelaysNonConformantPackets) {
+  Fixture f(config(10.0, 500.0));
+  f.sim.schedule_at(0.0, [&] {
+    f.shaper.offer(make_packet(1, 500));  // drains the bucket
+    f.shaper.offer(make_packet(2, 100));  // needs 100 tokens -> 10 tu
+  });
+  f.sim.run();
+  ASSERT_EQ(f.fwd.out.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.fwd.out[1].second, 10.0);
+}
+
+TEST(TokenBucket, SteadyStateRateIsShaped) {
+  Fixture f(config(10.0, 100.0));
+  f.sim.schedule_at(0.0, [&] {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      f.shaper.offer(make_packet(i, 100));  // burst of 50 packets at once
+    }
+  });
+  f.sim.run();
+  ASSERT_EQ(f.fwd.out.size(), 50u);
+  // First leaves at t=0 (full bucket); thereafter one per 10 tu exactly.
+  for (std::size_t i = 1; i < 50; ++i) {
+    EXPECT_NEAR(f.fwd.out[i].second, 10.0 * static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(TokenBucket, EmptyStartAccruesBeforeFirstPacket) {
+  Fixture f(config(5.0, 100.0, /*full=*/false));
+  f.sim.schedule_at(0.0, [&] { f.shaper.offer(make_packet(1, 100)); });
+  f.sim.run();
+  ASSERT_EQ(f.fwd.out.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.fwd.out[0].second, 20.0);  // 100 tokens at 5/tu
+}
+
+TEST(TokenBucket, IdleRefillsOnlyUpToBurst) {
+  Fixture f(config(10.0, 300.0));
+  f.sim.schedule_at(0.0, [&] { f.shaper.offer(make_packet(1, 300)); });
+  // Long idle period: the bucket caps at 300, not rate * time.
+  f.sim.schedule_at(1000.0, [&] {
+    EXPECT_DOUBLE_EQ(f.shaper.tokens(1000.0), 300.0);
+    f.shaper.offer(make_packet(2, 300));
+    f.shaper.offer(make_packet(3, 300));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.fwd.out.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.fwd.out[1].second, 1000.0);
+  EXPECT_DOUBLE_EQ(f.fwd.out[2].second, 1030.0);  // waits a full refill
+}
+
+TEST(TokenBucket, PreservesOrderAcrossSizes) {
+  Fixture f(config(10.0, 1500.0));
+  f.sim.schedule_at(0.0, [&] {
+    f.shaper.offer(make_packet(1, 1500));
+    f.shaper.offer(make_packet(2, 40));   // small, but must wait its turn
+    f.shaper.offer(make_packet(3, 40));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.fwd.out.size(), 3u);
+  EXPECT_EQ(f.fwd.out[0].first, 1u);
+  EXPECT_EQ(f.fwd.out[1].first, 2u);
+  EXPECT_EQ(f.fwd.out[2].first, 3u);
+  EXPECT_DOUBLE_EQ(f.fwd.out[1].second, 4.0);
+}
+
+TEST(TokenBucket, RejectsOversizedPacketAndBadConfig) {
+  Fixture f(config(10.0, 100.0));
+  EXPECT_THROW(f.shaper.offer(make_packet(1, 200)), std::invalid_argument);
+  TokenBucketConfig bad;
+  bad.rate = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = TokenBucketConfig{};
+  bad.burst_bytes = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(TokenBucket, ShapedBurstCannotStarveUnderWtp) {
+  // Proposition 2 requires a peak input rate above the link rate; a shaper
+  // with rate <= link rate removes the precondition. Rebuild the wtp_test
+  // starvation scenario but pass the burst through a shaper at exactly the
+  // link rate: the low-class packet now departs within a bounded number of
+  // service times instead of after the whole (arbitrarily long) burst.
+  Simulator sim;
+  SchedulerConfig sc;
+  sc.sdp = {1.0, 8.0};
+  WtpScheduler wtp(sc);
+  std::vector<ClassId> order;
+  Link link(sim, wtp, 10.0, [&](Packet&& p, SimTime, SimTime) {
+    order.push_back(p.cls);
+  });
+  TokenBucketShaper shaper(sim, config(10.0, 100.0),
+                           [&](Packet p) { link.arrive(std::move(p)); });
+  // Occupier + victim, then a 40-packet class-1 burst offered at t=0 whose
+  // *shaped* peak rate equals the link rate.
+  sim.schedule_at(0.0, [&] {
+    Packet occupier = make_packet(100, 100, 0);
+    link.arrive(std::move(occupier));
+  });
+  sim.schedule_at(0.5, [&] {
+    Packet victim = make_packet(101, 100, 0);
+    link.arrive(std::move(victim));
+  });
+  sim.schedule_at(0.0, [&] {
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      shaper.offer(make_packet(i, 100, 1));
+    }
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 42u);
+  // The victim must NOT be last: find its position (class 0 after the
+  // occupier).
+  std::size_t victim_pos = order.size();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] == 0) victim_pos = i;
+  }
+  EXPECT_LT(victim_pos, order.size() - 1)
+      << "shaping removed the Prop. 2 starvation precondition";
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/study_a.hpp"
+#include "core/trace_study.hpp"
+
+namespace pds {
+namespace {
+
+std::vector<ArrivalRecord> equal_size_trace(std::uint64_t seed) {
+  StudyAConfig config;
+  config.scheduler = SchedulerKind::kFcfs;
+  config.utilization = 0.9;
+  config.sim_time = 1.0e5;
+  config.record_trace = true;
+  config.seed = seed;
+  auto trace = run_study_a(config).trace;
+  for (auto& rec : trace) rec.size_bytes = 441;  // force Eq. 5's premise
+  return trace;
+}
+
+TEST(TraceStudy, ConservationLawExactAcrossSchedulers) {
+  const auto trace = equal_size_trace(31);
+  TraceStudyConfig config;
+  config.warmup_end = 0.0;
+  double reference = -1.0;
+  for (const auto kind :
+       {SchedulerKind::kFcfs, SchedulerKind::kStrictPriority,
+        SchedulerKind::kWtp, SchedulerKind::kBpr, SchedulerKind::kPad,
+        SchedulerKind::kScfq, SchedulerKind::kVirtualClock}) {
+    config.scheduler = kind;
+    const auto r = run_trace_study(trace, config);
+    if (reference < 0.0) {
+      reference = r.total_wait;
+    } else {
+      EXPECT_NEAR(r.total_wait, reference, 1e-6 * reference)
+          << to_string(kind);
+    }
+  }
+}
+
+TEST(TraceStudy, CountsExactlyTheSamePopulation) {
+  const auto trace = equal_size_trace(32);
+  TraceStudyConfig config;
+  config.warmup_end = 1.0e4;
+  config.scheduler = SchedulerKind::kWtp;
+  const auto wtp = run_trace_study(trace, config);
+  config.scheduler = SchedulerKind::kStrictPriority;
+  const auto sp = run_trace_study(trace, config);
+  ASSERT_EQ(wtp.departures.size(), sp.departures.size());
+  for (std::size_t c = 0; c < wtp.departures.size(); ++c) {
+    EXPECT_EQ(wtp.departures[c], sp.departures[c]);
+  }
+}
+
+TEST(TraceStudy, WtpRedistributesTowardTheTargets) {
+  auto trace = equal_size_trace(33);
+  TraceStudyConfig config;
+  config.warmup_end = 1.0e4;
+  config.scheduler = SchedulerKind::kWtp;
+  const auto r = run_trace_study(trace, config);
+  for (const double ratio : r.ratios) {
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 2.4);
+  }
+}
+
+TEST(TraceStudy, MakespanIsSchedulerInvariantWithEqualSizes) {
+  const auto trace = equal_size_trace(34);
+  TraceStudyConfig config;
+  config.scheduler = SchedulerKind::kFcfs;
+  const auto a = run_trace_study(trace, config);
+  config.scheduler = SchedulerKind::kBpr;
+  const auto b = run_trace_study(trace, config);
+  EXPECT_NEAR(a.makespan, b.makespan, 1e-9);
+}
+
+TEST(TraceStudy, ValidatesInputs) {
+  TraceStudyConfig config;
+  EXPECT_THROW(run_trace_study({}, config), std::invalid_argument);
+  const std::vector<ArrivalRecord> five{{0.0, 5, 100}};
+  EXPECT_THROW(run_trace_study(five, config), std::invalid_argument);
+  config.capacity = 0.0;
+  EXPECT_THROW(run_trace_study({{0.0, 0, 100}}, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

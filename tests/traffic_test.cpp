@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "packet/size_law.hpp"
+#include "traffic/calibration.hpp"
+#include "traffic/source.hpp"
+
+namespace pds {
+namespace {
+
+struct Collected {
+  std::vector<Packet> packets;
+  PacketHandler handler() {
+    return [this](Packet p) { packets.push_back(std::move(p)); };
+  }
+};
+
+TEST(RenewalSource, EmitsTaggedPackets) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  RenewalSource src(sim, ids, 2, constant_gaps(5.0), fixed_size(100), Rng(1),
+                    got.handler());
+  src.start(0.0);
+  sim.run_until(26.0);
+  ASSERT_EQ(got.packets.size(), 5u);  // at 5, 10, 15, 20, 25
+  for (const auto& p : got.packets) {
+    EXPECT_EQ(p.cls, 2u);
+    EXPECT_EQ(p.size_bytes, 100u);
+  }
+  EXPECT_DOUBLE_EQ(got.packets[0].created, 5.0);
+  EXPECT_EQ(src.packets_emitted(), 5u);
+}
+
+TEST(RenewalSource, IdsAreUniqueAcrossSources) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  RenewalSource a(sim, ids, 0, constant_gaps(3.0), fixed_size(10), Rng(1),
+                  got.handler());
+  RenewalSource b(sim, ids, 1, constant_gaps(4.0), fixed_size(10), Rng(2),
+                  got.handler());
+  a.start(0.0);
+  b.start(0.0);
+  sim.run_until(30.0);
+  std::vector<std::uint64_t> seen;
+  for (const auto& p : got.packets) seen.push_back(p.id);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(RenewalSource, StopHaltsEmission) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  RenewalSource src(sim, ids, 0, constant_gaps(1.0), fixed_size(10), Rng(1),
+                    got.handler());
+  src.start(0.0);
+  sim.run_until(5.5);
+  src.stop();
+  sim.run_until(100.0);
+  EXPECT_EQ(got.packets.size(), 5u);
+}
+
+TEST(RenewalSource, CannotStartTwice) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  RenewalSource src(sim, ids, 0, constant_gaps(1.0), fixed_size(10), Rng(1),
+                    got.handler());
+  src.start(0.0);
+  EXPECT_THROW(src.start(1.0), std::invalid_argument);
+}
+
+TEST(RenewalSource, ParetoGapsHitTargetRate) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  // alpha = 3 for a finite-variance convergence check.
+  RenewalSource src(sim, ids, 0, pareto_gaps(3.0, 2.0), fixed_size(10),
+                    Rng(7), got.handler());
+  src.start(0.0);
+  sim.run_until(100000.0);
+  EXPECT_NEAR(static_cast<double>(got.packets.size()), 50000.0, 1500.0);
+}
+
+TEST(ClassMixSource, DrawsClassesByFractions) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  ClassMixSource src(sim, ids, {0.4, 0.3, 0.2, 0.1}, constant_gaps(1.0),
+                     fixed_size(500), Rng(3), got.handler());
+  src.start(0.0);
+  sim.run_until(40000.0);
+  std::vector<int> count(4, 0);
+  for (const auto& p : got.packets) ++count[p.cls];
+  const double n = static_cast<double>(got.packets.size());
+  EXPECT_NEAR(count[0] / n, 0.4, 0.02);
+  EXPECT_NEAR(count[1] / n, 0.3, 0.02);
+  EXPECT_NEAR(count[2] / n, 0.2, 0.02);
+  EXPECT_NEAR(count[3] / n, 0.1, 0.02);
+}
+
+TEST(ClassMixSource, NormalizesFractions) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  ClassMixSource src(sim, ids, {40.0, 30.0, 20.0, 10.0}, constant_gaps(1.0),
+                     fixed_size(500), Rng(3), got.handler());
+  src.start(0.0);
+  sim.run_until(100.0);
+  EXPECT_EQ(got.packets.size(), 100u);
+}
+
+TEST(ClassMixSource, RejectsDegenerateFractions) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  EXPECT_THROW(ClassMixSource(sim, ids, {}, constant_gaps(1.0),
+                              fixed_size(10), Rng(1), got.handler()),
+               std::invalid_argument);
+  EXPECT_THROW(ClassMixSource(sim, ids, {0.0, 0.0}, constant_gaps(1.0),
+                              fixed_size(10), Rng(1), got.handler()),
+               std::invalid_argument);
+}
+
+TEST(CbrFlow, EmitsExactCountAtExactTimes) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  CbrFlowSource flow(sim, ids, 3, 17, 4, 500, 2.5, got.handler());
+  flow.start(10.0);
+  EXPECT_FALSE(flow.finished());
+  sim.run();
+  ASSERT_EQ(got.packets.size(), 4u);
+  EXPECT_TRUE(flow.finished());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(got.packets[i].created,
+                     10.0 + 2.5 * static_cast<double>(i));
+    EXPECT_EQ(got.packets[i].flow, 17u);
+    EXPECT_EQ(got.packets[i].cls, 3u);
+  }
+}
+
+TEST(CbrFlow, SinglePacketFlow) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  CbrFlowSource flow(sim, ids, 0, 1, 1, 100, 1.0, got.handler());
+  flow.start(0.0);
+  sim.run();
+  EXPECT_EQ(got.packets.size(), 1u);
+  EXPECT_TRUE(flow.finished());
+}
+
+TEST(LawSize, SamplerUsesDistribution) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Collected got;
+  RenewalSource src(sim, ids, 0, constant_gaps(1.0),
+                    law_size(paper_size_law()), Rng(5), got.handler());
+  src.start(0.0);
+  sim.run_until(1000.0);
+  for (const auto& p : got.packets) {
+    EXPECT_TRUE(p.size_bytes == 40 || p.size_bytes == 550 ||
+                p.size_bytes == 1500);
+  }
+}
+
+// ----------------------------------------------------------- calibration
+
+TEST(Calibration, SingleClassInterarrival) {
+  // rho=0.5, f=1, R=39.375 B/tu, E[L]=441 B: lambda = 0.5/11.2 pkts/tu.
+  const double gap = class_mean_interarrival(0.5, 1.0, 39.375, 441.0);
+  EXPECT_NEAR(gap, 11.2 / 0.5, 1e-9);
+}
+
+TEST(Calibration, FractionsScaleInversely) {
+  const auto gaps =
+      class_mean_interarrivals(0.95, {0.4, 0.3, 0.2, 0.1}, 39.375, 441.0);
+  ASSERT_EQ(gaps.size(), 4u);
+  // Class with 4x the load fraction has 1/4 the interarrival gap.
+  EXPECT_NEAR(gaps[3] / gaps[0], 4.0, 1e-9);
+  // Aggregate packet rate = rho * R / E[L].
+  double agg = 0.0;
+  for (const double g : gaps) agg += 1.0 / g;
+  EXPECT_NEAR(agg, 0.95 * 39.375 / 441.0, 1e-9);
+}
+
+TEST(Calibration, NormalizeFractions) {
+  const auto norm = normalize_fractions({40.0, 30.0, 20.0, 10.0});
+  EXPECT_NEAR(norm[0], 0.4, 1e-12);
+  EXPECT_NEAR(norm[3], 0.1, 1e-12);
+  EXPECT_THROW(normalize_fractions({}), std::invalid_argument);
+  EXPECT_THROW(normalize_fractions({0.0}), std::invalid_argument);
+  EXPECT_THROW(normalize_fractions({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Calibration, RejectsNonPositiveInputs) {
+  EXPECT_THROW(class_mean_interarrival(0.0, 1.0, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(class_mean_interarrival(0.5, 0.0, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(class_mean_interarrival(0.5, 1.0, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pds {
+namespace {
+
+// ---------------------------------------------------------------- ArgParser
+
+ArgParser parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, ParsesKeyEqualsValue) {
+  const auto args = parse({"--rho=0.95"});
+  EXPECT_TRUE(args.has("rho"));
+  EXPECT_DOUBLE_EQ(args.get_double("rho", 0.0), 0.95);
+}
+
+TEST(ArgParser, ParsesKeySpaceValue) {
+  const auto args = parse({"--seeds", "7"});
+  EXPECT_EQ(args.get_int("seeds", 0), 7);
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  const auto args = parse({"--full"});
+  EXPECT_TRUE(args.get_bool("full", false));
+}
+
+TEST(ArgParser, MissingKeyYieldsDefault) {
+  const auto args = parse({});
+  EXPECT_FALSE(args.has("rho"));
+  EXPECT_DOUBLE_EQ(args.get_double("rho", 0.7), 0.7);
+  EXPECT_EQ(args.get_string("out", "x.csv"), "x.csv");
+  EXPECT_FALSE(args.get_bool("full", false));
+}
+
+TEST(ArgParser, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+  EXPECT_THROW(parse({"--a=maybe"}).get_bool("a", true),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, DoubleListParsing) {
+  const auto args = parse({"--sdp=1,2,4,8"});
+  const auto v = args.get_double_list("sdp", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[3], 8.0);
+}
+
+TEST(ArgParser, DoubleListDefault) {
+  const auto v = parse({}).get_double_list("sdp", {1.0, 2.0});
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(ArgParser, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  EXPECT_THROW(parse({"--rho=abc"}).get_double("rho", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--rho=1.5x"}).get_double("rho", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--n=1.5"}).get_int("n", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, LastOccurrenceWins) {
+  const auto args = parse({"--rho=0.7", "--rho=0.9"});
+  EXPECT_DOUBLE_EQ(args.get_double("rho", 0.0), 0.9);
+}
+
+TEST(ArgParser, UnknownKeysDetected) {
+  const auto args = parse({"--rho=0.9", "--sede=1"});
+  const auto unknown = args.unknown_keys({"rho", "seed"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "sede");
+}
+
+TEST(ArgParser, NegativeValuesViaEquals) {
+  // `--key value` would treat "-3" as ambiguous; the = form is exact.
+  EXPECT_EQ(parse({"--off=-3"}).get_int("off", 0), -3);
+}
+
+// -------------------------------------------------------------- TablePrinter
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"rho", "WTP 1/2"});
+  t.add_row({"70%", "1.52"});
+  t.add_row({"99.9%", "2.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rho"), std::string::npos);
+  EXPECT_NE(out.find("99.9%"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, RejectsWidthMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(2.0, 1), "2.0");
+  EXPECT_EQ(TablePrinter::num(-0.5, 3), "-0.500");
+}
+
+TEST(TablePrinter, CountsRows) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+// ----------------------------------------------------------------- CsvWriter
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "pds_csv_test.csv";
+  {
+    CsvWriter w(path, {"t", "delay"});
+    w.add_row(std::vector<double>{1.5, 2.25});
+    w.add_row(std::vector<std::string>{"x", "y"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,delay");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.25");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = testing::TempDir() + "pds_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row(std::vector<double>{1.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+// ----------------------------------------------------------------- contracts
+
+TEST(Contracts, CheckThrowsInvalidArgumentWithContext) {
+  try {
+    PDS_CHECK(1 == 2, "message here");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("message here"), std::string::npos);
+  }
+}
+
+TEST(Contracts, RequireThrowsLogicError) {
+  EXPECT_THROW(PDS_REQUIRE(false), std::logic_error);
+  EXPECT_NO_THROW(PDS_REQUIRE(true));
+}
+
+}  // namespace
+}  // namespace pds

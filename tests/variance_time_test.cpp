@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "stats/variance_time.hpp"
+#include "traffic/onoff.hpp"
+
+namespace pds {
+namespace {
+
+TEST(CountSeries, BucketsArrivalsBySlot) {
+  CountSeries series(10.0, 0.0);
+  for (const double t : {1.0, 2.0, 3.0, 15.0, 35.0, 36.0, 37.0}) {
+    series.record(t);
+  }
+  const auto counts = series.finish();
+  ASSERT_EQ(counts.size(), 4u);  // slots [0,10) [10,20) [20,30) [30,40)
+  EXPECT_DOUBLE_EQ(counts[0], 3.0);
+  EXPECT_DOUBLE_EQ(counts[1], 1.0);
+  EXPECT_DOUBLE_EQ(counts[2], 0.0);
+  EXPECT_DOUBLE_EQ(counts[3], 3.0);
+}
+
+TEST(CountSeries, IgnoresWarmupArrivals) {
+  CountSeries series(10.0, 100.0);
+  series.record(50.0);   // before start
+  series.record(101.0);
+  const auto counts = series.finish();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+}
+
+TEST(VarianceTime, IidSeriesHasSlopeMinusOne) {
+  // Independent counts: Var[mean of m] = Var/m exactly in expectation, so
+  // the fitted log-log slope is -1 (H = 0.5).
+  Rng rng(5);
+  std::vector<double> counts;
+  for (int i = 0; i < 200000; ++i) {
+    counts.push_back(static_cast<double>(rng.uniform_index(10)));
+  }
+  const auto points = variance_time(counts, {1, 4, 16, 64, 256});
+  const double slope = variance_time_slope(points);
+  EXPECT_NEAR(slope, -1.0, 0.1);
+  EXPECT_NEAR(hurst_from_slope(slope), 0.5, 0.05);
+}
+
+TEST(VarianceTime, PerfectlyCorrelatedSeriesHasSlopeZero) {
+  // A long-period square wave: block means barely change with m below the
+  // period, so the variance hardly decays (H -> 1).
+  std::vector<double> counts;
+  for (int i = 0; i < 100000; ++i) {
+    counts.push_back((i / 10000) % 2 == 0 ? 10.0 : 0.0);
+  }
+  const auto points = variance_time(counts, {1, 4, 16, 64});
+  const double slope = variance_time_slope(points);
+  EXPECT_GT(slope, -0.1);
+  EXPECT_NEAR(hurst_from_slope(slope), 1.0, 0.1);
+}
+
+TEST(VarianceTime, RejectsDegenerateInput) {
+  EXPECT_THROW(variance_time({1.0, 1.0, 1.0, 1.0}, {1, 2}),
+               std::invalid_argument);  // constant series
+  EXPECT_THROW(variance_time({1.0, 2.0}, {1}), std::invalid_argument);
+  std::vector<double> ok{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(variance_time(ok, {}), std::invalid_argument);
+  EXPECT_THROW(variance_time(ok, {0}), std::invalid_argument);
+  EXPECT_THROW(variance_time_slope({{1, 1.0}}), std::invalid_argument);
+}
+
+// The headline property: aggregated Pareto on/off sources are burstier
+// across timescales (higher Hurst estimate) than Poisson traffic of the
+// same mean rate — the traffic regime the paper's schedulers must handle.
+TEST(VarianceTime, ParetoOnOffBeatsPoissonBurstiness) {
+  Simulator sim;
+  PacketIdAllocator ids;
+  Rng master(11);
+
+  CountSeries onoff_series(50.0, 1.0e4);
+  std::vector<std::unique_ptr<OnOffSource>> sources;
+  for (int s = 0; s < 10; ++s) {
+    OnOffConfig c;
+    c.packet_bytes = 100;
+    c.peak_rate = 2.0;
+    c.mean_on = 300.0;
+    c.mean_off = 700.0;
+    c.pareto_alpha = 1.4;
+    sources.push_back(std::make_unique<OnOffSource>(
+        sim, ids, c, master.split(),
+        [&](Packet) { onoff_series.record(sim.now()); }));
+    sources.back()->start(0.0);
+  }
+  sim.run_until(1.0e6);
+  for (auto& s : sources) s->stop();
+  const auto onoff_counts = onoff_series.finish();
+
+  // Poisson reference with a comparable mean count per slot.
+  Rng prng(13);
+  const double mean_per_slot =
+      [&] {
+        double total = 0.0;
+        for (const double c : onoff_counts) total += c;
+        return total / static_cast<double>(onoff_counts.size());
+      }();
+  std::vector<double> poisson_counts;
+  const ExponentialDist gap(50.0 / mean_per_slot);
+  double t = 0.0;
+  CountSeries poisson_series(50.0, 0.0);
+  while (t < 1.0e6) {
+    t += gap.sample(prng);
+    if (t < 1.0e6) poisson_series.record(t);
+  }
+  poisson_counts = poisson_series.finish();
+
+  const std::vector<std::uint64_t> levels{1, 4, 16, 64, 256};
+  const double h_onoff =
+      hurst_from_slope(variance_time_slope(variance_time(onoff_counts,
+                                                         levels)));
+  const double h_poisson = hurst_from_slope(
+      variance_time_slope(variance_time(poisson_counts, levels)));
+  EXPECT_NEAR(h_poisson, 0.5, 0.1);
+  EXPECT_GT(h_onoff, h_poisson + 0.1);
+  EXPECT_GT(h_onoff, 0.6);
+}
+
+}  // namespace
+}  // namespace pds

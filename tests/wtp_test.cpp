@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "sched/wtp.hpp"
+#include "test_helpers.hpp"
+
+namespace pds {
+namespace {
+
+using testutil::packet;
+using testutil::replay;
+using testutil::ScriptedArrival;
+
+WtpScheduler make_wtp(std::vector<double> sdp) {
+  SchedulerConfig c;
+  c.sdp = std::move(sdp);
+  return WtpScheduler(c);
+}
+
+TEST(Wtp, PriorityIsWaitTimesSdp) {
+  auto wtp = make_wtp({1.0, 2.0, 4.0});
+  wtp.enqueue(packet(1, 0, 100, 0.0), 0.0);
+  wtp.enqueue(packet(2, 2, 100, 6.0), 6.0);
+  EXPECT_DOUBLE_EQ(wtp.head_priority(0, 10.0), 10.0);   // 10 * 1
+  EXPECT_DOUBLE_EQ(wtp.head_priority(2, 10.0), 16.0);   // 4 * 4
+  EXPECT_DOUBLE_EQ(wtp.head_priority(1, 10.0), 0.0);    // empty
+}
+
+TEST(Wtp, ServesHighestPriorityHead) {
+  auto wtp = make_wtp({1.0, 2.0, 4.0});
+  wtp.enqueue(packet(1, 0, 100, 0.0), 0.0);   // p = 10
+  wtp.enqueue(packet(2, 1, 100, 2.0), 2.0);   // p = 16
+  wtp.enqueue(packet(3, 2, 100, 7.0), 7.0);   // p = 12
+  EXPECT_EQ(wtp.dequeue(10.0)->id, 2u);
+  // Then: p0 = 10, p2 = 12.
+  EXPECT_EQ(wtp.dequeue(10.0)->id, 3u);
+  EXPECT_EQ(wtp.dequeue(10.0)->id, 1u);
+}
+
+TEST(Wtp, TieBreakFavoursHigherClass) {
+  auto wtp = make_wtp({1.0, 2.0});
+  wtp.enqueue(packet(1, 0, 100, 0.0), 0.0);   // p = 8 * 1
+  wtp.enqueue(packet(2, 1, 100, 4.0), 4.0);   // p = 4 * 2
+  EXPECT_EQ(wtp.dequeue(8.0)->cls, 1u);
+}
+
+TEST(Wtp, FifoWithinClass) {
+  auto wtp = make_wtp({1.0, 2.0});
+  wtp.enqueue(packet(1, 1, 100, 0.0), 0.0);
+  wtp.enqueue(packet(2, 1, 100, 1.0), 1.0);
+  EXPECT_EQ(wtp.dequeue(5.0)->id, 1u);
+  EXPECT_EQ(wtp.dequeue(5.0)->id, 2u);
+}
+
+TEST(Wtp, EmptyDequeueIsNullopt) {
+  auto wtp = make_wtp({1.0});
+  EXPECT_FALSE(wtp.dequeue(0.0).has_value());
+}
+
+TEST(Wtp, ZeroWaitArrivalsHavePriorityZero) {
+  auto wtp = make_wtp({1.0, 8.0});
+  wtp.enqueue(packet(1, 0, 100, 5.0), 5.0);
+  wtp.enqueue(packet(2, 1, 100, 5.0), 5.0);
+  // Both priorities are 0; the tie goes to the higher class.
+  EXPECT_EQ(wtp.dequeue(5.0)->cls, 1u);
+}
+
+// ----------------------------------------------------------- Proposition 2
+//
+// R1: peak input rate; R: link rate; classes i < j (s_i < s_j). If
+// s_i/s_j < 1 - R/R1, an arbitrarily long back-to-back class-j burst
+// starting at t0 is fully served before any class-i packet arriving at or
+// after t0.
+
+// All three scenarios use an "occupier" packet at t = 0 that seizes the idle
+// link, so the first real scheduling decision happens with both queues
+// backlogged (the proposition compares priorities of *queued* packets).
+// The class-i victim arrives at t = 0.5, which is "at t0 or later".
+
+TEST(WtpProposition2, BurstExcludesLowerClassWhenConditionHolds) {
+  // Unit-size packets of 100 B; R = 10 B/tu (tx = 10 tu), R1 = 50 B/tu
+  // (arrival gap 2 tu). 1 - R/R1 = 0.8; choose s_i/s_j = 1/8 < 0.8.
+  SchedulerConfig c;
+  c.sdp = {1.0, 8.0};
+  WtpScheduler wtp(c);
+  std::vector<ScriptedArrival> script;
+  script.push_back({0.0, 0, 100});  // occupier
+  script.push_back({0.5, 0, 100});  // class-i victim
+  const int kBurst = 40;
+  for (int k = 0; k < kBurst; ++k) {
+    script.push_back({k * 2.0, 1, 100});  // burst at rate R1 from t0 = 0
+  }
+  const auto out = replay(wtp, 10.0, script);
+  ASSERT_EQ(out.size(), 2u + kBurst);
+  EXPECT_EQ(out.front().cls, 0u);  // the occupier
+  for (int k = 1; k <= kBurst; ++k) {
+    EXPECT_EQ(out[static_cast<size_t>(k)].cls, 1u) << "position " << k;
+  }
+  EXPECT_EQ(out.back().cls, 0u);  // the victim leaves dead last
+}
+
+TEST(WtpProposition2, LowerClassInterleavesWhenConditionFails) {
+  // Same arrival pattern but s_i/s_j = 1/2 > 1 - R/R1 = ... with gap 8 tu
+  // (R1 = 12.5, 1 - R/R1 = 0.2 < 0.5): the class-i packet must not wait for
+  // the whole burst.
+  SchedulerConfig c;
+  c.sdp = {1.0, 2.0};
+  WtpScheduler wtp(c);
+  std::vector<ScriptedArrival> script;
+  script.push_back({0.0, 0, 100});  // occupier
+  script.push_back({0.5, 0, 100});  // victim
+  const int kBurst = 40;
+  for (int k = 0; k < kBurst; ++k) {
+    script.push_back({k * 8.0, 1, 100});
+  }
+  const auto out = replay(wtp, 10.0, script);
+  ASSERT_EQ(out.size(), 2u + kBurst);
+  std::size_t victim_position = out.size();
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].cls == 0) victim_position = i;
+  }
+  EXPECT_LT(victim_position, out.size() - 1)
+      << "class-i packet should overtake part of the burst";
+}
+
+TEST(WtpProposition2, ConditionBoundaryScalesWithBurstRate) {
+  // With a *slower* burst (R1 closer to R) the same SDP pair that starved
+  // the low class above no longer does: gap 9 tu -> 1 - R/R1 = 1/9 < 1/8.
+  SchedulerConfig c;
+  c.sdp = {1.0, 8.0};
+  WtpScheduler wtp(c);
+  std::vector<ScriptedArrival> script;
+  script.push_back({0.0, 0, 100});  // occupier
+  script.push_back({0.5, 0, 100});  // victim
+  const int kBurst = 60;
+  for (int k = 0; k < kBurst; ++k) {
+    script.push_back({k * 9.0, 1, 100});
+  }
+  const auto out = replay(wtp, 10.0, script);
+  std::size_t victim_position = out.size();
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].cls == 0) victim_position = i;
+  }
+  EXPECT_LT(victim_position, out.size() - 1);
+}
+
+}  // namespace
+}  // namespace pds
