@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_additive.dir/ablation_additive.cpp.o"
+  "CMakeFiles/ablation_additive.dir/ablation_additive.cpp.o.d"
+  "ablation_additive"
+  "ablation_additive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_additive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

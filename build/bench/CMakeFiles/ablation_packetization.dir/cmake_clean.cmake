@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packetization.dir/ablation_packetization.cpp.o"
+  "CMakeFiles/ablation_packetization.dir/ablation_packetization.cpp.o.d"
+  "ablation_packetization"
+  "ablation_packetization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packetization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delay_distributions.dir/ext_delay_distributions.cpp.o"
+  "CMakeFiles/ext_delay_distributions.dir/ext_delay_distributions.cpp.o.d"
+  "ext_delay_distributions"
+  "ext_delay_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delay_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

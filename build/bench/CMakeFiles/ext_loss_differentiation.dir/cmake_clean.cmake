@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_loss_differentiation.dir/ext_loss_differentiation.cpp.o"
+  "CMakeFiles/ext_loss_differentiation.dir/ext_loss_differentiation.cpp.o.d"
+  "ext_loss_differentiation"
+  "ext_loss_differentiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loss_differentiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

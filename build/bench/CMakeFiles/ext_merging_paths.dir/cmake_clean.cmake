@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_merging_paths.dir/ext_merging_paths.cpp.o"
+  "CMakeFiles/ext_merging_paths.dir/ext_merging_paths.cpp.o.d"
+  "ext_merging_paths"
+  "ext_merging_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_merging_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pad_hpd_sweep.dir/ext_pad_hpd_sweep.cpp.o"
+  "CMakeFiles/ext_pad_hpd_sweep.dir/ext_pad_hpd_sweep.cpp.o.d"
+  "ext_pad_hpd_sweep"
+  "ext_pad_hpd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pad_hpd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_selfsimilar.dir/ext_selfsimilar.cpp.o"
+  "CMakeFiles/ext_selfsimilar.dir/ext_selfsimilar.cpp.o.d"
+  "ext_selfsimilar"
+  "ext_selfsimilar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_selfsimilar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_timescales.dir/fig3_timescales.cpp.o"
+  "CMakeFiles/fig3_timescales.dir/fig3_timescales.cpp.o.d"
+  "fig3_timescales"
+  "fig3_timescales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_timescales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bpr_micro.dir/fig4_bpr_micro.cpp.o"
+  "CMakeFiles/fig4_bpr_micro.dir/fig4_bpr_micro.cpp.o.d"
+  "fig4_bpr_micro"
+  "fig4_bpr_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bpr_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

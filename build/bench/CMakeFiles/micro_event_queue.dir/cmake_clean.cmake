@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_event_queue.dir/micro_event_queue.cpp.o"
+  "CMakeFiles/micro_event_queue.dir/micro_event_queue.cpp.o.d"
+  "micro_event_queue"
+  "micro_event_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

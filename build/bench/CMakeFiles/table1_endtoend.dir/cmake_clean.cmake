@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_endtoend.dir/table1_endtoend.cpp.o"
+  "CMakeFiles/table1_endtoend.dir/table1_endtoend.cpp.o.d"
+  "table1_endtoend"
+  "table1_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecn_stability.dir/ecn_stability.cpp.o"
+  "CMakeFiles/ecn_stability.dir/ecn_stability.cpp.o.d"
+  "ecn_stability"
+  "ecn_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecn_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_cli.dir/netsim_cli.cpp.o"
+  "CMakeFiles/netsim_cli.dir/netsim_cli.cpp.o.d"
+  "netsim_cli"
+  "netsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

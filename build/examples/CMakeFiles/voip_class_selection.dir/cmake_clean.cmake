@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_class_selection.dir/voip_class_selection.cpp.o"
+  "CMakeFiles/voip_class_selection.dir/voip_class_selection.cpp.o.d"
+  "voip_class_selection"
+  "voip_class_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_class_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

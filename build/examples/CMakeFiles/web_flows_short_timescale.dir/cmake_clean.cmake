@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_flows_short_timescale.dir/web_flows_short_timescale.cpp.o"
+  "CMakeFiles/web_flows_short_timescale.dir/web_flows_short_timescale.cpp.o.d"
+  "web_flows_short_timescale"
+  "web_flows_short_timescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_flows_short_timescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for web_flows_short_timescale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/pds_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/mg1.cpp" "src/core/CMakeFiles/pds_core.dir/mg1.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/mg1.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/pds_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/provisioning.cpp" "src/core/CMakeFiles/pds_core.dir/provisioning.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/provisioning.cpp.o.d"
+  "/root/repo/src/core/study_a.cpp" "src/core/CMakeFiles/pds_core.dir/study_a.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/study_a.cpp.o.d"
+  "/root/repo/src/core/study_c.cpp" "src/core/CMakeFiles/pds_core.dir/study_c.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/study_c.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/pds_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/pds_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/trace_io.cpp.o.d"
+  "/root/repo/src/core/trace_study.cpp" "src/core/CMakeFiles/pds_core.dir/trace_study.cpp.o" "gcc" "src/core/CMakeFiles/pds_core.dir/trace_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/pds_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pds_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pds_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pds_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dropper/CMakeFiles/pds_dropper.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pds_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pds_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

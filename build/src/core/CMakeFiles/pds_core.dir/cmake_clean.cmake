@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_core.dir/feasibility.cpp.o"
+  "CMakeFiles/pds_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/pds_core.dir/mg1.cpp.o"
+  "CMakeFiles/pds_core.dir/mg1.cpp.o.d"
+  "CMakeFiles/pds_core.dir/model.cpp.o"
+  "CMakeFiles/pds_core.dir/model.cpp.o.d"
+  "CMakeFiles/pds_core.dir/provisioning.cpp.o"
+  "CMakeFiles/pds_core.dir/provisioning.cpp.o.d"
+  "CMakeFiles/pds_core.dir/study_a.cpp.o"
+  "CMakeFiles/pds_core.dir/study_a.cpp.o.d"
+  "CMakeFiles/pds_core.dir/study_c.cpp.o"
+  "CMakeFiles/pds_core.dir/study_c.cpp.o.d"
+  "CMakeFiles/pds_core.dir/trace.cpp.o"
+  "CMakeFiles/pds_core.dir/trace.cpp.o.d"
+  "CMakeFiles/pds_core.dir/trace_io.cpp.o"
+  "CMakeFiles/pds_core.dir/trace_io.cpp.o.d"
+  "CMakeFiles/pds_core.dir/trace_study.cpp.o"
+  "CMakeFiles/pds_core.dir/trace_study.cpp.o.d"
+  "libpds_core.a"
+  "libpds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpds_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_dropper.dir/lossy_link.cpp.o"
+  "CMakeFiles/pds_dropper.dir/lossy_link.cpp.o.d"
+  "CMakeFiles/pds_dropper.dir/plr_dropper.cpp.o"
+  "CMakeFiles/pds_dropper.dir/plr_dropper.cpp.o.d"
+  "libpds_dropper.a"
+  "libpds_dropper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_dropper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsim/event_queue.cpp" "src/dsim/CMakeFiles/pds_dsim.dir/event_queue.cpp.o" "gcc" "src/dsim/CMakeFiles/pds_dsim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/dsim/simulator.cpp" "src/dsim/CMakeFiles/pds_dsim.dir/simulator.cpp.o" "gcc" "src/dsim/CMakeFiles/pds_dsim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

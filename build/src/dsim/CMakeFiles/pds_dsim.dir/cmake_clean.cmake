@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_dsim.dir/event_queue.cpp.o"
+  "CMakeFiles/pds_dsim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pds_dsim.dir/simulator.cpp.o"
+  "CMakeFiles/pds_dsim.dir/simulator.cpp.o.d"
+  "libpds_dsim.a"
+  "libpds_dsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_dsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

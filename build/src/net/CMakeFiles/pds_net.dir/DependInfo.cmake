@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/chain.cpp" "src/net/CMakeFiles/pds_net.dir/chain.cpp.o" "gcc" "src/net/CMakeFiles/pds_net.dir/chain.cpp.o.d"
+  "/root/repo/src/net/scenario.cpp" "src/net/CMakeFiles/pds_net.dir/scenario.cpp.o" "gcc" "src/net/CMakeFiles/pds_net.dir/scenario.cpp.o.d"
+  "/root/repo/src/net/study_b.cpp" "src/net/CMakeFiles/pds_net.dir/study_b.cpp.o" "gcc" "src/net/CMakeFiles/pds_net.dir/study_b.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/pds_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/pds_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/pds_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pds_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pds_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pds_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pds_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_net.dir/chain.cpp.o"
+  "CMakeFiles/pds_net.dir/chain.cpp.o.d"
+  "CMakeFiles/pds_net.dir/scenario.cpp.o"
+  "CMakeFiles/pds_net.dir/scenario.cpp.o.d"
+  "CMakeFiles/pds_net.dir/study_b.cpp.o"
+  "CMakeFiles/pds_net.dir/study_b.cpp.o.d"
+  "CMakeFiles/pds_net.dir/topology.cpp.o"
+  "CMakeFiles/pds_net.dir/topology.cpp.o.d"
+  "libpds_net.a"
+  "libpds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

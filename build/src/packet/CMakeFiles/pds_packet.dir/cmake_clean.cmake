@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_packet.dir/size_law.cpp.o"
+  "CMakeFiles/pds_packet.dir/size_law.cpp.o.d"
+  "libpds_packet.a"
+  "libpds_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

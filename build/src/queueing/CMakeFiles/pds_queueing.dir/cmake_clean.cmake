@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_queueing.dir/backlog.cpp.o"
+  "CMakeFiles/pds_queueing.dir/backlog.cpp.o.d"
+  "libpds_queueing.a"
+  "libpds_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_rng.dir/distributions.cpp.o"
+  "CMakeFiles/pds_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/pds_rng.dir/rng.cpp.o"
+  "CMakeFiles/pds_rng.dir/rng.cpp.o.d"
+  "libpds_rng.a"
+  "libpds_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/additive.cpp" "src/sched/CMakeFiles/pds_sched.dir/additive.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/additive.cpp.o.d"
+  "/root/repo/src/sched/bpr.cpp" "src/sched/CMakeFiles/pds_sched.dir/bpr.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/bpr.cpp.o.d"
+  "/root/repo/src/sched/bpr_fluid.cpp" "src/sched/CMakeFiles/pds_sched.dir/bpr_fluid.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/bpr_fluid.cpp.o.d"
+  "/root/repo/src/sched/drr.cpp" "src/sched/CMakeFiles/pds_sched.dir/drr.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/drr.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/pds_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/sched/CMakeFiles/pds_sched.dir/fcfs.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/fcfs.cpp.o.d"
+  "/root/repo/src/sched/link.cpp" "src/sched/CMakeFiles/pds_sched.dir/link.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/link.cpp.o.d"
+  "/root/repo/src/sched/pad.cpp" "src/sched/CMakeFiles/pds_sched.dir/pad.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/pad.cpp.o.d"
+  "/root/repo/src/sched/scfq.cpp" "src/sched/CMakeFiles/pds_sched.dir/scfq.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/scfq.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/pds_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/strict_priority.cpp" "src/sched/CMakeFiles/pds_sched.dir/strict_priority.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/strict_priority.cpp.o.d"
+  "/root/repo/src/sched/virtual_clock.cpp" "src/sched/CMakeFiles/pds_sched.dir/virtual_clock.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/virtual_clock.cpp.o.d"
+  "/root/repo/src/sched/wtp.cpp" "src/sched/CMakeFiles/pds_sched.dir/wtp.cpp.o" "gcc" "src/sched/CMakeFiles/pds_sched.dir/wtp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/pds_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pds_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pds_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pds_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_sched.dir/additive.cpp.o"
+  "CMakeFiles/pds_sched.dir/additive.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/bpr.cpp.o"
+  "CMakeFiles/pds_sched.dir/bpr.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/bpr_fluid.cpp.o"
+  "CMakeFiles/pds_sched.dir/bpr_fluid.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/drr.cpp.o"
+  "CMakeFiles/pds_sched.dir/drr.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/factory.cpp.o"
+  "CMakeFiles/pds_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/fcfs.cpp.o"
+  "CMakeFiles/pds_sched.dir/fcfs.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/link.cpp.o"
+  "CMakeFiles/pds_sched.dir/link.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/pad.cpp.o"
+  "CMakeFiles/pds_sched.dir/pad.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/scfq.cpp.o"
+  "CMakeFiles/pds_sched.dir/scfq.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/pds_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/strict_priority.cpp.o"
+  "CMakeFiles/pds_sched.dir/strict_priority.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/virtual_clock.cpp.o"
+  "CMakeFiles/pds_sched.dir/virtual_clock.cpp.o.d"
+  "CMakeFiles/pds_sched.dir/wtp.cpp.o"
+  "CMakeFiles/pds_sched.dir/wtp.cpp.o.d"
+  "libpds_sched.a"
+  "libpds_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/delay_stats.cpp" "src/stats/CMakeFiles/pds_stats.dir/delay_stats.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/delay_stats.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/pds_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/interval_monitor.cpp" "src/stats/CMakeFiles/pds_stats.dir/interval_monitor.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/interval_monitor.cpp.o.d"
+  "/root/repo/src/stats/jitter.cpp" "src/stats/CMakeFiles/pds_stats.dir/jitter.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/jitter.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/stats/CMakeFiles/pds_stats.dir/percentile.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/percentile.cpp.o.d"
+  "/root/repo/src/stats/sawtooth.cpp" "src/stats/CMakeFiles/pds_stats.dir/sawtooth.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/sawtooth.cpp.o.d"
+  "/root/repo/src/stats/variance_time.cpp" "src/stats/CMakeFiles/pds_stats.dir/variance_time.cpp.o" "gcc" "src/stats/CMakeFiles/pds_stats.dir/variance_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/pds_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pds_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pds_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

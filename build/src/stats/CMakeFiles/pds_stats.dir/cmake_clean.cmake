@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_stats.dir/delay_stats.cpp.o"
+  "CMakeFiles/pds_stats.dir/delay_stats.cpp.o.d"
+  "CMakeFiles/pds_stats.dir/histogram.cpp.o"
+  "CMakeFiles/pds_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/pds_stats.dir/interval_monitor.cpp.o"
+  "CMakeFiles/pds_stats.dir/interval_monitor.cpp.o.d"
+  "CMakeFiles/pds_stats.dir/jitter.cpp.o"
+  "CMakeFiles/pds_stats.dir/jitter.cpp.o.d"
+  "CMakeFiles/pds_stats.dir/percentile.cpp.o"
+  "CMakeFiles/pds_stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/pds_stats.dir/sawtooth.cpp.o"
+  "CMakeFiles/pds_stats.dir/sawtooth.cpp.o.d"
+  "CMakeFiles/pds_stats.dir/variance_time.cpp.o"
+  "CMakeFiles/pds_stats.dir/variance_time.cpp.o.d"
+  "libpds_stats.a"
+  "libpds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

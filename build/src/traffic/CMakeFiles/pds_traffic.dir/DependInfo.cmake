@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/calibration.cpp" "src/traffic/CMakeFiles/pds_traffic.dir/calibration.cpp.o" "gcc" "src/traffic/CMakeFiles/pds_traffic.dir/calibration.cpp.o.d"
+  "/root/repo/src/traffic/ecn.cpp" "src/traffic/CMakeFiles/pds_traffic.dir/ecn.cpp.o" "gcc" "src/traffic/CMakeFiles/pds_traffic.dir/ecn.cpp.o.d"
+  "/root/repo/src/traffic/onoff.cpp" "src/traffic/CMakeFiles/pds_traffic.dir/onoff.cpp.o" "gcc" "src/traffic/CMakeFiles/pds_traffic.dir/onoff.cpp.o.d"
+  "/root/repo/src/traffic/source.cpp" "src/traffic/CMakeFiles/pds_traffic.dir/source.cpp.o" "gcc" "src/traffic/CMakeFiles/pds_traffic.dir/source.cpp.o.d"
+  "/root/repo/src/traffic/token_bucket.cpp" "src/traffic/CMakeFiles/pds_traffic.dir/token_bucket.cpp.o" "gcc" "src/traffic/CMakeFiles/pds_traffic.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/pds_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pds_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pds_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pds_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_traffic.dir/calibration.cpp.o"
+  "CMakeFiles/pds_traffic.dir/calibration.cpp.o.d"
+  "CMakeFiles/pds_traffic.dir/ecn.cpp.o"
+  "CMakeFiles/pds_traffic.dir/ecn.cpp.o.d"
+  "CMakeFiles/pds_traffic.dir/onoff.cpp.o"
+  "CMakeFiles/pds_traffic.dir/onoff.cpp.o.d"
+  "CMakeFiles/pds_traffic.dir/source.cpp.o"
+  "CMakeFiles/pds_traffic.dir/source.cpp.o.d"
+  "CMakeFiles/pds_traffic.dir/token_bucket.cpp.o"
+  "CMakeFiles/pds_traffic.dir/token_bucket.cpp.o.d"
+  "libpds_traffic.a"
+  "libpds_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

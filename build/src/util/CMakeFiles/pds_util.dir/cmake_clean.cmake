@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_util.dir/args.cpp.o"
+  "CMakeFiles/pds_util.dir/args.cpp.o.d"
+  "CMakeFiles/pds_util.dir/csv.cpp.o"
+  "CMakeFiles/pds_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pds_util.dir/table.cpp.o"
+  "CMakeFiles/pds_util.dir/table.cpp.o.d"
+  "libpds_util.a"
+  "libpds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

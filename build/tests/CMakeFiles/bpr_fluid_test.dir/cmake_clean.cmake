@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpr_fluid_test.dir/bpr_fluid_test.cpp.o"
+  "CMakeFiles/bpr_fluid_test.dir/bpr_fluid_test.cpp.o.d"
+  "bpr_fluid_test"
+  "bpr_fluid_test.pdb"
+  "bpr_fluid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpr_fluid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpr_test.dir/bpr_test.cpp.o"
+  "CMakeFiles/bpr_test.dir/bpr_test.cpp.o.d"
+  "bpr_test"
+  "bpr_test.pdb"
+  "bpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

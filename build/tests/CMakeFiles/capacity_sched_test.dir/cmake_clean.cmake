@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_sched_test.dir/capacity_sched_test.cpp.o"
+  "CMakeFiles/capacity_sched_test.dir/capacity_sched_test.cpp.o.d"
+  "capacity_sched_test"
+  "capacity_sched_test.pdb"
+  "capacity_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropper_test.dir/dropper_test.cpp.o"
+  "CMakeFiles/dropper_test.dir/dropper_test.cpp.o.d"
+  "dropper_test"
+  "dropper_test.pdb"
+  "dropper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

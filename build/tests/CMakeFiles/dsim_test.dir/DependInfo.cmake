@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsim_test.cpp" "tests/CMakeFiles/dsim_test.dir/dsim_test.cpp.o" "gcc" "tests/CMakeFiles/dsim_test.dir/dsim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dropper/CMakeFiles/pds_dropper.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pds_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pds_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pds_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/pds_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pds_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

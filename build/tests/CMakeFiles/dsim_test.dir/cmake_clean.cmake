@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsim_test.dir/dsim_test.cpp.o"
+  "CMakeFiles/dsim_test.dir/dsim_test.cpp.o.d"
+  "dsim_test"
+  "dsim_test.pdb"
+  "dsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_property_test.dir/lossy_property_test.cpp.o"
+  "CMakeFiles/lossy_property_test.dir/lossy_property_test.cpp.o.d"
+  "lossy_property_test"
+  "lossy_property_test.pdb"
+  "lossy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_hpd_test.dir/pad_hpd_test.cpp.o"
+  "CMakeFiles/pad_hpd_test.dir/pad_hpd_test.cpp.o.d"
+  "pad_hpd_test"
+  "pad_hpd_test.pdb"
+  "pad_hpd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_hpd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

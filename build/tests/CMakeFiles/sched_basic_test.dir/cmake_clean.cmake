@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_basic_test.dir/sched_basic_test.cpp.o"
+  "CMakeFiles/sched_basic_test.dir/sched_basic_test.cpp.o.d"
+  "sched_basic_test"
+  "sched_basic_test.pdb"
+  "sched_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_a_test.dir/study_a_test.cpp.o"
+  "CMakeFiles/study_a_test.dir/study_a_test.cpp.o.d"
+  "study_a_test"
+  "study_a_test.pdb"
+  "study_a_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_a_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_c_test.dir/study_c_test.cpp.o"
+  "CMakeFiles/study_c_test.dir/study_c_test.cpp.o.d"
+  "study_c_test"
+  "study_c_test.pdb"
+  "study_c_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

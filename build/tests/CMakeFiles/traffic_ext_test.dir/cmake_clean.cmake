@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_ext_test.dir/traffic_ext_test.cpp.o"
+  "CMakeFiles/traffic_ext_test.dir/traffic_ext_test.cpp.o.d"
+  "traffic_ext_test"
+  "traffic_ext_test.pdb"
+  "traffic_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtp_test.dir/wtp_test.cpp.o"
+  "CMakeFiles/wtp_test.dir/wtp_test.cpp.o.d"
+  "wtp_test"
+  "wtp_test.pdb"
+  "wtp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
