@@ -11,6 +11,7 @@
 //   simulate_cli --scheduler=bpr --rho=0.95 --mix=10,20,30,40 --taus=10,100
 //   simulate_cli --scheduler=hpd --rho=0.8 --check-feasibility
 //   simulate_cli --scheduler=sp --rho=0.95 --save-trace=run.csv
+//   simulate_cli --metrics-out=metrics.csv --trace-out=trace.csv --profile
 #include <iostream>
 
 #include "core/feasibility.hpp"
@@ -26,7 +27,8 @@ int main(int argc, char** argv) {
     const pds::ArgParser args(argc, argv);
     const std::vector<std::string> known{
         "scheduler", "rho", "sdp", "mix", "sim-time", "seed", "arrivals",
-        "taus", "check-feasibility", "save-trace", "help"};
+        "taus", "check-feasibility", "save-trace", "metrics-out",
+        "metrics-window", "trace-out", "trace-sample", "profile", "help"};
     const auto unknown = args.unknown_keys(known);
     if (!unknown.empty() || args.has("help")) {
       std::cerr << "usage: simulate_cli [--scheduler=wtp|bpr|fcfs|sp|"
@@ -35,7 +37,10 @@ int main(int argc, char** argv) {
                    "  [--arrivals=pareto|poisson]\n"
                    "  [--sim-time=4e5] [--seed=1] [--taus=10,100,...]"
                    " (p-units)\n"
-                   "  [--check-feasibility] [--save-trace=FILE]\n";
+                   "  [--check-feasibility] [--save-trace=FILE]\n"
+                   "  [--metrics-out=FILE(.csv|.jsonl)]"
+                   " [--metrics-window=100] (p-units)\n"
+                   "  [--trace-out=FILE] [--trace-sample=0.01] [--profile]\n";
       return unknown.empty() ? 0 : 2;
     }
 
@@ -66,6 +71,12 @@ int main(int argc, char** argv) {
     const bool check = args.get_bool("check-feasibility", false);
     const auto trace_path = args.get_string("save-trace", "");
     config.record_trace = check || !trace_path.empty();
+    config.metrics_out = args.get_string("metrics-out", "");
+    config.metrics_window =
+        args.get_double("metrics-window", 100.0) * pds::kPUnit;
+    config.trace_out = args.get_string("trace-out", "");
+    config.trace_sample = args.get_double("trace-sample", 0.01);
+    config.profile = args.get_bool("profile", false);
 
     const auto result = pds::run_study_a(config);
 
@@ -124,6 +135,25 @@ int main(int argc, char** argv) {
       pds::save_trace(trace_path, result.trace);
       std::cout << "\narrival trace (" << result.trace.size()
                 << " records) written to " << trace_path << "\n";
+    }
+
+    if (!config.metrics_out.empty()) {
+      std::cout << "\nmetrics: " << result.metrics_snapshots
+                << " snapshots (window "
+                << pds::TablePrinter::num(config.metrics_window / pds::kPUnit,
+                                          0)
+                << " p-units) written to " << config.metrics_out << "\n";
+    }
+    if (!config.trace_out.empty()) {
+      std::cout << "lifecycle trace: " << result.trace_records
+                << " sampled records (rate " << config.trace_sample
+                << ") written to " << config.trace_out
+                << " — inspect with trace_inspect --trace="
+                << config.trace_out << "\n";
+    }
+    if (config.profile) {
+      std::cout << "\nsimulator profile (wall time by event category):\n"
+                << result.profile_report;
     }
     return 0;
   } catch (const std::exception& e) {

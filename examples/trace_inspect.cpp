@@ -1,0 +1,207 @@
+// Offline inspector for observability artifacts written by simulate_cli.
+//
+// Loads a sampled packet-lifecycle trace (--trace=FILE, the PacketTracer CSV
+// format) and/or a windowed metrics time series (--metrics=FILE, the
+// MetricsSnapshotWriter CSV format) and prints aligned summary tables:
+// per-class lifecycle counts and waiting times, per-hop attribution, and the
+// final state of every registered metric.
+//
+// Examples:
+//   simulate_cli --trace-out=t.csv --metrics-out=m.csv
+//   trace_inspect --trace=t.csv --metrics=m.csv
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "packet/size_law.hpp"
+#include "stats/running_stats.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct LifecycleAgg {
+  std::uint64_t arrives = 0;
+  std::uint64_t enqueues = 0;
+  std::uint64_t dequeues = 0;
+  std::uint64_t departs = 0;
+  std::uint64_t drops = 0;
+  pds::RunningStats wait;             // queueing delay at depart
+  pds::RunningStats backlog_packets;  // backlog seen at enqueue
+
+  void add(const pds::TraceRecord& r) {
+    switch (r.kind) {
+      case pds::TraceEventKind::kArrive:
+        ++arrives;
+        break;
+      case pds::TraceEventKind::kEnqueue:
+        ++enqueues;
+        backlog_packets.add(static_cast<double>(r.backlog_packets));
+        break;
+      case pds::TraceEventKind::kDequeue:
+        ++dequeues;
+        break;
+      case pds::TraceEventKind::kDepart:
+        ++departs;
+        wait.add(r.wait);
+        break;
+      case pds::TraceEventKind::kDrop:
+        ++drops;
+        break;
+    }
+  }
+};
+
+std::string p_units(double t) { return pds::TablePrinter::num(t / pds::kPUnit, 1); }
+
+void print_trace(const std::vector<pds::TraceRecord>& records) {
+  if (records.empty()) {
+    std::cout << "trace: empty\n";
+    return;
+  }
+  std::set<std::uint64_t> packets;
+  double t_min = records.front().time;
+  double t_max = records.front().time;
+  std::map<pds::ClassId, LifecycleAgg> by_class;
+  std::map<std::uint32_t, LifecycleAgg> by_hop;
+  for (const auto& r : records) {
+    packets.insert(r.packet_id);
+    t_min = std::min(t_min, r.time);
+    t_max = std::max(t_max, r.time);
+    by_class[r.cls].add(r);
+    by_hop[r.hop].add(r);
+  }
+
+  std::cout << "trace: " << records.size() << " records, " << packets.size()
+            << " sampled packets, time span [" << p_units(t_min) << ", "
+            << p_units(t_max) << "] p-units\n\n";
+
+  std::cout << "per-class lifecycle (waits in p-units):\n";
+  pds::TablePrinter cls_table({"class", "arrive", "enqueue", "dequeue",
+                               "depart", "drop", "mean wait", "max wait",
+                               "mean backlog"});
+  for (const auto& [cls, agg] : by_class) {
+    cls_table.add_row(
+        {std::to_string(pds::paper_class_label(cls)),
+         std::to_string(agg.arrives), std::to_string(agg.enqueues),
+         std::to_string(agg.dequeues), std::to_string(agg.departs),
+         std::to_string(agg.drops),
+         agg.wait.count() > 0 ? p_units(agg.wait.mean()) : "-",
+         agg.wait.count() > 0 ? p_units(agg.wait.max()) : "-",
+         agg.backlog_packets.count() > 0
+             ? pds::TablePrinter::num(agg.backlog_packets.mean(), 1)
+             : "-"});
+  }
+  cls_table.print(std::cout);
+
+  if (by_hop.size() > 1) {
+    std::cout << "\nper-hop attribution (waits in p-units):\n";
+    pds::TablePrinter hop_table(
+        {"hop", "depart", "drop", "mean wait", "max wait"});
+    for (const auto& [hop, agg] : by_hop) {
+      hop_table.add_row(
+          {std::to_string(hop), std::to_string(agg.departs),
+           std::to_string(agg.drops),
+           agg.wait.count() > 0 ? p_units(agg.wait.mean()) : "-",
+           agg.wait.count() > 0 ? p_units(agg.wait.max()) : "-"});
+    }
+    hop_table.print(std::cout);
+  }
+}
+
+void print_metrics(const std::vector<pds::MetricsRow>& rows) {
+  if (rows.empty()) {
+    std::cout << "metrics: empty\n";
+    return;
+  }
+  // Per-metric rollup across snapshots. Counters carry a cumulative total in
+  // `value` (last row wins); summaries are per-window, so the run-level view
+  // is the count-weighted mean and the min/max envelope.
+  struct Roll {
+    std::string type;
+    std::uint64_t snapshots = 0;
+    double last = 0.0;          // counter total / gauge value (last row)
+    double weighted_sum = 0.0;  // summary: sum(mean * count)
+    double count = 0.0;         // summary: sum(count)
+    double min = std::nan("");
+    double max = std::nan("");
+  };
+  std::map<std::string, Roll> by_name;
+  std::set<double> times;
+  for (const auto& r : rows) {
+    times.insert(r.time);
+    Roll& roll = by_name[r.name];
+    roll.type = r.type;
+    ++roll.snapshots;
+    roll.last = r.value;
+    if (r.type == "summary" && !std::isnan(r.count) && r.count > 0) {
+      roll.weighted_sum += r.mean * r.count;
+      roll.count += r.count;
+      if (std::isnan(roll.min) || r.min < roll.min) roll.min = r.min;
+      if (std::isnan(roll.max) || r.max > roll.max) roll.max = r.max;
+    }
+  }
+
+  std::cout << "metrics: " << by_name.size() << " series, " << times.size()
+            << " snapshots, last at "
+            << pds::TablePrinter::num(*times.rbegin() / pds::kPUnit, 1)
+            << " p-units\n\n";
+  pds::TablePrinter table(
+      {"metric", "type", "final/total", "mean", "min", "max"});
+  const auto opt = [](double v) {
+    return std::isnan(v) ? std::string("-") : pds::TablePrinter::num(v);
+  };
+  for (const auto& [name, roll] : by_name) {
+    if (roll.type == "summary") {
+      const bool any = roll.count > 0;
+      table.add_row({name, roll.type, pds::TablePrinter::num(roll.count, 0),
+                     any ? pds::TablePrinter::num(roll.weighted_sum /
+                                                  roll.count)
+                         : "-",
+                     any ? opt(roll.min) : "-", any ? opt(roll.max) : "-"});
+    } else {
+      table.add_row({name, roll.type, opt(roll.last), "-", "-", "-"});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const pds::ArgParser args(argc, argv);
+    const std::vector<std::string> known{"trace", "metrics", "help"};
+    const auto unknown = args.unknown_keys(known);
+    const auto trace_path = args.get_string("trace", "");
+    const auto metrics_path = args.get_string("metrics", "");
+    if (!unknown.empty() || args.has("help") ||
+        (trace_path.empty() && metrics_path.empty())) {
+      std::cerr << "usage: trace_inspect [--trace=FILE] [--metrics=FILE]\n"
+                   "  --trace    lifecycle trace CSV from --trace-out\n"
+                   "  --metrics  windowed metrics CSV from --metrics-out\n";
+      return unknown.empty() && !args.has("help") ? 2
+             : unknown.empty()                    ? 0
+                                                  : 2;
+    }
+
+    if (!trace_path.empty()) {
+      print_trace(pds::PacketTracer::load(trace_path));
+    }
+    if (!metrics_path.empty()) {
+      if (!trace_path.empty()) std::cout << "\n";
+      print_metrics(pds::load_metrics_csv(metrics_path));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass.
+#
+#   scripts/check.sh          # plain build + ctest, then ASan/UBSan build + ctest
+#   scripts/check.sh --fast   # plain build + ctest only
+#
+# The sanitizer configuration lives in build-asan/ so it never dirties the
+# primary build/ tree. Both passes must be green before merging.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: plain build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== done (fast mode, sanitizer pass skipped) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan + UBSan build + tests =="
+cmake -B build-asan -S . -DPDS_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== all checks passed =="

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/tracer.hpp"
 #include "sched/link.hpp"
 #include "stats/delay_stats.hpp"
 #include "stats/interval_monitor.hpp"
@@ -33,6 +37,11 @@ void StudyAConfig::validate() const {
   for (const double p : report_percentiles) {
     PDS_CHECK(p >= 0.0 && p <= 100.0, "percentile outside [0,100]");
   }
+  if (!metrics_out.empty()) {
+    PDS_CHECK(metrics_window > 0.0, "metrics window must be positive");
+  }
+  PDS_CHECK(trace_sample >= 0.0 && trace_sample <= 1.0,
+            "trace sample rate must be in [0,1]");
 }
 
 StudyAResult run_study_a(const StudyAConfig& config) {
@@ -48,6 +57,68 @@ StudyAResult run_study_a(const StudyAConfig& config) {
   sched_config.sdp = config.sdp;
   sched_config.link_capacity = config.capacity;
   auto scheduler = make_scheduler(config.scheduler, sched_config);
+
+  // Optional observability session (metrics registry + windowed snapshot
+  // writer, sampled lifecycle tracer, kernel profiler). All of it is
+  // null-object by default: a run without obs flags takes none of these
+  // branches.
+  const auto cls_name = [](ClassId c) {
+    return "c" + std::to_string(paper_class_label(c));
+  };
+  const auto ratio_name = [&](ClassId c) {
+    return "delay_ratio." + cls_name(c) + "_" + cls_name(c + 1);
+  };
+  std::unique_ptr<MetricsRegistry> registry;
+  std::vector<Summary*> delay_summaries;
+  std::vector<Counter*> arrival_counters;
+  std::vector<Counter*> departure_counters;
+  std::unique_ptr<MetricsSnapshotWriter> writer;
+  if (!config.metrics_out.empty()) {
+    registry = std::make_unique<MetricsRegistry>();
+    for (ClassId c = 0; c < n; ++c) {
+      delay_summaries.push_back(&registry->summary("delay." + cls_name(c)));
+      arrival_counters.push_back(
+          &registry->counter("arrivals." + cls_name(c)));
+      departure_counters.push_back(
+          &registry->counter("departures." + cls_name(c)));
+      registry->gauge("backlog." + cls_name(c) + ".pkts");
+      registry->gauge("backlog." + cls_name(c) + ".bytes");
+      if (c + 1 < n) registry->gauge(ratio_name(c));
+    }
+    // Pull-style gauges refreshed just before each snapshot: instantaneous
+    // per-class backlog off the scheduler, and the achieved short-timescale
+    // delay ratios (window-mean d_i / d_{i+1}, Eq. 2's runtime analogue;
+    // 0 when a window lacks departures in either class).
+    auto refresh = [reg = registry.get(), sched = scheduler.get(), n,
+                    cls_name, ratio_name](SimTime) {
+      for (ClassId c = 0; c < n; ++c) {
+        reg->gauge("backlog." + cls_name(c) + ".pkts")
+            .set(static_cast<double>(sched->backlog_packets(c)));
+        reg->gauge("backlog." + cls_name(c) + ".bytes")
+            .set(static_cast<double>(sched->backlog_bytes(c)));
+      }
+      for (ClassId c = 0; c + 1 < n; ++c) {
+        const RunningStats& lo = reg->summary("delay." + cls_name(c)).window();
+        const RunningStats& hi =
+            reg->summary("delay." + cls_name(c + 1)).window();
+        const bool defined =
+            lo.count() > 0 && hi.count() > 0 && hi.mean() > 0.0;
+        reg->gauge(ratio_name(c)).set(defined ? lo.mean() / hi.mean() : 0.0);
+      }
+    };
+    writer = std::make_unique<MetricsSnapshotWriter>(
+        sim, *registry, config.metrics_out, config.metrics_window,
+        std::move(refresh));
+  }
+  std::unique_ptr<PacketTracer> tracer;
+  if (!config.trace_out.empty()) {
+    tracer = std::make_unique<PacketTracer>(config.trace_sample, config.seed);
+  }
+  std::unique_ptr<SimProfiler> profiler;
+  if (config.profile) {
+    profiler = std::make_unique<SimProfiler>();
+    sim.set_monitor(profiler.get());
+  }
 
   StudyAResult result;
   ClassDelayStats delays(n, warmup);
@@ -65,6 +136,10 @@ StudyAResult run_study_a(const StudyAConfig& config) {
             [&](Packet&& p, SimTime wait, SimTime now) {
               delays.record(p.cls, wait, now);
               for (auto& m : monitors) m.record(p.cls, wait, now);
+              if (registry) {
+                delay_summaries[p.cls]->observe(wait);
+                departure_counters[p.cls]->inc();
+              }
               if (now >= warmup) {
                 ++result.total_departures;
                 sawtooth.record(p.cls, wait);
@@ -98,14 +173,31 @@ StudyAResult run_study_a(const StudyAConfig& config) {
             result.trace.push_back(
                 ArrivalRecord{sim.now(), p.cls, p.size_bytes});
           }
+          if (registry) arrival_counters[p.cls]->inc();
           link.arrive(std::move(p));
         }));
     sources.back()->start(kTimeZero);
   }
+  if (tracer) link.set_probe(tracer.get());
 
   sim.run_until(config.sim_time);
   for (auto& s : sources) s->stop();
   for (auto& m : monitors) m.finish();
+  if (writer) {
+    writer->flush();
+    result.metrics_snapshots = writer->snapshots_written();
+  }
+  if (tracer) {
+    link.set_probe(nullptr);
+    tracer->save(config.trace_out);
+    result.trace_records = tracer->records().size();
+  }
+  if (profiler) {
+    sim.set_monitor(nullptr);
+    std::ostringstream os;
+    profiler->print(os);
+    result.profile_report = os.str();
+  }
 
   result.mean_delays = delays.means();
   result.ratios = delays.successive_ratios();

@@ -64,6 +64,24 @@ struct StudyAConfig {
   // disables sample retention.
   std::vector<double> report_percentiles;
 
+  // --- Observability (src/obs) ---
+  // When non-empty, a MetricsRegistry snapshot writer appends one row per
+  // metric to this file (.jsonl => JSON lines, else CSV) every
+  // `metrics_window` time units: per-class backlog gauges, windowed delay
+  // summaries, departure/arrival counters, and achieved delay-ratio gauges
+  // (see docs/observability.md for the naming scheme).
+  std::string metrics_out;
+  SimTime metrics_window = 100.0 * kPUnit;
+
+  // When non-empty, a PacketTracer samples `trace_sample` of the packets
+  // (deterministically per seed) and writes their lifecycle events here.
+  std::string trace_out;
+  double trace_sample = 0.01;
+
+  // Attaches a SimProfiler to the kernel; the rendered per-category report
+  // lands in StudyAResult::profile_report.
+  bool profile = false;
+
   std::uint32_t num_classes() const {
     return static_cast<std::uint32_t>(sdp.size());
   }
@@ -97,6 +115,13 @@ struct StudyAResult {
   std::vector<double> sawtooth_index;         // per class
   std::uint64_t sawtooth_collapses = 0;
   std::vector<double> jitter;                 // per class (RFC 3550 style)
+
+  // Rendered SimProfiler tables (iff config.profile).
+  std::string profile_report;
+  // Lifecycle records actually traced (iff config.trace_out was set; the
+  // same records are in the file).
+  std::uint64_t trace_records = 0;
+  std::uint64_t metrics_snapshots = 0;        // iff config.metrics_out
 };
 
 StudyAResult run_study_a(const StudyAConfig& config);

@@ -28,6 +28,14 @@ LossyLink::LossyLink(Simulator& sim, Scheduler& sched, double capacity,
   }
 }
 
+void LossyLink::notify_drop(const Packet& p) {
+  PDS_OBS_NOTIFY(probe_,
+                 on_drop(p,
+                         ProbeContext{hop_, sched_.backlog_packets(p.cls),
+                                      sched_.backlog_bytes(p.cls)},
+                         sim_.now()));
+}
+
 std::uint64_t LossyLink::queued_packets() const {
   std::uint64_t total = 0;
   for (ClassId c = 0; c < sched_.num_classes(); ++c) {
@@ -50,6 +58,7 @@ void LossyLink::arrive(Packet p) {
   // Buffer overflow.
   if (policy_ == DropPolicy::kDropIncoming) {
     ++drops_[cls];
+    notify_drop(p);
     on_drop_(p, sim_.now());
     return;
   }
@@ -65,11 +74,13 @@ void LossyLink::arrive(Packet p) {
   PDS_REQUIRE(victim.has_value());
   ++drops_[*victim];
   if (*victim == cls && sched_.backlog_packets(cls) == 0) {
+    notify_drop(p);
     on_drop_(p, sim_.now());
     return;
   }
   auto pushed_out = sched_.drop_tail(*victim);
   PDS_REQUIRE(pushed_out.has_value());
+  notify_drop(*pushed_out);
   on_drop_(*pushed_out, sim_.now());
   link_.arrive(std::move(p));
 }

@@ -53,8 +53,19 @@ class LossyLink {
 
   const Link& link() const noexcept { return link_; }
 
+  // Observability: attaches a lifecycle probe to the inner link/scheduler
+  // (arrive/enqueue/dequeue/depart) and to this dropper, which emits exactly
+  // one on_drop per lost packet — whether the victim is the arriving packet
+  // or a pushed-out queued one.
+  void set_probe(PacketProbe* probe, std::uint32_t hop = 0) noexcept {
+    probe_ = probe;
+    hop_ = hop;
+    link_.set_probe(probe, hop);
+  }
+
  private:
   std::uint64_t queued_packets() const;
+  void notify_drop(const Packet& p);
 
   Simulator& sim_;
   Scheduler& sched_;
@@ -65,6 +76,8 @@ class LossyLink {
   Link link_;
   std::vector<std::uint64_t> arrivals_;
   std::vector<std::uint64_t> drops_;
+  PacketProbe* probe_ = nullptr;
+  std::uint32_t hop_ = 0;
 };
 
 }  // namespace pds

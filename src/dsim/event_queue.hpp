@@ -29,6 +29,10 @@ struct EventItem {
   SimTime time;
   std::uint64_t seq;
   std::function<void()> action;
+  // Optional profiling category. Must point at a string with static storage
+  // duration (typically a literal); nullptr means "unlabeled". Ignored by
+  // the ordering — it only feeds the SimMonitor hook (obs/profiler.hpp).
+  const char* label = nullptr;
 };
 
 class EventQueue {

@@ -11,15 +11,15 @@ namespace pds {
 Simulator::Simulator(EventQueueKind queue)
     : events_(make_event_queue(queue)) {}
 
-void Simulator::schedule_at(SimTime t, Action action) {
+void Simulator::schedule_at(SimTime t, Action action, const char* label) {
   PDS_CHECK(t >= now_, "cannot schedule an event in the past");
   PDS_CHECK(static_cast<bool>(action), "null event action");
-  events_->push(EventItem{t, next_seq_++, std::move(action)});
+  events_->push(EventItem{t, next_seq_++, std::move(action), label});
 }
 
-void Simulator::schedule_in(SimTime dt, Action action) {
+void Simulator::schedule_in(SimTime dt, Action action, const char* label) {
   PDS_CHECK(dt >= 0.0, "negative delay");
-  schedule_at(now_ + dt, std::move(action));
+  schedule_at(now_ + dt, std::move(action), label);
 }
 
 void Simulator::run() {
@@ -39,9 +39,18 @@ void Simulator::drain(SimTime horizon, bool bounded) {
     PDS_REQUIRE(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
-    ev.action();
+    if (monitor_ != nullptr) {
+      monitor_->on_event_begin(now_, ev.label, events_->size());
+      ev.action();
+      monitor_->on_event_end(now_, ev.label);
+    } else {
+      ev.action();
+    }
   }
-  if (bounded && now_ < horizon) now_ = horizon;
+  // Advance to the horizon only on a normal bounded exit. After stop() the
+  // queue may still hold events before the horizon; jumping the clock past
+  // them would make them "past" events and break a subsequent run.
+  if (bounded && !stopped_ && now_ < horizon) now_ = horizon;
 }
 
 struct PeriodicProcess::State {
@@ -56,7 +65,7 @@ struct PeriodicProcess::State {
     if (st->cancelled) return;
     st->body(st->sim.now());
     if (st->cancelled) return;
-    st->sim.schedule_in(st->period, [st]() { fire(st); });
+    st->sim.schedule_in(st->period, [st]() { fire(st); }, "dsim.periodic");
   }
 };
 
@@ -66,7 +75,7 @@ PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime start, SimTime period,
   PDS_CHECK(period > 0.0, "period must be positive");
   PDS_CHECK(static_cast<bool>(state_->body), "null process body");
   auto st = state_;
-  sim.schedule_at(start, [st]() { State::fire(st); });
+  sim.schedule_at(start, [st]() { State::fire(st); }, "dsim.periodic");
 }
 
 PeriodicProcess::~PeriodicProcess() {

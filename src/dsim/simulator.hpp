@@ -16,6 +16,24 @@
 
 namespace pds {
 
+// Kernel-level observer invoked around every executed event. The profiler in
+// obs/profiler.hpp is the canonical implementation; the hook is defined here
+// so the kernel stays free of higher-layer dependencies. Implementations must
+// not schedule events or mutate the simulator from inside the callbacks.
+class SimMonitor {
+ public:
+  virtual ~SimMonitor() = default;
+
+  // Fired after the clock advanced to the event's time, before the action
+  // runs. `pending` is the queue size excluding the event being executed.
+  virtual void on_event_begin(SimTime now, const char* label,
+                              std::size_t pending) noexcept = 0;
+
+  // Fired after the action returned (labels match on_event_begin pairwise;
+  // events never nest — drain is not reentrant).
+  virtual void on_event_end(SimTime now, const char* label) noexcept = 0;
+};
+
 class Simulator {
  public:
   using Action = std::function<void()>;
@@ -33,18 +51,35 @@ class Simulator {
 
   // Schedules `action` at absolute time `t >= now()`. Throws
   // std::invalid_argument if `t` is in the past.
-  void schedule_at(SimTime t, Action action);
+  //
+  // Scheduling at exactly now() — including from inside a running event —
+  // is guaranteed to (a) never throw and (b) preserve FIFO order: the new
+  // event receives the next sequence number, so among all events with equal
+  // timestamps it fires after every previously scheduled one, during the
+  // current run (even when `t` equals a `run_until` horizon).
+  //
+  // `label` is an optional profiling category for the SimMonitor hook; it
+  // must be a literal / static string (the simulator stores the pointer).
+  void schedule_at(SimTime t, Action action, const char* label = nullptr);
 
   // Schedules `action` `dt >= 0` after the current time.
-  void schedule_in(SimTime dt, Action action);
+  void schedule_in(SimTime dt, Action action, const char* label = nullptr);
 
   // Runs events until the queue is empty, `run_until` horizon is reached, or
-  // stop() is called. Events exactly at the horizon still fire.
+  // stop() is called. Events exactly at the horizon still fire. When the
+  // horizon is reached normally the clock advances to it; when stop() ended
+  // the run early the clock stays at the last executed event so pending
+  // events are still in the future and a later run resumes cleanly.
   void run();
   void run_until(SimTime t_end);
 
   // Requests that the run loop exits after the current event returns.
   void stop() noexcept { stopped_ = true; }
+
+  // Installs (or clears, with nullptr) the kernel observer invoked around
+  // every event; see SimMonitor. The monitor must outlive the run.
+  void set_monitor(SimMonitor* monitor) noexcept { monitor_ = monitor; }
+  SimMonitor* monitor() const noexcept { return monitor_; }
 
   bool empty() const noexcept { return events_->empty(); }
   std::size_t pending_events() const noexcept { return events_->size(); }
@@ -58,6 +93,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  SimMonitor* monitor_ = nullptr;
 };
 
 // Repeatedly runs `body` every `period` time units until the simulator stops

@@ -43,6 +43,12 @@ void ChainNetwork::set_hop_observer(HopObserver observer) {
   hop_observer_ = std::move(observer);
 }
 
+void ChainNetwork::set_probe(PacketProbe* probe) noexcept {
+  for (std::uint32_t h = 0; h < links_.size(); ++h) {
+    links_[h]->set_probe(probe, h);
+  }
+}
+
 void ChainNetwork::on_departure(std::uint32_t hop, Packet&& p, SimTime wait) {
   if (hop_observer_) hop_observer_(hop, p, wait, sim_.now());
   if (p.flow == kNoFlow) {

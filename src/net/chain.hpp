@@ -54,6 +54,12 @@ class ChainNetwork {
 
   void set_hop_observer(HopObserver observer);
 
+  // Observability: attaches one lifecycle probe across every hop; each
+  // hop's link/scheduler stamps its events with its hop index, giving the
+  // per-hop attribution the end-to-end (Study B) experiments need. Pass
+  // nullptr to detach.
+  void set_probe(PacketProbe* probe) noexcept;
+
  private:
   void on_departure(std::uint32_t hop, Packet&& p, SimTime wait);
 

@@ -16,7 +16,8 @@ void FcfsScheduler::enqueue(Packet p, SimTime now) {
   PDS_CHECK(p.arrival <= now, "packet arrival stamped in the future");
   ++packets_per_class_[p.cls];
   bytes_per_class_[p.cls] += p.size_bytes;
-  q_.push_back(std::move(p));
+  q_.push_back(p);
+  notify_enqueued(p, now);
 }
 
 std::optional<Packet> FcfsScheduler::dequeue(SimTime) {

@@ -14,8 +14,14 @@ Link::Link(Simulator& sim, Scheduler& sched, double capacity,
   PDS_CHECK(static_cast<bool>(on_departure_), "null departure handler");
 }
 
+ProbeContext Link::probe_context(ClassId cls) const {
+  return ProbeContext{hop_, sched_.backlog_packets(cls),
+                      sched_.backlog_bytes(cls)};
+}
+
 void Link::arrive(Packet p) {
   p.arrival = sim_.now();
+  PDS_OBS_NOTIFY(probe_, on_arrive(p, probe_context(p.cls), sim_.now()));
   sched_.enqueue(std::move(p), sim_.now());
   try_start_service();
 }
@@ -36,16 +42,23 @@ void Link::try_start_service() {
   busy_time_ += tx;
   bytes_sent_ += p.size_bytes;
   ++packets_sent_;
+  PDS_OBS_NOTIFY(probe_,
+                 on_dequeue(p, probe_context(p.cls), sim_.now(), wait));
 
   // Completion event: deliver the packet and pull the next one. The packet
   // is moved into the closure; std::function requires copyability, so the
   // shared_ptr indirection keeps the capture cheap and movable.
   auto done = std::make_shared<Packet>(std::move(p));
-  sim_.schedule_in(tx, [this, done, wait]() {
-    busy_ = false;
-    on_departure_(std::move(*done), wait, sim_.now());
-    try_start_service();
-  });
+  sim_.schedule_in(
+      tx,
+      [this, done, wait]() {
+        busy_ = false;
+        PDS_OBS_NOTIFY(probe_, on_depart(*done, probe_context(done->cls),
+                                         sim_.now(), wait));
+        on_departure_(std::move(*done), wait, sim_.now());
+        try_start_service();
+      },
+      "link.tx");
 }
 
 }  // namespace pds

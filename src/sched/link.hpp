@@ -48,8 +48,22 @@ class Link {
 
   const Scheduler& scheduler() const noexcept { return sched_; }
 
+  // Observability: attaches a lifecycle probe (nullptr detaches) stamped
+  // with `hop` for multi-hop attribution. The link emits, per transmitted
+  // packet, exactly one on_arrive (before handing it to the scheduler), one
+  // on_dequeue (start of transmission, with the queueing delay), and one
+  // on_depart (end of transmission). Attaching here also attaches to the
+  // scheduler so its on_enqueue events carry the same hop.
+  void set_probe(PacketProbe* probe, std::uint32_t hop = 0) noexcept {
+    probe_ = probe;
+    hop_ = hop;
+    sched_.set_probe(probe, hop);
+  }
+
  private:
   void try_start_service();
+
+  ProbeContext probe_context(ClassId cls) const;
 
   Simulator& sim_;
   Scheduler& sched_;
@@ -59,6 +73,8 @@ class Link {
   double busy_time_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
+  PacketProbe* probe_ = nullptr;
+  std::uint32_t hop_ = 0;
 };
 
 }  // namespace pds

@@ -23,7 +23,8 @@ void ScfqScheduler::enqueue(Packet p, SimTime now) {
       start + static_cast<double>(p.size_bytes) / weight_[c];
   last_finish_[c] = finish;
   tags_[c].push_back(finish);
-  backlog_.push(std::move(p));
+  backlog_.push(p);
+  notify_enqueued(p, now);
 }
 
 std::optional<Packet> ScfqScheduler::dequeue(SimTime) {

@@ -30,7 +30,8 @@ ClassBasedScheduler::ClassBasedScheduler(const SchedulerConfig& config,
 
 void ClassBasedScheduler::enqueue(Packet p, SimTime now) {
   PDS_CHECK(p.arrival <= now, "packet arrival stamped in the future");
-  backlog_.push(std::move(p));
+  backlog_.push(p);
+  notify_enqueued(p, now);
 }
 
 std::optional<Packet> Scheduler::drop_tail(ClassId) { return std::nullopt; }

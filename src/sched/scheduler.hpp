@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dsim/time.hpp"
+#include "obs/probe.hpp"
 #include "packet/packet.hpp"
 #include "queueing/backlog.hpp"
 
@@ -77,8 +78,35 @@ class Scheduler {
   virtual std::uint64_t backlog_packets(ClassId cls) const = 0;
   virtual std::uint64_t backlog_bytes(ClassId cls) const = 0;
 
+  // Observability: attaches a lifecycle probe (nullptr detaches). The
+  // scheduler emits exactly one on_enqueue per accepted packet, stamped with
+  // `hop` and the packet's post-insert class backlog. The probe must outlive
+  // the scheduler or be detached first.
+  void set_probe(PacketProbe* probe, std::uint32_t hop = 0) noexcept {
+    probe_ = probe;
+    probe_hop_ = hop;
+  }
+  PacketProbe* probe() const noexcept { return probe_; }
+
  protected:
   Scheduler() = default;
+
+  // Fires the probe for a completed enqueue. Every enqueue() implementation
+  // must call this exactly once, after the packet is in its queue. (Packet
+  // is trivially copyable, so implementations keep a usable copy even after
+  // moving the argument into the backlog.)
+  void notify_enqueued([[maybe_unused]] const Packet& p,
+                       [[maybe_unused]] SimTime now) const {
+    PDS_OBS_NOTIFY(probe_,
+                   on_enqueue(p,
+                              ProbeContext{probe_hop_, backlog_packets(p.cls),
+                                           backlog_bytes(p.cls)},
+                              now));
+  }
+
+ private:
+  PacketProbe* probe_ = nullptr;
+  std::uint32_t probe_hop_ = 0;
 };
 
 // Common base for schedulers that keep one FIFO queue per class.

@@ -26,7 +26,8 @@ void VirtualClockScheduler::enqueue(Packet p, SimTime now) {
   vclock_[c] = std::max(now, vclock_[c]) +
                static_cast<double>(p.size_bytes) / weight_[c];
   tags_[c].push_back(vclock_[c]);
-  backlog_.push(std::move(p));
+  backlog_.push(p);
+  notify_enqueued(p, now);
 }
 
 std::optional<Packet> VirtualClockScheduler::dequeue(SimTime) {

@@ -50,17 +50,20 @@ struct EcnAdaptiveSource::State {
     const double mean_gap =
         static_cast<double>(st->config.packet_bytes) / st->rate;
     const ExponentialDist gap(mean_gap);
-    st->sim.schedule_in(gap.sample(st->rng), [st]() {
-      if (st->stopped) return;
-      Packet p;
-      p.id = st->ids.next();
-      p.cls = st->config.cls;
-      p.size_bytes = st->config.packet_bytes;
-      p.created = st->sim.now();
-      st->handler(std::move(p));
-      ++st->emitted;
-      arm(st);
-    });
+    st->sim.schedule_in(
+        gap.sample(st->rng),
+        [st]() {
+          if (st->stopped) return;
+          Packet p;
+          p.id = st->ids.next();
+          p.cls = st->config.cls;
+          p.size_bytes = st->config.packet_bytes;
+          p.created = st->sim.now();
+          st->handler(std::move(p));
+          ++st->emitted;
+          arm(st);
+        },
+        "traffic.ecn");
   }
 };
 

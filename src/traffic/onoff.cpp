@@ -63,9 +63,9 @@ struct OnOffSource::State {
     const double gap = static_cast<double>(st->config.packet_bytes) /
                        st->config.peak_rate;
     if (st->sim.now() + gap <= burst_end) {
-      st->sim.schedule_in(gap, [st, burst_end]() {
-        run_on_period(st, burst_end);
-      });
+      st->sim.schedule_in(
+          gap, [st, burst_end]() { run_on_period(st, burst_end); },
+          "traffic.onoff");
     } else {
       schedule_next_burst(st);
     }
@@ -74,12 +74,15 @@ struct OnOffSource::State {
   static void schedule_next_burst(const std::shared_ptr<State>& st) {
     if (st->stopped) return;
     const double off = st->draw_off();
-    st->sim.schedule_in(off, [st]() {
-      if (st->stopped) return;
-      ++st->bursts;
-      const double on = st->on_law.sample(st->rng);
-      run_on_period(st, st->sim.now() + on);
-    });
+    st->sim.schedule_in(
+        off,
+        [st]() {
+          if (st->stopped) return;
+          ++st->bursts;
+          const double on = st->on_law.sample(st->rng);
+          run_on_period(st, st->sim.now() + on);
+        },
+        "traffic.onoff");
   }
 };
 

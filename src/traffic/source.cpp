@@ -41,12 +41,15 @@ template <typename StateT>
 void arm_next(const std::shared_ptr<StateT>& st) {
   const double gap = st->gaps(st->rng);
   PDS_REQUIRE(gap > 0.0);
-  st->sim.schedule_in(gap, [st]() {
-    if (st->stopped) return;
-    st->emit();
-    ++st->emitted;
-    arm_next(st);
-  });
+  st->sim.schedule_in(
+      gap,
+      [st]() {
+        if (st->stopped) return;
+        st->emit();
+        ++st->emitted;
+        arm_next(st);
+      },
+      "traffic.source");
 }
 
 }  // namespace

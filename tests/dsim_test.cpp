@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "dsim/simulator.hpp"
@@ -121,6 +123,81 @@ TEST(Simulator, EventsCanScheduleAtCurrentTime) {
   });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, StopDuringRunUntilDoesNotSkipPendingEvents) {
+  // Regression: drain used to advance the clock to the horizon even when
+  // stop() ended the run early, turning still-pending pre-horizon events
+  // into "past" events and making the next run throw.
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.stop();
+  });
+  sim.schedule_at(3.0, [&] { times.push_back(sim.now()); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);  // clock stays at the last event
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_NO_THROW(sim.run_until(10.0));
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, ScheduleAtNowDuringHorizonEventFiresFifoInSameRun) {
+  // The documented FIFO-at-now guarantee, at the hardest spot: an event
+  // exactly at the run_until horizon scheduling more work at now().
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+namespace {
+
+class RecordingMonitor final : public SimMonitor {
+ public:
+  void on_event_begin(SimTime, const char* label,
+                      std::size_t pending) noexcept override {
+    ++begins_;
+    max_pending_ = std::max(max_pending_, pending);
+    if (label != nullptr) labels_.push_back(label);
+  }
+  void on_event_end(SimTime, const char*) noexcept override { ++ends_; }
+
+  int begins() const noexcept { return begins_; }
+  int ends() const noexcept { return ends_; }
+  std::size_t max_pending() const noexcept { return max_pending_; }
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+ private:
+  int begins_ = 0;
+  int ends_ = 0;
+  std::size_t max_pending_ = 0;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace
+
+TEST(Simulator, MonitorSeesEveryEventWithItsLabel) {
+  Simulator sim;
+  RecordingMonitor monitor;
+  sim.set_monitor(&monitor);
+  sim.schedule_at(1.0, [] {}, "alpha");
+  sim.schedule_at(2.0, [] {});  // unlabeled
+  sim.schedule_at(3.0, [] {}, "beta");
+  sim.run();
+  EXPECT_EQ(monitor.begins(), 3);
+  EXPECT_EQ(monitor.ends(), 3);
+  EXPECT_EQ(monitor.max_pending(), 2u);  // two still queued at first event
+  EXPECT_EQ(monitor.labels(), (std::vector<std::string>{"alpha", "beta"}));
+  sim.set_monitor(nullptr);
+  EXPECT_EQ(sim.monitor(), nullptr);
 }
 
 TEST(PeriodicProcess, FiresAtStartAndEveryPeriod) {
