@@ -1,0 +1,82 @@
+#include "alloc_counter.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* checked_alloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    const std::size_t rounded = (size + align - 1) / align * align;
+    p = std::aligned_alloc(align, rounded);
+  } else {
+    p = std::malloc(size);
+  }
+  return p;
+}
+
+}  // namespace
+
+namespace pds::bench {
+
+std::uint64_t heap_allocations() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t heap_bytes() noexcept {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace pds::bench
+
+void* operator new(std::size_t size) {
+  void* p = checked_alloc(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = checked_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return checked_alloc(size, alignof(std::max_align_t));
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return checked_alloc(size, alignof(std::max_align_t));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,22 @@
+// Process-wide heap-allocation counter for the microbenchmarks.
+//
+// Linking alloc_counter.cpp into a bench binary replaces the global
+// operator new/delete with counting versions (a relaxed atomic increment on
+// top of malloc — identical overhead for every configuration under test, so
+// timing comparisons stay fair). Benches read the counter before and after
+// the measured region and report the delta per simulated packet/event; this
+// is the enforcement mechanism behind the allocation-budget rule in
+// docs/architecture.md.
+#pragma once
+
+#include <cstdint>
+
+namespace pds::bench {
+
+// Total operator-new calls since process start.
+std::uint64_t heap_allocations() noexcept;
+
+// Total bytes requested from operator new since process start.
+std::uint64_t heap_bytes() noexcept;
+
+}  // namespace pds::bench

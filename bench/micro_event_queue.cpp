@@ -1,24 +1,50 @@
-// Event-queue microbenchmark: binary heap vs calendar queue under the
-// hold-model workload (the standard benchmark for simulator event sets:
-// alternate pop and push-at-future-time on a steady population).
+// Event-queue and dispatch microbenchmarks: binary heap vs calendar queue
+// under the hold-model workload (the standard benchmark for simulator event
+// sets: alternate pop and push-at-future-time on a steady population), plus
+// an end-to-end packet pipeline (source -> scheduler -> link) that measures
+// the allocation cost of the kernel's event dispatch per simulated packet.
+//
+// Every benchmark reports `allocs_per_*` counters backed by the counting
+// operator-new in alloc_counter.cpp — the regression guard for the hot-path
+// allocation budget (see docs/architecture.md).
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.hpp"
 #include "dsim/event_queue.hpp"
+#include "dsim/simulator.hpp"
 #include "rng/rng.hpp"
+#include "sched/factory.hpp"
+#include "sched/link.hpp"
+#include "traffic/source.hpp"
 
 namespace {
 
+// Mimics the capture footprint of a link-completion event (two pointers and
+// two doubles, 32 bytes): small enough for a 48-byte small-buffer event,
+// too large for std::function's 16-byte inline storage.
+struct TxPayload {
+  void* link;
+  void* packet;
+  double wait;
+  double tx;
+};
+
 void hold_model(benchmark::State& state, pds::EventQueueKind kind) {
   const auto population = static_cast<std::size_t>(state.range(0));
+  std::uint64_t allocs = 0;
+  std::uint64_t ops = 0;
   for (auto _ : state) {
     state.PauseTiming();
     auto q = pds::make_event_queue(kind);
     pds::Rng rng(99);
     std::uint64_t seq = 0;
+    TxPayload payload{nullptr, nullptr, 0.0, 0.0};
     for (std::size_t i = 0; i < population; ++i) {
-      q->push(pds::EventItem{rng.uniform01() * 100.0, seq++, [] {}});
+      q->push(pds::EventItem{rng.uniform01() * 100.0, seq++,
+                             [payload] { benchmark::DoNotOptimize(payload); }});
     }
     state.ResumeTiming();
+    const std::uint64_t before = pds::bench::heap_allocations();
     // Hold model: each pop schedules a replacement a random offset ahead.
     for (int step = 0; step < 10000; ++step) {
       auto item = q->pop();
@@ -26,9 +52,13 @@ void hold_model(benchmark::State& state, pds::EventQueueKind kind) {
       item.seq = seq++;
       q->push(std::move(item));
     }
+    allocs += pds::bench::heap_allocations() - before;
+    ops += 10000;
     benchmark::DoNotOptimize(q->size());
   }
   state.SetItemsProcessed(state.iterations() * 10000);
+  state.counters["allocs_per_op"] =
+      ops ? static_cast<double>(allocs) / static_cast<double>(ops) : 0.0;
 }
 
 void BM_Heap(benchmark::State& s) {
@@ -38,7 +68,71 @@ void BM_Calendar(benchmark::State& s) {
   hold_model(s, pds::EventQueueKind::kCalendar);
 }
 
+// The kernel->link->source hot path end to end: four renewal sources feed a
+// WTP link at ~90% utilization. Items processed are executed kernel events;
+// `allocs_per_pkt` is the heap-allocation cost of one simulated packet
+// (source emission event + link completion event + queue churn).
+void packet_pipeline(benchmark::State& state, pds::EventQueueKind kind) {
+  constexpr double kCapacity = 1000.0;    // bytes per time unit
+  constexpr std::uint32_t kBytes = 500;   // fixed packet size
+  constexpr double kMeanGap = 500.0 / 225.0;  // per-class load 0.225
+  constexpr pds::SimTime kRunTime = 5000.0;
+
+  std::uint64_t allocs = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    pds::Simulator sim(kind);
+    pds::SchedulerConfig cfg;
+    cfg.sdp = {1.0, 2.0, 4.0, 8.0};
+    cfg.link_capacity = kCapacity;
+    auto sched = pds::make_scheduler(pds::SchedulerKind::kWtp, cfg);
+    std::uint64_t departed = 0;
+    pds::Link link(sim, *sched, kCapacity,
+                   [&departed](pds::Packet&&, pds::SimTime, pds::SimTime) {
+                     ++departed;
+                   });
+    pds::PacketIdAllocator ids;
+    pds::Rng master(1234);
+    std::vector<std::unique_ptr<pds::RenewalSource>> sources;
+    for (pds::ClassId c = 0; c < 4; ++c) {
+      sources.push_back(std::make_unique<pds::RenewalSource>(
+          sim, ids, c, pds::exponential_gaps(kMeanGap),
+          pds::fixed_size(kBytes), master.split(),
+          [&link](pds::Packet p) { link.arrive(std::move(p)); }));
+      sources.back()->start(pds::kTimeZero);
+    }
+    state.ResumeTiming();
+
+    const std::uint64_t before = pds::bench::heap_allocations();
+    sim.run_until(kRunTime);
+    allocs += pds::bench::heap_allocations() - before;
+    packets += departed;
+    events += sim.executed_events();
+
+    state.PauseTiming();
+    for (auto& src : sources) src->stop();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(departed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs_per_pkt"] =
+      packets ? static_cast<double>(allocs) / static_cast<double>(packets)
+              : 0.0;
+  state.counters["pkts"] = static_cast<double>(packets);
+}
+
+void BM_PacketPipelineHeap(benchmark::State& s) {
+  packet_pipeline(s, pds::EventQueueKind::kBinaryHeap);
+}
+void BM_PacketPipelineCalendar(benchmark::State& s) {
+  packet_pipeline(s, pds::EventQueueKind::kCalendar);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Heap)->Arg(64)->Arg(1024)->Arg(16384);
 BENCHMARK(BM_Calendar)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_PacketPipelineHeap);
+BENCHMARK(BM_PacketPipelineCalendar);

@@ -74,15 +74,13 @@ struct RawKernel {
   // noinline keeps the comparison honest: the real Simulator's schedule/run
   // live in another translation unit, so the baseline must not win by
   // inlining into the benchmark loop.
-  [[gnu::noinline]] void schedule_at(pds::SimTime t,
-                                     std::function<void()> action) {
+  [[gnu::noinline]] void schedule_at(pds::SimTime t, pds::SimEvent action) {
     PDS_CHECK(t >= now, "cannot schedule an event in the past");
     PDS_CHECK(static_cast<bool>(action), "null event action");
-    q->push(pds::EventItem{t, seq++, std::move(action), nullptr});
+    q->push(pds::EventItem{t, seq++, std::move(action)});
   }
 
-  [[gnu::noinline]] void schedule_in(pds::SimTime dt,
-                                     std::function<void()> action) {
+  [[gnu::noinline]] void schedule_in(pds::SimTime dt, pds::SimEvent action) {
     PDS_CHECK(dt >= 0.0, "negative delay");
     schedule_at(now + dt, std::move(action));
   }

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "alloc_counter.hpp"
 #include "rng/rng.hpp"
 #include "sched/factory.hpp"
 
@@ -46,10 +47,13 @@ std::vector<pds::Packet> make_workload(std::uint32_t num_classes,
 void run_pass(benchmark::State& state, pds::SchedulerKind kind) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const auto workload = make_workload(n, 4096);
+  std::uint64_t allocs = 0;
+  std::uint64_t packets = 0;
   for (auto _ : state) {
     state.PauseTiming();
     auto sched = pds::make_scheduler(kind, make_config(n));
     state.ResumeTiming();
+    const std::uint64_t before = pds::bench::heap_allocations();
     // Build up a deep backlog, then alternate enqueue/dequeue (steady
     // state), then drain — exercising selection against full queues.
     std::size_t i = 0;
@@ -63,9 +67,14 @@ void run_pass(benchmark::State& state, pds::SchedulerKind kind) {
       benchmark::DoNotOptimize(sched->dequeue(now));
     }
     while (auto p = sched->dequeue(now)) benchmark::DoNotOptimize(p);
+    allocs += pds::bench::heap_allocations() - before;
+    packets += workload.size();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(workload.size()));
+  state.counters["allocs_per_pkt"] =
+      packets ? static_cast<double>(allocs) / static_cast<double>(packets)
+              : 0.0;
 }
 
 void BM_Fcfs(benchmark::State& s) { run_pass(s, pds::SchedulerKind::kFcfs); }

@@ -16,6 +16,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== bench targets compile (micro benches guard the allocation budget) =="
+cmake --build build -j "${JOBS}" --target micro_event_queue micro_schedulers
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== done (fast mode, sanitizer pass skipped) =="
   exit 0

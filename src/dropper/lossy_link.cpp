@@ -64,13 +64,14 @@ void LossyLink::arrive(Packet p) {
   }
 
   // PLR: the arriving packet's class is a candidate victim even when it has
-  // nothing queued (the arrival itself would be pushed out).
-  std::vector<bool> backlogged(sched_.num_classes(), false);
+  // nothing queued (the arrival itself would be pushed out). The scratch
+  // vector is a member so repeated overflows reuse its capacity.
+  backlogged_.assign(sched_.num_classes(), false);
   for (ClassId c = 0; c < sched_.num_classes(); ++c) {
-    backlogged[c] = sched_.backlog_packets(c) > 0;
+    backlogged_[c] = sched_.backlog_packets(c) > 0;
   }
-  backlogged[cls] = true;
-  const auto victim = plr_->pick_victim(backlogged);
+  backlogged_[cls] = true;
+  const auto victim = plr_->pick_victim(backlogged_);
   PDS_REQUIRE(victim.has_value());
   ++drops_[*victim];
   if (*victim == cls && sched_.backlog_packets(cls) == 0) {

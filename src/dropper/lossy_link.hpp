@@ -76,6 +76,7 @@ class LossyLink {
   Link link_;
   std::vector<std::uint64_t> arrivals_;
   std::vector<std::uint64_t> drops_;
+  std::vector<bool> backlogged_;  // PLR victim-pick scratch, reused
   PacketProbe* probe_ = nullptr;
   std::uint32_t hop_ = 0;
 };

@@ -9,18 +9,46 @@ namespace pds {
 
 // ----------------------------------------------------------------- heap
 
-void HeapEventQueue::push(EventItem item) { heap_.push(std::move(item)); }
+void HeapEventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void HeapEventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    if (left < n && earlier(heap_[left], heap_[best])) best = left;
+    if (right < n && earlier(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void HeapEventQueue::push(EventItem item) {
+  heap_.push_back(std::move(item));
+  sift_up(heap_.size() - 1);
+}
 
 EventItem HeapEventQueue::pop() {
   PDS_REQUIRE(!heap_.empty());
-  EventItem item = heap_.top();
-  heap_.pop();
+  EventItem item = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
   return item;
 }
 
 SimTime HeapEventQueue::next_time() const {
   PDS_REQUIRE(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 // ------------------------------------------------------------- calendar
@@ -137,7 +165,10 @@ void CalendarEventQueue::resize(std::size_t new_days) {
                         2.0 * (hi - lo) / static_cast<double>(all.size()));
     }
   }
-  days_.assign(new_days, Day{});
+  // clear+resize instead of assign: EventItem is move-only, and assign's
+  // fill path copy-assigns the prototype bucket.
+  days_.clear();
+  days_.resize(new_days);
   for (auto& item : all) {
     insert_sorted(days_[day_of(item.time)], std::move(item));
   }

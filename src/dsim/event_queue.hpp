@@ -16,23 +16,24 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "dsim/sim_event.hpp"
 #include "dsim/time.hpp"
 
 namespace pds {
 
+// Move-only: the action is a SimEvent (small-buffer callable with the
+// profiling label folded in — see dsim/sim_event.hpp). Queue operations
+// relocate items without copying, so closures may own packets by move and
+// per-event heap traffic is zero for inline-sized captures.
 struct EventItem {
   SimTime time;
   std::uint64_t seq;
-  std::function<void()> action;
-  // Optional profiling category. Must point at a string with static storage
-  // duration (typically a literal); nullptr means "unlabeled". Ignored by
-  // the ordering — it only feeds the SimMonitor hook (obs/profiler.hpp).
-  const char* label = nullptr;
+  SimEvent action;
+
+  const char* label() const noexcept { return action.label(); }
 };
 
 class EventQueue {
@@ -48,7 +49,10 @@ class EventQueue {
   virtual std::size_t size() const = 0;
 };
 
-// Binary-heap implementation (the default).
+// Binary-heap implementation (the default). Hand-rolled over a vector
+// rather than std::priority_queue: pop() must *move* the root out (the
+// move-only EventItem forbids the copy std::priority_queue's top()/pop()
+// split implies), and sift-down with a hole avoids redundant relocations.
 class HeapEventQueue final : public EventQueue {
  public:
   void push(EventItem item) override;
@@ -58,13 +62,14 @@ class HeapEventQueue final : public EventQueue {
   std::size_t size() const override { return heap_.size(); }
 
  private:
-  struct Later {
-    bool operator()(const EventItem& a, const EventItem& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<EventItem, std::vector<EventItem>, Later> heap_;
+  static bool earlier(const EventItem& a, const EventItem& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<EventItem> heap_;  // min-heap on (time, seq)
 };
 
 // Calendar-queue implementation.

@@ -1,0 +1,146 @@
+// SimEvent: the kernel's event callable.
+//
+// A move-only, small-buffer-optimized replacement for std::function<void()>
+// on the event hot path. Every simulated packet turns into a handful of
+// scheduled events; with std::function, any capture beyond 16 trivially
+// copyable bytes forces a heap allocation per event, and the copy-on-pop of
+// the pending-event set doubles the cost. SimEvent stores callables of up to
+// kInlineCapacity (48) bytes inline, never copies (move-only — closures may
+// own Packets or shared_ptrs by move), and falls back to the heap only for
+// oversized captures. The profiling label (see SimMonitor) is folded into
+// the event instead of riding beside it in EventItem.
+//
+// Dispatch is a hand-rolled three-entry operation table rather than a
+// virtual base: one pointer per event, no RTTI, and relocation (the
+// operation the event queue performs most) is a single indirect call that
+// move-constructs into the destination buffer.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pds {
+
+class SimEvent {
+ public:
+  // Inline capture budget. Sized for the library's hot-path closures (a
+  // `this` pointer plus a few scalars, or a moved-through shared_ptr): the
+  // link completion handler and the source rearm events all fit.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  SimEvent() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SimEvent> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SimEvent(F&& f, const char* label = nullptr)  // NOLINT(runtime/explicit)
+      : label_(label) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  SimEvent(SimEvent&& other) noexcept { move_from(other); }
+
+  SimEvent& operator=(SimEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  ~SimEvent() { reset(); }
+
+  // Requires a non-empty event (callers check operator bool at the
+  // scheduling boundary; the kernel never stores empty events).
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Optional profiling category for the SimMonitor hook. Must point at a
+  // string with static storage duration; nullptr means "unlabeled".
+  const char* label() const noexcept { return label_; }
+  void set_label(const char* label) noexcept { label_ = label; }
+
+  // True when callables of type F are stored inline (compile-time; exposed
+  // so tests and benches can assert the allocation budget).
+  template <typename F>
+  static constexpr bool stores_inline() noexcept {
+    return fits_inline<std::decay_t<F>>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs the callable into `dst` raw storage and destroys the
+    // source. noexcept: inline storage requires a nothrow move constructor,
+    // heap storage relocates by pointer.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineCapacity &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* self) noexcept { static_cast<Fn*>(self)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* ptr(void* self) noexcept { return *static_cast<Fn**>(self); }
+    static void invoke(void* self) { (*ptr(self))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(ptr(src));
+    }
+    static void destroy(void* self) noexcept { delete ptr(self); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(SimEvent& other) noexcept {
+    ops_ = other.ops_;
+    label_ = other.label_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+  const char* label_ = nullptr;
+};
+
+static_assert(sizeof(SimEvent) == SimEvent::kInlineCapacity + 2 * sizeof(void*),
+              "SimEvent should stay one cache line (64 bytes)");
+
+}  // namespace pds

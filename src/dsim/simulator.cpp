@@ -14,7 +14,8 @@ Simulator::Simulator(EventQueueKind queue)
 void Simulator::schedule_at(SimTime t, Action action, const char* label) {
   PDS_CHECK(t >= now_, "cannot schedule an event in the past");
   PDS_CHECK(static_cast<bool>(action), "null event action");
-  events_->push(EventItem{t, next_seq_++, std::move(action), label});
+  if (label != nullptr) action.set_label(label);
+  events_->push(EventItem{t, next_seq_++, std::move(action)});
 }
 
 void Simulator::schedule_in(SimTime dt, Action action, const char* label) {
@@ -40,9 +41,9 @@ void Simulator::drain(SimTime horizon, bool bounded) {
     now_ = ev.time;
     ++executed_;
     if (monitor_ != nullptr) {
-      monitor_->on_event_begin(now_, ev.label, events_->size());
+      monitor_->on_event_begin(now_, ev.label(), events_->size());
       ev.action();
-      monitor_->on_event_end(now_, ev.label);
+      monitor_->on_event_end(now_, ev.label());
     } else {
       ev.action();
     }
@@ -59,13 +60,21 @@ struct PeriodicProcess::State {
   std::function<void(SimTime)> body;
   bool cancelled = false;
 
-  // Runs the body once and re-arms; the shared_ptr keeps the state alive
-  // even if the PeriodicProcess handle was destroyed (destruction cancels).
-  static void fire(const std::shared_ptr<State>& st) {
+  // Runs the body once and re-arms. The pending event *owns* one shared_ptr
+  // reference (keeping the state alive even if the PeriodicProcess handle
+  // was destroyed — destruction cancels) and moves it into the next event on
+  // every rearm: after the initial schedule there is no refcount traffic and
+  // no allocation per tick.
+  static void fire(std::shared_ptr<State> st) {
     if (st->cancelled) return;
     st->body(st->sim.now());
     if (st->cancelled) return;
-    st->sim.schedule_in(st->period, [st]() { fire(st); }, "dsim.periodic");
+    Simulator& sim = st->sim;
+    const SimTime period = st->period;
+    sim.schedule_in(period,
+                    SimEvent([st = std::move(st)]() mutable {
+                      fire(std::move(st));
+                    }, "dsim.periodic"));
   }
 };
 
@@ -74,8 +83,9 @@ PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime start, SimTime period,
     : state_(std::make_shared<State>(State{sim, period, std::move(body)})) {
   PDS_CHECK(period > 0.0, "period must be positive");
   PDS_CHECK(static_cast<bool>(state_->body), "null process body");
-  auto st = state_;
-  sim.schedule_at(start, [st]() { State::fire(st); }, "dsim.periodic");
+  sim.schedule_at(start,
+                  SimEvent([st = state_]() mutable { State::fire(std::move(st)); },
+                           "dsim.periodic"));
 }
 
 PeriodicProcess::~PeriodicProcess() {

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "dsim/event_queue.hpp"
+#include "dsim/sim_event.hpp"
 #include "dsim/time.hpp"
 
 namespace pds {
@@ -36,7 +37,10 @@ class SimMonitor {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  // Events are SimEvents: move-only, small-buffer callables (any callable
+  // up to SimEvent::kInlineCapacity bytes schedules without touching the
+  // heap; closures may own their captures by move). See dsim/sim_event.hpp.
+  using Action = SimEvent;
 
   // The pending-event set defaults to a binary heap; packet-level
   // workloads with roughly uniform event spacing can opt into the calendar
@@ -59,7 +63,8 @@ class Simulator {
   // current run (even when `t` equals a `run_until` horizon).
   //
   // `label` is an optional profiling category for the SimMonitor hook; it
-  // must be a literal / static string (the simulator stores the pointer).
+  // must be a literal / static string (the event stores the pointer). A
+  // non-null `label` overrides any label the SimEvent already carries.
   void schedule_at(SimTime t, Action action, const char* label = nullptr);
 
   // Schedules `action` `dt >= 0` after the current time.

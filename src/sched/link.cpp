@@ -30,12 +30,14 @@ void Link::try_start_service() {
   if (busy_ || sched_.empty()) return;
   auto next = sched_.dequeue(sim_.now());
   PDS_REQUIRE(next.has_value());  // work conservation: backlog => packet
-  Packet p = std::move(*next);
+  Packet& p = in_flight_;
+  p = std::move(*next);
 
   const SimTime wait = sim_.now() - p.arrival;
   PDS_REQUIRE(wait >= 0.0);
   p.cum_queueing += wait;
   ++p.hops_done;
+  in_flight_wait_ = wait;
 
   const SimTime tx = static_cast<double>(p.size_bytes) / capacity_;
   busy_ = true;
@@ -45,20 +47,22 @@ void Link::try_start_service() {
   PDS_OBS_NOTIFY(probe_,
                  on_dequeue(p, probe_context(p.cls), sim_.now(), wait));
 
-  // Completion event: deliver the packet and pull the next one. The packet
-  // is moved into the closure; std::function requires copyability, so the
-  // shared_ptr indirection keeps the capture cheap and movable.
-  auto done = std::make_shared<Packet>(std::move(p));
-  sim_.schedule_in(
-      tx,
-      [this, done, wait]() {
-        busy_ = false;
-        PDS_OBS_NOTIFY(probe_, on_depart(*done, probe_context(done->cls),
-                                         sim_.now(), wait));
-        on_departure_(std::move(*done), wait, sim_.now());
-        try_start_service();
-      },
-      "link.tx");
+  // A link transmits one packet at a time, so the in-flight slot is the
+  // completion handler's persistent state; the event captures only `this`.
+  sim_.schedule_in(tx,
+                   SimEvent([this] { complete_transmission(); }, "link.tx"));
+}
+
+void Link::complete_transmission() {
+  busy_ = false;
+  const SimTime wait = in_flight_wait_;
+  // Moved to the stack first: the departure handler may synchronously
+  // re-arrive into this link, which restarts service and refills the slot.
+  Packet done = std::move(in_flight_);
+  PDS_OBS_NOTIFY(probe_, on_depart(done, probe_context(done.cls),
+                                   sim_.now(), wait));
+  on_departure_(std::move(done), wait, sim_.now());
+  try_start_service();
 }
 
 }  // namespace pds

@@ -62,6 +62,11 @@ class Link {
 
  private:
   void try_start_service();
+  // Completion of the packet in in_flight_: delivers it and pulls the next
+  // one. The scheduled event captures only `this`; the transmitting packet
+  // lives in the in-flight slot, so starting a transmission performs no
+  // heap allocation and no packet copy.
+  void complete_transmission();
 
   ProbeContext probe_context(ClassId cls) const;
 
@@ -73,6 +78,8 @@ class Link {
   double busy_time_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
+  Packet in_flight_;             // valid iff busy_
+  SimTime in_flight_wait_ = 0.0;  // queueing delay of in_flight_ at this hop
   PacketProbe* probe_ = nullptr;
   std::uint32_t hop_ = 0;
 };

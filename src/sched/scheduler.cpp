@@ -16,7 +16,9 @@ void SchedulerConfig::validate(bool needs_capacity) const {
   if (needs_capacity) {
     PDS_CHECK(link_capacity > 0.0, "link capacity required");
   }
-  PDS_CHECK(hpd_g >= 0.0 && hpd_g <= 1.0, "hpd_g must be in [0,1]");
+  // g = 0 would degenerate HPD to pure PAD while still paying the hybrid
+  // bookkeeping; callers who want PAD should instantiate PAD directly.
+  PDS_CHECK(hpd_g > 0.0 && hpd_g <= 1.0, "hpd_g must be in (0,1]");
   PDS_CHECK(drr_quantum_bytes > 0.0, "DRR quantum must be positive");
 }
 

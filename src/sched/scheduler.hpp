@@ -36,6 +36,7 @@ struct SchedulerConfig {
   double link_capacity = 0.0;
 
   // HPD only: weight of the WTP component (g in the literature).
+  // Must lie in (0, 1]: g -> 0 approaches pure PAD, g = 1 is pure WTP.
   double hpd_g = 0.875;
 
   // DRR only: quantum granted to a class with s = 1, in bytes.

@@ -45,25 +45,27 @@ struct EcnAdaptiveSource::State {
   std::uint64_t marks = 0;
 
   // Exponential gaps with the current mean keep emissions well-behaved
-  // when the rate changes between packets.
-  static void arm(const std::shared_ptr<State>& st) {
+  // when the rate changes between packets. The pending event's shared_ptr
+  // reference moves through the rearm chain (see traffic/source.cpp).
+  static void arm(std::shared_ptr<State> st) {
     const double mean_gap =
         static_cast<double>(st->config.packet_bytes) / st->rate;
     const ExponentialDist gap(mean_gap);
-    st->sim.schedule_in(
-        gap.sample(st->rng),
-        [st]() {
-          if (st->stopped) return;
-          Packet p;
-          p.id = st->ids.next();
-          p.cls = st->config.cls;
-          p.size_bytes = st->config.packet_bytes;
-          p.created = st->sim.now();
-          st->handler(std::move(p));
-          ++st->emitted;
-          arm(st);
-        },
-        "traffic.ecn");
+    const double delay = gap.sample(st->rng);
+    Simulator& sim = st->sim;
+    sim.schedule_in(delay, SimEvent(
+                               [st = std::move(st)]() mutable {
+                                 if (st->stopped) return;
+                                 Packet p;
+                                 p.id = st->ids.next();
+                                 p.cls = st->config.cls;
+                                 p.size_bytes = st->config.packet_bytes;
+                                 p.created = st->sim.now();
+                                 st->handler(std::move(p));
+                                 ++st->emitted;
+                                 arm(std::move(st));
+                               },
+                               "traffic.ecn"));
   }
 };
 
@@ -84,10 +86,10 @@ EcnAdaptiveSource::~EcnAdaptiveSource() {
 void EcnAdaptiveSource::start(SimTime at) {
   PDS_CHECK(!state_->started, "source already started");
   state_->started = true;
-  auto st = state_;
-  state_->sim.schedule_at(at, [st]() {
-    if (!st->stopped) State::arm(st);
-  });
+  state_->sim.schedule_at(
+      at, SimEvent([st = state_]() mutable {
+        if (!st->stopped) State::arm(std::move(st));
+      }, "traffic.ecn"));
 }
 
 void EcnAdaptiveSource::stop() noexcept { state_->stopped = true; }

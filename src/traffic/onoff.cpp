@@ -55,34 +55,39 @@ struct OnOffSource::State {
   }
 
   // Emits packets separated by the packet serialization time at the peak
-  // rate until `burst_end`, then sleeps an OFF period and repeats.
-  static void run_on_period(const std::shared_ptr<State>& st,
-                            SimTime burst_end) {
+  // rate until `burst_end`, then sleeps an OFF period and repeats. The
+  // pending event's shared_ptr reference moves through the chain, so the
+  // per-packet rearm neither allocates nor touches the refcount.
+  static void run_on_period(std::shared_ptr<State> st, SimTime burst_end) {
     if (st->stopped) return;
     st->emit_packet();
     const double gap = static_cast<double>(st->config.packet_bytes) /
                        st->config.peak_rate;
-    if (st->sim.now() + gap <= burst_end) {
-      st->sim.schedule_in(
-          gap, [st, burst_end]() { run_on_period(st, burst_end); },
-          "traffic.onoff");
+    Simulator& sim = st->sim;
+    if (sim.now() + gap <= burst_end) {
+      sim.schedule_in(gap, SimEvent(
+                               [st = std::move(st), burst_end]() mutable {
+                                 run_on_period(std::move(st), burst_end);
+                               },
+                               "traffic.onoff"));
     } else {
-      schedule_next_burst(st);
+      schedule_next_burst(std::move(st));
     }
   }
 
-  static void schedule_next_burst(const std::shared_ptr<State>& st) {
+  static void schedule_next_burst(std::shared_ptr<State> st) {
     if (st->stopped) return;
     const double off = st->draw_off();
-    st->sim.schedule_in(
-        off,
-        [st]() {
-          if (st->stopped) return;
-          ++st->bursts;
-          const double on = st->on_law.sample(st->rng);
-          run_on_period(st, st->sim.now() + on);
-        },
-        "traffic.onoff");
+    Simulator& sim = st->sim;
+    sim.schedule_in(off, SimEvent(
+                             [st = std::move(st)]() mutable {
+                               if (st->stopped) return;
+                               ++st->bursts;
+                               const double on = st->on_law.sample(st->rng);
+                               const SimTime burst_end = st->sim.now() + on;
+                               run_on_period(std::move(st), burst_end);
+                             },
+                             "traffic.onoff"));
   }
 };
 
@@ -101,8 +106,10 @@ OnOffSource::~OnOffSource() {
 void OnOffSource::start(SimTime at) {
   PDS_CHECK(!state_->started, "source already started");
   state_->started = true;
-  auto st = state_;
-  state_->sim.schedule_at(at, [st]() { State::schedule_next_burst(st); });
+  state_->sim.schedule_at(
+      at, SimEvent([st = state_]() mutable {
+        State::schedule_next_burst(std::move(st));
+      }, "traffic.onoff"));
 }
 
 void OnOffSource::stop() noexcept { state_->stopped = true; }

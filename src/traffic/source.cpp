@@ -36,20 +36,25 @@ SizeSampler law_size(DiscreteDist law) {
 namespace {
 
 // Shared emission loop for the infinite renewal sources. The shared_ptr
-// state pattern lets a destroyed source cancel its pending event safely.
+// state pattern lets a destroyed source cancel its pending event safely:
+// the pending event owns one reference and keeps the state alive until it
+// fires. That reference is *moved* from each fired event into the next one
+// it schedules, so steady-state emission performs no refcount traffic and
+// (the capture being 16 inline bytes of SimEvent storage) no heap
+// allocation per packet.
 template <typename StateT>
-void arm_next(const std::shared_ptr<StateT>& st) {
+void arm_next(std::shared_ptr<StateT> st) {
   const double gap = st->gaps(st->rng);
   PDS_REQUIRE(gap > 0.0);
-  st->sim.schedule_in(
-      gap,
-      [st]() {
-        if (st->stopped) return;
-        st->emit();
-        ++st->emitted;
-        arm_next(st);
-      },
-      "traffic.source");
+  Simulator& sim = st->sim;
+  sim.schedule_in(gap, SimEvent(
+                           [st = std::move(st)]() mutable {
+                             if (st->stopped) return;
+                             st->emit();
+                             ++st->emitted;
+                             arm_next(std::move(st));
+                           },
+                           "traffic.source"));
 }
 
 }  // namespace
@@ -94,10 +99,10 @@ RenewalSource::~RenewalSource() {
 void RenewalSource::start(SimTime at) {
   PDS_CHECK(!state_->started, "source already started");
   state_->started = true;
-  auto st = state_;
-  state_->sim.schedule_at(at, [st]() {
-    if (!st->stopped) arm_next(st);
-  });
+  state_->sim.schedule_at(
+      at, SimEvent([st = state_]() mutable {
+        if (!st->stopped) arm_next(std::move(st));
+      }, "traffic.source"));
 }
 
 void RenewalSource::stop() noexcept { state_->stopped = true; }
@@ -169,10 +174,10 @@ ClassMixSource::~ClassMixSource() {
 void ClassMixSource::start(SimTime at) {
   PDS_CHECK(!state_->started, "source already started");
   state_->started = true;
-  auto st = state_;
-  state_->sim.schedule_at(at, [st]() {
-    if (!st->stopped) arm_next(st);
-  });
+  state_->sim.schedule_at(
+      at, SimEvent([st = state_]() mutable {
+        if (!st->stopped) arm_next(std::move(st));
+      }, "traffic.source"));
 }
 
 void ClassMixSource::stop() noexcept { state_->stopped = true; }
@@ -192,7 +197,8 @@ struct CbrFlowSource::State {
   PacketHandler handler;
   std::uint64_t emitted = 0;
 
-  static void emit_and_rearm(const std::shared_ptr<State>& st) {
+  // The pending-event reference moves through the chain (see arm_next).
+  static void emit_and_rearm(std::shared_ptr<State> st) {
     Packet p;
     p.id = st->ids.next();
     p.cls = st->cls;
@@ -202,7 +208,13 @@ struct CbrFlowSource::State {
     st->handler(std::move(p));
     ++st->emitted;
     if (st->emitted < st->count) {
-      st->sim.schedule_in(st->interval, [st]() { emit_and_rearm(st); });
+      Simulator& sim = st->sim;
+      const SimTime interval = st->interval;
+      sim.schedule_in(interval, SimEvent(
+                                    [st = std::move(st)]() mutable {
+                                      emit_and_rearm(std::move(st));
+                                    },
+                                    "traffic.cbr"));
     }
   }
 };
@@ -222,8 +234,10 @@ CbrFlowSource::CbrFlowSource(Simulator& sim, PacketIdAllocator& ids,
 
 void CbrFlowSource::start(SimTime at) {
   PDS_CHECK(state_->emitted == 0, "flow already started");
-  auto st = state_;
-  state_->sim.schedule_at(at, [st]() { State::emit_and_rearm(st); });
+  state_->sim.schedule_at(
+      at, SimEvent([st = state_]() mutable {
+        State::emit_and_rearm(std::move(st));
+      }, "traffic.cbr"));
 }
 
 std::uint64_t CbrFlowSource::packets_emitted() const noexcept {

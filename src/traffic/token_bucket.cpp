@@ -56,7 +56,8 @@ void TokenBucketShaper::pump() {
   const double deficit =
       static_cast<double>(backlog_.front().size_bytes) - tokens_;
   PDS_REQUIRE(deficit > 0.0);
-  sim_.schedule_in(deficit / config_.rate, [this]() { pump(); });
+  sim_.schedule_in(deficit / config_.rate,
+                   SimEvent([this] { pump(); }, "traffic.shaper"));
 }
 
 }  // namespace pds

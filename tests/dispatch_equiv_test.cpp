@@ -1,0 +1,97 @@
+// Differential test for the event-dispatch refactor: the kernel's execution
+// order must be bit-identical under both pending-event-set implementations.
+// Runs Study A twice with the same seed — binary heap vs calendar queue —
+// and asserts the PacketTracer lifecycle files are byte-identical, plus the
+// aggregate results agree exactly.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/study_a.hpp"
+
+namespace pds {
+namespace {
+
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+StudyAConfig base_config() {
+  StudyAConfig c;
+  c.sim_time = 2.0e4;
+  c.seed = 42;
+  c.trace_sample = 0.05;
+  return c;
+}
+
+TEST(DispatchEquivalence, HeapAndCalendarProduceByteIdenticalTraces) {
+  TempFile heap_file("pds_equiv_heap.csv");
+  TempFile cal_file("pds_equiv_calendar.csv");
+
+  StudyAConfig heap_cfg = base_config();
+  heap_cfg.event_queue = EventQueueKind::kBinaryHeap;
+  heap_cfg.trace_out = heap_file.path;
+  const StudyAResult heap = run_study_a(heap_cfg);
+
+  StudyAConfig cal_cfg = base_config();
+  cal_cfg.event_queue = EventQueueKind::kCalendar;
+  cal_cfg.trace_out = cal_file.path;
+  const StudyAResult cal = run_study_a(cal_cfg);
+
+  // The traced lifecycles cover arrival/enqueue/dequeue/depart with full
+  // timestamps, so byte equality pins the whole execution order.
+  ASSERT_GT(heap.trace_records, 0u);
+  EXPECT_EQ(heap.trace_records, cal.trace_records);
+  const std::string heap_bytes = slurp(heap_file.path);
+  const std::string cal_bytes = slurp(cal_file.path);
+  ASSERT_FALSE(heap_bytes.empty());
+  EXPECT_TRUE(heap_bytes == cal_bytes)
+      << "PacketTracer output diverged between event queue kinds";
+
+  // Aggregates must agree exactly too (same arithmetic, same order).
+  EXPECT_EQ(heap.total_departures, cal.total_departures);
+  ASSERT_EQ(heap.mean_delays.size(), cal.mean_delays.size());
+  for (std::size_t i = 0; i < heap.mean_delays.size(); ++i) {
+    EXPECT_EQ(heap.mean_delays[i], cal.mean_delays[i]) << "class " << i;
+    EXPECT_EQ(heap.departures[i], cal.departures[i]) << "class " << i;
+  }
+}
+
+TEST(DispatchEquivalence, HoldsForPoissonArrivalsToo) {
+  TempFile heap_file("pds_equiv_heap_poisson.csv");
+  TempFile cal_file("pds_equiv_calendar_poisson.csv");
+
+  StudyAConfig heap_cfg = base_config();
+  heap_cfg.arrivals = ArrivalModel::kPoisson;
+  heap_cfg.seed = 7;
+  heap_cfg.event_queue = EventQueueKind::kBinaryHeap;
+  heap_cfg.trace_out = heap_file.path;
+  const StudyAResult heap = run_study_a(heap_cfg);
+
+  StudyAConfig cal_cfg = heap_cfg;
+  cal_cfg.event_queue = EventQueueKind::kCalendar;
+  cal_cfg.trace_out = cal_file.path;
+  const StudyAResult cal = run_study_a(cal_cfg);
+
+  ASSERT_GT(heap.trace_records, 0u);
+  EXPECT_TRUE(slurp(heap_file.path) == slurp(cal_file.path))
+      << "PacketTracer output diverged between event queue kinds";
+  EXPECT_EQ(heap.total_departures, cal.total_departures);
+}
+
+}  // namespace
+}  // namespace pds

@@ -63,8 +63,10 @@ TEST(Hpd, GEqualToOneMatchesWtpChoice) {
   EXPECT_EQ(a->cls, b->cls);
 }
 
-TEST(Hpd, GEqualToZeroMatchesPadChoice) {
-  HpdScheduler hpd(config2(0.0));
+TEST(Hpd, GNearZeroMatchesPadChoice) {
+  // g = 0 itself is rejected by validate(); a vanishing g makes the WTP
+  // component negligible so the PAD term dictates the argmax.
+  HpdScheduler hpd(config2(1e-9));
   PadScheduler pad(config2());
   // Give class 0 heavy history on both schedulers.
   for (auto* s : std::vector<PadScheduler*>{&hpd, &pad}) {

@@ -53,6 +53,26 @@ TEST(SchedulerConfig, RejectsBadHpdG) {
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
+TEST(SchedulerConfig, RejectsNonPositiveHpdG) {
+  SchedulerConfig c;
+  c.sdp = {1.0};
+  c.hpd_g = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.hpd_g = -0.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.hpd_g = 1e-9;  // vanishing but positive is still legal
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SchedulerConfig, RejectsNonPositiveDrrQuantum) {
+  SchedulerConfig c;
+  c.sdp = {1.0};
+  c.drr_quantum_bytes = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.drr_quantum_bytes = -100.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
 // --------------------------------------------------------------- factory
 
 TEST(Factory, RoundTripsAllNames) {

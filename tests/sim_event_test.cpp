@@ -1,0 +1,130 @@
+// Unit tests for SimEvent, the kernel's move-only small-buffer callable.
+#include "dsim/sim_event.hpp"
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "dsim/simulator.hpp"
+
+namespace pds {
+namespace {
+
+TEST(SimEvent, DefaultConstructedIsEmpty) {
+  SimEvent ev;
+  EXPECT_FALSE(static_cast<bool>(ev));
+  EXPECT_EQ(ev.label(), nullptr);
+}
+
+TEST(SimEvent, InvokesStoredCallable) {
+  int calls = 0;
+  SimEvent ev([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(ev));
+  ev();
+  ev();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SimEvent, HotPathCapturesStoreInline) {
+  // The shapes the refactor cares about: a bare `this`-style pointer, a
+  // moved-through shared_ptr, and a pointer plus a few scalars.
+  void* self = nullptr;
+  auto link_style = [self] { (void)self; };
+  EXPECT_TRUE(SimEvent::stores_inline<decltype(link_style)>());
+
+  auto sp = std::make_shared<int>(7);
+  auto source_style = [sp = std::move(sp)]() mutable { (void)sp; };
+  EXPECT_TRUE(SimEvent::stores_inline<decltype(source_style)>());
+
+  double a = 0.0, b = 0.0;
+  auto mixed = [self, a, b] { (void)self; (void)a; (void)b; };
+  EXPECT_TRUE(SimEvent::stores_inline<decltype(mixed)>());
+}
+
+TEST(SimEvent, OversizedCapturesFallBackToHeapAndStillRun) {
+  std::array<double, 16> big{};  // 128 bytes > kInlineCapacity
+  big[3] = 42.0;
+  auto fn = [big]() { EXPECT_EQ(big[3], 42.0); };
+  EXPECT_FALSE(SimEvent::stores_inline<decltype(fn)>());
+  SimEvent ev(std::move(fn));
+  ASSERT_TRUE(static_cast<bool>(ev));
+  ev();
+}
+
+TEST(SimEvent, MoveTransfersOwnershipAndEmptiesSource) {
+  int calls = 0;
+  SimEvent a([&calls] { ++calls; }, "x");
+  SimEvent b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_STREQ(b.label(), "x");
+  b();
+  EXPECT_EQ(calls, 1);
+
+  SimEvent c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SimEvent, MoveAssignDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  SimEvent a([token = std::move(token)]() mutable { (void)token; });
+  EXPECT_FALSE(alive.expired());
+  a = SimEvent([] {});
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(SimEvent, DestructorReleasesMoveOnlyCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  {
+    SimEvent ev([token = std::move(token)]() mutable { (void)token; });
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(SimEvent, HeapFallbackReleasesCaptureOnDestruction) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  std::array<double, 16> pad{};
+  {
+    SimEvent ev([token = std::move(token), pad]() mutable {
+      (void)token;
+      (void)pad;
+    });
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(SimEvent, LabelRoundTrips) {
+  SimEvent ev([] {}, "link.tx");
+  EXPECT_STREQ(ev.label(), "link.tx");
+  ev.set_label("other");
+  EXPECT_STREQ(ev.label(), "other");
+}
+
+TEST(SimEvent, StaysOneCacheLine) {
+  EXPECT_EQ(sizeof(SimEvent), 64u);
+}
+
+TEST(SimEvent, SimulatorActionIsSimEvent) {
+  // The kernel's Action alias is the SimEvent itself — scheduling a lambda
+  // with an inline-sized capture must not depend on std::function.
+  static_assert(std::is_same_v<Simulator::Action, SimEvent>);
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, SimEvent([&fired] { ++fired; }, "test"));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace pds
