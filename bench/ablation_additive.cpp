@@ -13,19 +13,24 @@
 #include <iostream>
 
 #include "core/study_a.hpp"
+#include "exp/sweep.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"sim-time", "seeds"})) {
+    for (const auto& k :
+         args.unknown_keys({"sim-time", "seeds", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    const double sim_time = args.get_double("sim-time", 3.0e5);
-    const auto seeds =
-        static_cast<std::uint32_t>(args.get_int("seeds", 3));
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time =
+        args.get_double("sim-time", quick ? 1.0e5 : 3.0e5);
+    const auto seeds = static_cast<std::uint32_t>(
+        args.get_int("seeds", quick ? 2 : 3));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     // Head starts must stay small against the heavy-load delay scale
     // (hundreds of tu at rho=0.95): offsets comparable to the delays push
@@ -37,30 +42,41 @@ int main(int argc, char** argv) {
     std::cout << "=== Ablation: additive vs proportional differentiation"
                  " ===\nadditive targets d_i - d_{i+1}: 49, 50, 50 tu;"
                  " WTP target ratios: 2.0\n\n";
+    const std::vector<double> rhos{0.80, 0.90, 0.95};
+    const std::vector<pds::SchedulerKind> kinds{
+        pds::SchedulerKind::kAdditiveWtp, pds::SchedulerKind::kWtp};
+
+    // Every (rho, scheduler, seed) cell is one independent simulation;
+    // fan the whole grid out and aggregate after the barrier.
+    const pds::SweepRunner runner({rhos.size(), kinds.size(), seeds});
+    const auto cells = runner.run(
+        [&](const std::vector<std::size_t>& at, std::size_t) {
+          pds::StudyAConfig config;
+          config.utilization = rhos[at[0]];
+          config.sim_time = sim_time;
+          config.seed = 100 + at[2];
+          config.scheduler = kinds[at[1]];
+          config.sdp =
+              kinds[at[1]] == pds::SchedulerKind::kAdditiveWtp ? add_sdp
+                                                               : wtp_sdp;
+          return pds::run_study_a(config);
+        });
+
     pds::TablePrinter table({"rho", "ADD d1-d2", "ADD d2-d3", "ADD d3-d4",
                              "WTP d1/d2", "WTP d2/d3", "WTP d3/d4"});
-    for (const double rho : {0.80, 0.90, 0.95}) {
+    for (std::size_t u = 0; u < rhos.size(); ++u) {
       std::vector<double> diff_acc(3, 0.0);
       std::vector<double> ratio_acc(3, 0.0);
-      for (std::uint32_t s = 0; s < seeds; ++s) {
-        pds::StudyAConfig config;
-        config.utilization = rho;
-        config.sim_time = sim_time;
-        config.seed = 100 + s;
-
-        config.scheduler = pds::SchedulerKind::kAdditiveWtp;
-        config.sdp = add_sdp;
-        const auto add = pds::run_study_a(config);
-        config.scheduler = pds::SchedulerKind::kWtp;
-        config.sdp = wtp_sdp;
-        const auto wtp = pds::run_study_a(config);
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const auto& add = cells[runner.grid().flat({u, 0, s})];
+        const auto& wtp = cells[runner.grid().flat({u, 1, s})];
         for (std::size_t i = 0; i < 3; ++i) {
           diff_acc[i] += add.mean_delays[i] - add.mean_delays[i + 1];
           ratio_acc[i] += wtp.ratios[i];
         }
       }
       std::vector<std::string> row{
-          pds::TablePrinter::num(rho * 100.0, 0) + "%"};
+          pds::TablePrinter::num(rhos[u] * 100.0, 0) + "%"};
       for (std::size_t i = 0; i < 3; ++i) {
         row.push_back(pds::TablePrinter::num(diff_acc[i] / seeds, 0));
       }

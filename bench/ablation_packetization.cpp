@@ -19,6 +19,7 @@
 #include <iostream>
 #include <map>
 
+#include "exp/thread_pool.hpp"
 #include "packet/size_law.hpp"
 #include "rng/distributions.hpp"
 #include "sched/bpr.hpp"
@@ -82,13 +83,19 @@ std::vector<double> ratios(const std::vector<pds::RunningStats>& stats) {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"sim-time", "seed", "rho"})) {
+    for (const auto& k :
+         args.unknown_keys({"sim-time", "seed", "rho", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    const double sim_time = args.get_double("sim-time", 2.0e5);
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time =
+        args.get_double("sim-time", quick ? 5.0e4 : 2.0e5);
     const double rho = args.get_double("rho", 0.95);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+    // The fluid pass feeds the packetized comparison, so the two stages are
+    // inherently sequential; the pool is sized for knob consistency only.
+    pds::ThreadPool::set_global_workers(args.get_jobs());
     const double warmup = 0.1 * sim_time;
 
     std::cout << "=== Ablation: BPR fluid ideal vs Appendix-3 packetization"

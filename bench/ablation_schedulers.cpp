@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "core/trace_study.hpp"
+#include "exp/sweep.hpp"
 #include "packet/size_law.hpp"
 #include "rng/distributions.hpp"
 #include "traffic/calibration.hpp"
@@ -56,35 +57,45 @@ std::vector<pds::ArrivalRecord> make_trace(double rho, double sim_time,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"sim-time", "seed", "rho"})) {
+    for (const auto& k :
+         args.unknown_keys({"sim-time", "seed", "rho", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    const double sim_time = args.get_double("sim-time", 3.0e5);
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time =
+        args.get_double("sim-time", quick ? 1.0e5 : 3.0e5);
     const double rho = args.get_double("rho", 0.95);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     const auto trace = make_trace(rho, sim_time, seed, 441);
     std::cout << "=== Ablation: all schedulers, identical arrivals ===\n"
               << trace.size() << " packets (441 B each), rho = " << rho
               << ", SDPs 1,2,4,8, load 40/30/20/10\n\n";
 
+    // One cell per scheduler: every replay reads the same shared trace
+    // (const access only) and runs concurrently on the experiment engine.
+    const std::vector<pds::SchedulerKind> kinds{
+        pds::SchedulerKind::kFcfs, pds::SchedulerKind::kStrictPriority,
+        pds::SchedulerKind::kWtp, pds::SchedulerKind::kBpr,
+        pds::SchedulerKind::kAdditiveWtp, pds::SchedulerKind::kPad,
+        pds::SchedulerKind::kHpd, pds::SchedulerKind::kDrr,
+        pds::SchedulerKind::kScfq, pds::SchedulerKind::kVirtualClock};
+    const auto cells = pds::run_sweep(kinds.size(), [&](std::size_t k) {
+      pds::TraceStudyConfig config;
+      config.scheduler = kinds[k];
+      config.warmup_end = 0.1 * sim_time;
+      return pds::run_trace_study(trace, config);
+    });
+
     pds::TablePrinter table({"scheduler", "d1/d2", "d2/d3", "d3/d4",
                              "mean d4 (p-units)", "total wait (norm.)"});
-    double reference_wait = 0.0;
-    for (const auto kind :
-         {pds::SchedulerKind::kFcfs, pds::SchedulerKind::kStrictPriority,
-          pds::SchedulerKind::kWtp, pds::SchedulerKind::kBpr,
-          pds::SchedulerKind::kAdditiveWtp, pds::SchedulerKind::kPad,
-          pds::SchedulerKind::kHpd, pds::SchedulerKind::kDrr,
-          pds::SchedulerKind::kScfq, pds::SchedulerKind::kVirtualClock}) {
-      pds::TraceStudyConfig config;
-      config.scheduler = kind;
-      config.warmup_end = 0.1 * sim_time;
-      const auto r = pds::run_trace_study(trace, config);
-      if (reference_wait == 0.0) reference_wait = r.total_wait;
+    const double reference_wait = cells[0].total_wait;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto& r = cells[k];
       table.add_row(
-          {pds::to_string(kind), pds::TablePrinter::num(r.ratios[0]),
+          {pds::to_string(kinds[k]), pds::TablePrinter::num(r.ratios[0]),
            pds::TablePrinter::num(r.ratios[1]),
            pds::TablePrinter::num(r.ratios[2]),
            pds::TablePrinter::num(r.mean_delays[3] / pds::kPUnit, 1),

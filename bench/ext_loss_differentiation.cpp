@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "core/study_c.hpp"
+#include "exp/sweep.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -37,35 +38,44 @@ int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
     for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "overload", "mix"})) {
+         args.unknown_keys(
+             {"sim-time", "seed", "overload", "mix", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
+    const bool quick = args.get_bool("quick", false);
     pds::StudyCConfig base;
-    base.sim_time = args.get_double("sim-time", 2.0e5);
+    base.sim_time = args.get_double("sim-time", quick ? 5.0e4 : 2.0e5);
     base.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
     base.offered_load = args.get_double("overload", 1.3);
     base.load_fractions =
         args.get_double_list("mix", {0.25, 0.25, 0.25, 0.25});
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     std::cout << "=== Extension: proportional loss differentiation under "
               << pds::TablePrinter::num((base.offered_load - 1.0) * 100.0, 0)
               << "% overload ===\nLDPs sigma = 8,4,2,1 (higher class ->"
                  " less loss); target loss ratio 2 per pair\n\n";
 
+    // The three drop-policy runs are independent cells; fan them out and
+    // assemble the table after the barrier.
+    const std::vector<std::tuple<std::string, pds::DropPolicy, std::uint64_t>>
+        policies{{"drop-tail", pds::DropPolicy::kDropIncoming, 0},
+                 {"PLR(inf)", pds::DropPolicy::kPlr, 0},
+                 {"PLR(2000)", pds::DropPolicy::kPlr, 2000}};
+    const auto cells = pds::run_sweep(policies.size(), [&](std::size_t i) {
+      auto config = base;
+      config.policy = std::get<1>(policies[i]);
+      config.plr_window = std::get<2>(policies[i]);
+      return pds::run_study_c(config);
+    });
+
     pds::TablePrinter table({"policy", "loss c1/c2/c3/c4", "l1/l2", "l2/l3",
                              "l3/l4", "agg loss"});
     pds::StudyCResult plr_result;
-    for (const auto& [name, policy, window] :
-         std::vector<std::tuple<std::string, pds::DropPolicy,
-                                std::uint64_t>>{
-             {"drop-tail", pds::DropPolicy::kDropIncoming, 0},
-             {"PLR(inf)", pds::DropPolicy::kPlr, 0},
-             {"PLR(2000)", pds::DropPolicy::kPlr, 2000}}) {
-      auto config = base;
-      config.policy = policy;
-      config.plr_window = window;
-      const auto r = pds::run_study_c(config);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const auto& name = std::get<0>(policies[i]);
+      const auto& r = cells[i];
       if (name == "PLR(inf)") plr_result = r;
       std::vector<std::string> row{name, loss_row(r)};
       for (const double ratio : r.loss_ratios) {

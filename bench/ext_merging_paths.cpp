@@ -19,6 +19,7 @@
 #include <iostream>
 #include <memory>
 
+#include "exp/thread_pool.hpp"
 #include "net/topology.hpp"
 #include "stats/percentile.hpp"
 #include "traffic/source.hpp"
@@ -43,14 +44,19 @@ int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
     for (const auto& k :
-         args.unknown_keys({"experiments", "rho", "seed"})) {
+         args.unknown_keys(
+             {"experiments", "rho", "seed", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    const auto experiments =
-        static_cast<std::uint32_t>(args.get_int("experiments", 40));
+    const bool quick = args.get_bool("quick", false);
+    const auto experiments = static_cast<std::uint32_t>(
+        args.get_int("experiments", quick ? 10 : 40));
     const double rho = args.get_double("rho", 0.9);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+    // One simulation only — the pool is sized for consistency with the
+    // other benches (nothing fans out here).
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     const double bw_bps = 25e6;
     const double capacity = bw_bps / 8.0;

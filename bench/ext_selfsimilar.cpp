@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "dsim/simulator.hpp"
+#include "exp/sweep.hpp"
 #include "packet/size_law.hpp"
 #include "sched/factory.hpp"
 #include "sched/link.hpp"
@@ -98,12 +99,16 @@ int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
     for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "sources"})) {
+         args.unknown_keys(
+             {"sim-time", "seed", "sources", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    const double sim_time = args.get_double("sim-time", 2.0e6);
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time =
+        args.get_double("sim-time", quick ? 3.0e5 : 2.0e6);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 19));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
     const auto sources =
         static_cast<int>(args.get_int("sources", 8));
 
@@ -111,12 +116,18 @@ int main(int argc, char** argv) {
                  " traffic ===\n"
               << sources << " on/off sources per class, alpha = 1.5, target"
                  " rho = 0.95\n\n";
+    // The two scheduler runs are independent cells; fan them out.
+    const std::vector<pds::SchedulerKind> kinds{pds::SchedulerKind::kWtp,
+                                                pds::SchedulerKind::kBpr};
+    const auto cells = pds::run_sweep(kinds.size(), [&](std::size_t k) {
+      return run(kinds[k], sim_time, seed, sources);
+    });
+
     pds::TablePrinter table({"scheduler", "measured rho", "Hurst est.",
                              "d1/d2", "d2/d3", "d3/d4"});
-    for (const auto kind :
-         {pds::SchedulerKind::kWtp, pds::SchedulerKind::kBpr}) {
-      const auto r = run(kind, sim_time, seed, sources);
-      table.add_row({kind == pds::SchedulerKind::kWtp ? "WTP" : "BPR",
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto& r = cells[k];
+      table.add_row({kinds[k] == pds::SchedulerKind::kWtp ? "WTP" : "BPR",
                      pds::TablePrinter::num(r.utilization),
                      pds::TablePrinter::num(r.hurst),
                      pds::TablePrinter::num(r.ratios[0]),

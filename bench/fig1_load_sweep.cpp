@@ -10,11 +10,17 @@
 // as rho -> 1; BPR trends the same way but less exactly; at rho = 0.70 the
 // achieved ratio sags to ~1.5 (target 2) and ~1.7 (target 4).
 //
-// Knobs: --sim-time (time units), --seeds, --quick (3e5 tu, 3 seeds).
-// Defaults are the paper's scale: 1e6 time units, 10 seeds per point.
+// Every (rho, scheduler, seed) cell is an independent simulation; the bench
+// fans the whole panel out on the experiment engine and assembles the table
+// after the barrier, so the output is byte-identical for any --jobs.
+//
+// Knobs: --sim-time (time units), --seeds, --quick (3e5 tu, 3 seeds),
+// --jobs (worker threads; 0 = hardware). Defaults are the paper's scale:
+// 1e6 time units, 10 seeds per point.
 #include <iostream>
 
 #include "core/study_a.hpp"
+#include "exp/sweep.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -25,28 +31,41 @@ void run_panel(const char* title, const std::vector<double>& sdp,
   const double target = sdp[1] / sdp[0];
   std::cout << "\n" << title << "  (desired average-delay ratio = " << target
             << ")\n";
+  const std::vector<double> rhos{0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 0.999};
+  const std::vector<pds::SchedulerKind> kinds{pds::SchedulerKind::kWtp,
+                                              pds::SchedulerKind::kBpr};
+
+  // One sweep cell per (rho, scheduler, seed); the per-cell result is the
+  // ratio vector of one replication, averaged per point after the barrier.
+  const pds::SweepRunner runner({rhos.size(), kinds.size(), seeds});
+  const auto cells = runner.run(
+      [&](const std::vector<std::size_t>& at, std::size_t) {
+        pds::StudyAConfig config;
+        config.sdp = sdp;
+        config.utilization = rhos[at[0]];
+        config.sim_time = sim_time;
+        config.scheduler = kinds[at[1]];
+        config.seed = 1 + at[2];
+        return pds::run_study_a(config).ratios;
+      });
+
   pds::TablePrinter table({"rho", "WTP 1/2", "WTP 2/3", "WTP 3/4",
                            "BPR 1/2", "BPR 2/3", "BPR 3/4"});
-  for (const double rho :
-       {0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 0.999}) {
-    pds::StudyAConfig config;
-    config.sdp = sdp;
-    config.utilization = rho;
-    config.sim_time = sim_time;
-    config.seed = 1;
-
-    config.scheduler = pds::SchedulerKind::kWtp;
-    const auto wtp = pds::average_ratios_over_seeds(config, seeds);
-    config.scheduler = pds::SchedulerKind::kBpr;
-    const auto bpr = pds::average_ratios_over_seeds(config, seeds);
-
-    table.add_row({pds::TablePrinter::num(rho * 100.0, 1) + "%",
-                   pds::TablePrinter::num(wtp[0]),
-                   pds::TablePrinter::num(wtp[1]),
-                   pds::TablePrinter::num(wtp[2]),
-                   pds::TablePrinter::num(bpr[0]),
-                   pds::TablePrinter::num(bpr[1]),
-                   pds::TablePrinter::num(bpr[2])});
+  for (std::size_t r = 0; r < rhos.size(); ++r) {
+    std::vector<std::string> row{pds::TablePrinter::num(rhos[r] * 100.0, 1) +
+                                 "%"};
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::vector<double> acc(sdp.size() - 1, 0.0);
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const auto& ratios = cells[runner.grid().flat({r, k, s})];
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += ratios[i];
+      }
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        row.push_back(
+            pds::TablePrinter::num(acc[i] / static_cast<double>(seeds)));
+      }
+    }
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
 }
@@ -56,17 +75,19 @@ void run_panel(const char* title, const std::vector<double>& sdp,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"sim-time", "seeds", "quick"})) {
+    for (const auto& k :
+         args.unknown_keys({"sim-time", "seeds", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    // Defaults are the paper's scale (1e6 tu, 10 seeds — about 8 s total);
+    // Defaults are the paper's scale (1e6 tu, 10 seeds);
     // --quick trades accuracy for a sub-second run.
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 3.0e5 : 1.0e6);
     const auto seeds = static_cast<std::uint32_t>(
         args.get_int("seeds", quick ? 3 : 10));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     std::cout << "=== Figure 1: average-delay ratios vs link utilization ===\n"
               << "sim-time " << sim_time << " tu, " << seeds

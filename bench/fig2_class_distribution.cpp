@@ -10,10 +10,14 @@
 // their share of delay). The paper's figure does not list its seven mixes
 // in the text; the mixes below cover the uniform case, both monotone
 // orders, and each class taking a 70% hot spot (see DESIGN.md).
+//
+// Every (mix, scheduler, seed) cell fans out on the experiment engine;
+// the table is assembled after the barrier (byte-identical for any --jobs).
 #include <iostream>
 #include <sstream>
 
 #include "core/study_a.hpp"
+#include "exp/sweep.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -38,27 +42,37 @@ void run_panel(const char* title, const std::vector<double>& sdp,
                double sim_time, std::uint32_t seeds) {
   std::cout << "\n" << title << "  (desired ratio = " << sdp[1] / sdp[0]
             << ", rho = 95%)\n";
+  const std::vector<pds::SchedulerKind> kinds{pds::SchedulerKind::kWtp,
+                                              pds::SchedulerKind::kBpr};
+  const pds::SweepRunner runner({kMixes.size(), kinds.size(), seeds});
+  const auto cells = runner.run(
+      [&](const std::vector<std::size_t>& at, std::size_t) {
+        pds::StudyAConfig config;
+        config.sdp = sdp;
+        config.load_fractions = kMixes[at[0]];
+        config.utilization = 0.95;
+        config.sim_time = sim_time;
+        config.scheduler = kinds[at[1]];
+        config.seed = 1 + at[2];
+        return pds::run_study_a(config).ratios;
+      });
+
   pds::TablePrinter table({"mix (c1/c2/c3/c4)", "WTP 1/2", "WTP 2/3",
                            "WTP 3/4", "BPR 1/2", "BPR 2/3", "BPR 3/4"});
-  for (const auto& mix : kMixes) {
-    pds::StudyAConfig config;
-    config.sdp = sdp;
-    config.load_fractions = mix;
-    config.utilization = 0.95;
-    config.sim_time = sim_time;
-    config.seed = 1;
-
-    config.scheduler = pds::SchedulerKind::kWtp;
-    const auto wtp = pds::average_ratios_over_seeds(config, seeds);
-    config.scheduler = pds::SchedulerKind::kBpr;
-    const auto bpr = pds::average_ratios_over_seeds(config, seeds);
-
-    table.add_row({mix_name(mix), pds::TablePrinter::num(wtp[0]),
-                   pds::TablePrinter::num(wtp[1]),
-                   pds::TablePrinter::num(wtp[2]),
-                   pds::TablePrinter::num(bpr[0]),
-                   pds::TablePrinter::num(bpr[1]),
-                   pds::TablePrinter::num(bpr[2])});
+  for (std::size_t m = 0; m < kMixes.size(); ++m) {
+    std::vector<std::string> row{mix_name(kMixes[m])};
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::vector<double> acc(sdp.size() - 1, 0.0);
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const auto& ratios = cells[runner.grid().flat({m, k, s})];
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += ratios[i];
+      }
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        row.push_back(
+            pds::TablePrinter::num(acc[i] / static_cast<double>(seeds)));
+      }
+    }
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
 }
@@ -68,7 +82,8 @@ void run_panel(const char* title, const std::vector<double>& sdp,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"sim-time", "seeds", "quick"})) {
+    for (const auto& k :
+         args.unknown_keys({"sim-time", "seeds", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
@@ -78,6 +93,7 @@ int main(int argc, char** argv) {
         args.get_double("sim-time", quick ? 3.0e5 : 1.0e6);
     const auto seeds = static_cast<std::uint32_t>(
         args.get_int("seeds", quick ? 3 : 10));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     std::cout << "=== Figure 2: average-delay ratios vs class load"
                  " distribution ===\n";

@@ -12,24 +12,34 @@
 #include <iostream>
 
 #include "core/study_a.hpp"
+#include "exp/sweep.hpp"
 #include "stats/percentile.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-void run_scheduler(pds::SchedulerKind kind, double sim_time,
-                   std::uint64_t seed) {
-  const std::vector<double> taus_p{10.0, 100.0, 1000.0, 10000.0};
+const std::vector<double>& taus_p_units() {
+  static const std::vector<double> kTaus{10.0, 100.0, 1000.0, 10000.0};
+  return kTaus;
+}
+
+pds::StudyAResult run_scheduler(pds::SchedulerKind kind, double sim_time,
+                                std::uint64_t seed) {
   pds::StudyAConfig config;
   config.scheduler = kind;
   config.utilization = 0.95;
   config.sim_time = sim_time;
   config.seed = seed;
-  for (const double tp : taus_p) config.monitor_taus.push_back(tp * pds::kPUnit);
+  for (const double tp : taus_p_units()) {
+    config.monitor_taus.push_back(tp * pds::kPUnit);
+  }
+  return pds::run_study_a(config);
+}
 
-  const auto result = pds::run_study_a(config);
-
+void print_scheduler(pds::SchedulerKind kind,
+                     const pds::StudyAResult& result) {
+  const auto& taus_p = taus_p_units();
   std::cout << "\n" << (kind == pds::SchedulerKind::kWtp ? "WTP" : "BPR")
             << "  (desired R_D = 2.0)\n";
   pds::TablePrinter table({"tau (p-units)", "intervals", "p5", "p25", "p50",
@@ -57,21 +67,32 @@ void run_scheduler(pds::SchedulerKind kind, double sim_time,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"sim-time", "seed", "full"})) {
+    for (const auto& k :
+         args.unknown_keys({"sim-time", "seed", "full", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
     // Default exceeds the paper's 1e6 tu so even the tau = 10000 p-unit row
     // (112,000 tu per interval) gets a meaningful interval count.
     const bool full = args.get_bool("full", false);
-    const double sim_time = args.get_double("sim-time", full ? 2.0e7 : 1.0e7);
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time = args.get_double(
+        "sim-time", full ? 2.0e7 : (quick ? 1.0e6 : 1.0e7));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     std::cout << "=== Figure 3: R_D percentiles vs monitoring timescale ===\n"
               << "rho = 95%, SDPs 1,2,4,8, load 40/30/20/10, sim-time "
               << sim_time << " tu\n";
-    run_scheduler(pds::SchedulerKind::kWtp, sim_time, seed);
-    run_scheduler(pds::SchedulerKind::kBpr, sim_time, seed);
+    // The two scheduler runs are independent cells; fan them out.
+    const std::vector<pds::SchedulerKind> kinds{pds::SchedulerKind::kWtp,
+                                                pds::SchedulerKind::kBpr};
+    const auto results = pds::run_sweep(kinds.size(), [&](std::size_t k) {
+      return run_scheduler(kinds[k], sim_time, seed);
+    });
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      print_scheduler(kinds[k], results[k]);
+    }
     std::cout << "\nPaper reference: both tighten onto 2.0 by tau = 10000"
                  " p-units; WTP's\n25-75 box is tight already at tens of"
                  " p-units, BPR spreads below hundreds.\n";

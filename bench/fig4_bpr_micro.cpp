@@ -11,6 +11,7 @@
 // same arrivals, same seed).
 #include <iostream>
 
+#include "exp/thread_pool.hpp"
 #include "micro_common.hpp"
 #include "util/args.hpp"
 
@@ -18,12 +19,16 @@ int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
     for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "out-prefix"})) {
+         args.unknown_keys(
+             {"sim-time", "seed", "out-prefix", "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
-    const double sim_time = args.get_double("sim-time", 2.0e5);
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time =
+        args.get_double("sim-time", quick ? 5.0e4 : 2.0e5);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
     const auto prefix = args.get_string("out-prefix", "fig4_bpr");
 
     std::cout << "=== Figure 4: microscopic views, BPR (s = 1,2,4, rho=95%)"

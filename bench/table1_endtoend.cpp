@@ -9,14 +9,19 @@
 // {K = 4, 8 hops} x {rho = 85%, 95%}, plus the count of *inconsistent*
 // experiments (a higher class beaten on any percentile).
 //
+// Every (K, rho, F, R_u, run) cell is one independent Study B simulation;
+// the whole grid fans out on the experiment engine and the table is
+// assembled after the barrier, byte-identical for any --jobs.
+//
 // Expected shape (paper): R_D close to the ideal 2.0 everywhere, closer at
 // higher load and more hops, and NO inconsistent differentiation at all.
 //
 // Knobs: --experiments (M per cell, paper: 100), --warmup (s), --seed,
-// --full (paper scale).
+// --full (paper scale), --quick (fast sanity run), --jobs (workers).
 #include <algorithm>
 #include <iostream>
 
+#include "exp/sweep.hpp"
 #include "net/study_b.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -25,51 +30,69 @@ int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
     for (const auto& k : args.unknown_keys(
-             {"experiments", "warmup", "seed", "runs", "scheduler",
-              "full"})) {
+             {"experiments", "warmup", "seed", "runs", "scheduler", "full",
+              "quick", "jobs"})) {
       std::cerr << "unknown option --" << k << "\n";
       return 2;
     }
     const bool full = args.get_bool("full", false);
+    const bool quick = args.get_bool("quick", false);
     const auto experiments = static_cast<std::uint32_t>(
-        args.get_int("experiments", full ? 100 : 25));
-    const double warmup = args.get_double("warmup", full ? 100.0 : 10.0);
+        args.get_int("experiments", full ? 100 : (quick ? 5 : 25)));
+    const double warmup =
+        args.get_double("warmup", full ? 100.0 : (quick ? 2.0 : 10.0));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     // The paper reports consistency over five runs with different seeds.
-    const auto runs = static_cast<std::uint64_t>(
-        args.get_int("runs", full ? 5 : 1));
+    const auto runs =
+        static_cast<std::size_t>(args.get_int("runs", full ? 5 : 1));
     const auto scheduler = pds::scheduler_kind_from_string(
         args.get_string("scheduler", "wtp"));
+    pds::ThreadPool::set_global_workers(args.get_jobs());
 
     std::cout << "=== Table 1: end-to-end R_D (ideal = 2.00) ===\n"
               << "M = " << experiments << " user experiments per cell, "
               << "warmup " << warmup << " s\n\n";
+
+    const std::vector<std::uint32_t> kHops{4u, 8u};
+    const std::vector<double> kRhos{0.85, 0.95};
+    const std::vector<std::uint32_t> kFlowPackets{10u, 100u};
+    const std::vector<double> kRatesKbps{50.0, 200.0};
+
+    // One sweep cell per (K, rho, F, R_u, run): a full Study B simulation.
+    const pds::SweepRunner runner({kHops.size(), kRhos.size(),
+                                   kFlowPackets.size(), kRatesKbps.size(),
+                                   runs});
+    const auto cells = runner.run(
+        [&](const std::vector<std::size_t>& at, std::size_t) {
+          pds::StudyBConfig config;
+          config.scheduler = scheduler;
+          config.hops = kHops[at[0]];
+          config.utilization = kRhos[at[1]];
+          config.flow_packets = kFlowPackets[at[2]];
+          config.flow_rate_kbps = kRatesKbps[at[3]];
+          config.user_experiments = experiments;
+          config.warmup_s = warmup;
+          config.seed = seed + at[4];
+          return pds::run_study_b(config);
+        });
 
     pds::TablePrinter table({"K, rho", "F=10 Ru=50", "F=10 Ru=200",
                              "F=100 Ru=50", "F=100 Ru=200", "inconsistent"});
     std::uint64_t total_inconsistent = 0;
     std::uint64_t total_experiments = 0;
     double worst_violation = 0.0;
-    for (const std::uint32_t hops : {4u, 8u}) {
-      for (const double rho : {0.85, 0.95}) {
+    for (std::size_t h = 0; h < kHops.size(); ++h) {
+      for (std::size_t u = 0; u < kRhos.size(); ++u) {
         std::vector<std::string> row{
-            "K=" + std::to_string(hops) + ", " +
-            pds::TablePrinter::num(rho * 100.0, 0) + "%"};
+            "K=" + std::to_string(kHops[h]) + ", " +
+            pds::TablePrinter::num(kRhos[u] * 100.0, 0) + "%"};
         std::uint64_t row_inconsistent = 0;
-        for (const std::uint32_t flow_packets : {10u, 100u}) {
-          for (const double rate_kbps : {50.0, 200.0}) {
+        for (std::size_t f = 0; f < kFlowPackets.size(); ++f) {
+          for (std::size_t b = 0; b < kRatesKbps.size(); ++b) {
             double rd_sum = 0.0;
-            for (std::uint64_t r = 0; r < runs; ++r) {
-              pds::StudyBConfig config;
-              config.scheduler = scheduler;
-              config.hops = hops;
-              config.utilization = rho;
-              config.flow_packets = flow_packets;
-              config.flow_rate_kbps = rate_kbps;
-              config.user_experiments = experiments;
-              config.warmup_s = warmup;
-              config.seed = seed + r;
-              const auto result = pds::run_study_b(config);
+            for (std::size_t r = 0; r < runs; ++r) {
+              const auto& result =
+                  cells[runner.grid().flat({h, u, f, b, r})];
               rd_sum += result.rd;
               row_inconsistent += result.inconsistent_experiments;
               total_experiments += result.experiments;

@@ -29,4 +29,14 @@ cmake -B build-asan -S . -DPDS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
+echo "== sanitizers: TSan build + threaded suites (experiment engine) =="
+# ASan and TSan cannot share a binary, so the TSan pass gets its own tree.
+# Only the suites that exercise threads are run: the experiment engine
+# (pool/steal/exception paths) and the kernel it drives concurrently.
+cmake -B build-tsan -S . -DPDS_TSAN=ON -DPDS_BUILD_BENCH=OFF \
+  -DPDS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target exp_test dsim_test
+./build-tsan/tests/exp_test
+./build-tsan/tests/dsim_test
+
 echo "== all checks passed =="

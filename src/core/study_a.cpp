@@ -1,11 +1,10 @@
 #include "core/study_a.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <sstream>
-#include <thread>
 
+#include "exp/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
@@ -234,23 +233,17 @@ std::vector<StudyAResult> run_study_a_replications(const StudyAConfig& config,
   PDS_CHECK(seeds >= 1, "need at least one seed");
   config.validate();
   std::vector<StudyAResult> results(seeds);
-  const std::uint32_t workers =
-      std::min(seeds, std::max(1u, std::thread::hardware_concurrency()));
-  std::atomic<std::uint32_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::uint32_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&]() {
-      for (;;) {
-        const std::uint32_t k = next.fetch_add(1);
-        if (k >= seeds) return;
-        StudyAConfig local = config;
-        local.seed = config.seed + k;
-        results[k] = run_study_a(local);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  ThreadPool& pool = ThreadPool::global();
+  // One config copy per pool participant, hoisted out of the claim loop;
+  // each task mutates only the seed, so the monitor_taus /
+  // report_percentiles vectors are copied once per worker, not once per
+  // replication.
+  std::vector<StudyAConfig> local(pool.workers(), config);
+  pool.parallel_for(seeds, [&](std::uint32_t worker, std::size_t k) {
+    StudyAConfig& c = local[worker];
+    c.seed = config.seed + k;
+    results[k] = run_study_a(c);
+  });
   return results;
 }
 

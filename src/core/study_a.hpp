@@ -130,9 +130,11 @@ StudyAResult run_study_a(const StudyAConfig& config);
 // per-pair ratios averaged across runs, the paper's methodology for
 // Figures 1 and 2 ("averaging over ten simulation runs with different
 // seeds" — the Pareto tail rules out confidence intervals). Replications
-// are embarrassingly parallel: they execute on up to hardware_concurrency
-// threads; every Simulator and all per-run state is thread-local, and
-// results are identical to the sequential order.
+// are embarrassingly parallel: they execute on the process-wide
+// work-stealing pool (exp/thread_pool.hpp, sized by --jobs / PDS_JOBS);
+// every Simulator and all per-run state is thread-local, and results are
+// identical to the sequential order. Called from inside a sweep cell the
+// loop runs inline on the calling worker (nested-fan-out rule).
 std::vector<double> average_ratios_over_seeds(StudyAConfig config,
                                               std::uint32_t seeds);
 

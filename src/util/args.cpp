@@ -113,6 +113,27 @@ std::vector<double> ArgParser::get_double_list(
   return out;
 }
 
+std::uint32_t ArgParser::get_jobs() const {
+  std::int64_t jobs = 0;
+  if (has("jobs")) {
+    jobs = get_int("jobs", 0);
+  } else {
+    const char* env = std::getenv("PDS_JOBS");
+    if (env == nullptr) return 0;
+    try {
+      std::size_t pos = 0;
+      jobs = std::stoll(env, &pos);
+      PDS_CHECK(pos == std::string(env).size() && jobs >= 0,
+                "PDS_JOBS must be a non-negative integer");
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(std::string("PDS_JOBS: not an integer: ") +
+                                  env);
+    }
+  }
+  PDS_CHECK(jobs >= 0, "--jobs must be >= 0 (0 = hardware concurrency)");
+  return static_cast<std::uint32_t>(jobs);
+}
+
 std::vector<std::string> ArgParser::unknown_keys(
     const std::vector<std::string>& allowed) const {
   std::vector<std::string> out;

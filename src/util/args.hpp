@@ -31,6 +31,13 @@ class ArgParser {
   std::vector<double> get_double_list(const std::string& key,
                                       std::vector<double> def) const;
 
+  // Worker count for the experiment engine: `--jobs` when given, else the
+  // PDS_JOBS environment variable, else 0. 0 means "auto" — the thread
+  // pool resolves it to hardware_concurrency. Callers pass the result to
+  // ThreadPool::set_global_workers and list "jobs" among their recognized
+  // keys.
+  std::uint32_t get_jobs() const;
+
   // Keys seen on the command line, in order of first appearance.
   const std::vector<std::string>& keys() const { return order_; }
 

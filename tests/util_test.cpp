@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "util/args.hpp"
 #include "util/contracts.hpp"
@@ -94,6 +96,53 @@ TEST(ArgParser, UnknownKeysDetected) {
 TEST(ArgParser, NegativeValuesViaEquals) {
   // `--key value` would treat "-3" as ambiguous; the = form is exact.
   EXPECT_EQ(parse({"--off=-3"}).get_int("off", 0), -3);
+}
+
+// RAII guard so PDS_JOBS manipulation never leaks into other tests.
+class PdsJobsEnvGuard {
+ public:
+  PdsJobsEnvGuard() {
+    const char* old = std::getenv("PDS_JOBS");
+    if (old != nullptr) saved_ = old;
+  }
+  ~PdsJobsEnvGuard() {
+    if (saved_.empty()) {
+      unsetenv("PDS_JOBS");
+    } else {
+      setenv("PDS_JOBS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(ArgParser, GetJobsFlagWins) {
+  const PdsJobsEnvGuard guard;
+  setenv("PDS_JOBS", "7", 1);
+  EXPECT_EQ(parse({"--jobs=3"}).get_jobs(), 3u);
+}
+
+TEST(ArgParser, GetJobsFallsBackToEnv) {
+  const PdsJobsEnvGuard guard;
+  setenv("PDS_JOBS", "5", 1);
+  EXPECT_EQ(parse({}).get_jobs(), 5u);
+}
+
+TEST(ArgParser, GetJobsAbsentMeansAuto) {
+  const PdsJobsEnvGuard guard;
+  unsetenv("PDS_JOBS");
+  EXPECT_EQ(parse({}).get_jobs(), 0u);
+  EXPECT_EQ(parse({"--jobs=0"}).get_jobs(), 0u);
+}
+
+TEST(ArgParser, GetJobsRejectsGarbage) {
+  const PdsJobsEnvGuard guard;
+  unsetenv("PDS_JOBS");
+  EXPECT_THROW(parse({"--jobs=many"}).get_jobs(), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs=-2"}).get_jobs(), std::exception);
+  setenv("PDS_JOBS", "2x", 1);
+  EXPECT_THROW(parse({}).get_jobs(), std::exception);
 }
 
 // -------------------------------------------------------------- TablePrinter
