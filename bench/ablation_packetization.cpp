@@ -83,11 +83,7 @@ std::vector<double> ratios(const std::vector<pds::RunningStats>& stats) {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "rho", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "rho", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 5.0e4 : 2.0e5);
@@ -155,6 +151,9 @@ int main(int argc, char** argv) {
                  " differ because fluid service has no 'start of\n"
                  "transmission' — see EXPERIMENTS.md for the discussion.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -57,11 +57,7 @@ std::vector<pds::ArrivalRecord> make_trace(double rho, double sim_time,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "rho", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "rho", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 1.0e5 : 3.0e5);
@@ -107,6 +103,9 @@ int main(int argc, char** argv) {
                  " the ratio columns show how\neach discipline spends the"
                  " same waiting-time budget.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

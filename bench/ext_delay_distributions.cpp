@@ -77,11 +77,7 @@ void report(const pds::StudyAResult& result, const char* label,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 1.0e5 : 4.0e5);
@@ -106,6 +102,9 @@ int main(int argc, char** argv) {
                  " spaced ~2x at\nevery percentile; SP collapses the top"
                  " class and stretches class 1's tail.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

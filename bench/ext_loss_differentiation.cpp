@@ -37,12 +37,8 @@ std::string loss_row(const pds::StudyCResult& r) {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys(
-             {"sim-time", "seed", "overload", "mix", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known(
+        {"sim-time", "seed", "overload", "mix", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     pds::StudyCConfig base;
     base.sim_time = args.get_double("sim-time", quick ? 5.0e4 : 2.0e5);
@@ -97,6 +93,9 @@ int main(int argc, char** argv) {
     std::cout << "\nExpected: PLR rows pin the loss ratios at 2.00; the"
                  " drop-tail row\nfollows the load shares instead.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -43,12 +43,7 @@ struct PathStats {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys(
-             {"experiments", "rho", "seed", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"experiments", "rho", "seed", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const auto experiments = static_cast<std::uint32_t>(
         args.get_int("experiments", quick ? 10 : 40));
@@ -186,6 +181,9 @@ int main(int argc, char** argv) {
                  " end to end even\nthough they share only the backbone"
                  " hop.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -57,11 +57,7 @@ Row run_one(pds::SchedulerKind kind, double rho, double sim_time,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 2.0e5 : 1.0e6);
@@ -108,6 +104,9 @@ int main(int argc, char** argv) {
                  " (g = 0.875) buys most of WTP's tightness with\na"
                  " slightly better A.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

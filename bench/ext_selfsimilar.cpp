@@ -98,12 +98,7 @@ RunResult run(pds::SchedulerKind kind, double sim_time, std::uint64_t seed,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys(
-             {"sim-time", "seed", "sources", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "sources", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 3.0e5 : 2.0e6);
@@ -140,6 +135,9 @@ int main(int argc, char** argv) {
                  " 2.0 target in the heavy-load\nepisodes such traffic"
                  " creates.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -75,11 +75,7 @@ void run_panel(const char* title, const std::vector<double>& sdp,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seeds", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seeds", "quick", "jobs"});
     // Defaults are the paper's scale (1e6 tu, 10 seeds);
     // --quick trades accuracy for a sub-second run.
     const bool quick = args.get_bool("quick", false);
@@ -100,6 +96,9 @@ int main(int argc, char** argv) {
                  " noisier;\nat 70% load the ratio sags to ~1.5 (panel a) /"
                  " ~1.7 (panel b).\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

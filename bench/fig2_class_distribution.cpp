@@ -82,11 +82,7 @@ void run_panel(const char* title, const std::vector<double>& sdp,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seeds", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seeds", "quick", "jobs"});
     // Defaults are the paper's scale; --quick for a sub-second sanity run.
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
@@ -105,6 +101,9 @@ int main(int argc, char** argv) {
                  " is exact only\nnear the uniform mix and penalizes heavily"
                  " loaded classes.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -67,11 +67,7 @@ void print_scheduler(pds::SchedulerKind kind,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys({"sim-time", "seed", "full", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "full", "quick", "jobs"});
     // Default exceeds the paper's 1e6 tu so even the tau = 10000 p-unit row
     // (112,000 tu per interval) gets a meaningful interval count.
     const bool full = args.get_bool("full", false);
@@ -97,6 +93,9 @@ int main(int argc, char** argv) {
                  " p-units; WTP's\n25-75 box is tight already at tens of"
                  " p-units, BPR spreads below hundreds.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

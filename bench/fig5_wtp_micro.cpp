@@ -16,12 +16,7 @@
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k :
-         args.unknown_keys(
-             {"sim-time", "seed", "out-prefix", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seed", "out-prefix", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 5.0e4 : 2.0e5);
@@ -37,6 +32,9 @@ int main(int argc, char** argv) {
                  " sawtooth index and\ncollapse rate sit well below"
                  " fig4_bpr_micro's on the same arrivals.\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

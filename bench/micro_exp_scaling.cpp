@@ -72,11 +72,7 @@ std::string run_grid(const std::vector<double>& rhos, double sim_time,
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys(
-             {"sim-time", "seeds", "workers", "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"sim-time", "seeds", "workers", "quick", "jobs"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 5.0e4 : 3.0e5);
@@ -138,6 +134,9 @@ int main(int argc, char** argv) {
                    " determinism check is the contract.\n";
     }
     return mismatch ? 1 : 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

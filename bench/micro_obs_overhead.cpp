@@ -209,12 +209,11 @@ std::string pct(double ratio) {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    const auto unknown = args.unknown_keys(
-        {"events", "packets", "reps", "threshold", "help"});
-    if (!unknown.empty() || args.has("help")) {
+    args.require_known({"events", "packets", "reps", "threshold", "help"});
+    if (args.has("help")) {
       std::cerr << "usage: micro_obs_overhead [--events=2000000]\n"
                    "  [--packets=400000] [--reps=5] [--threshold=5]\n";
-      return unknown.empty() ? 0 : 2;
+      return 0;
     }
     const auto events =
         static_cast<std::uint64_t>(args.get_int("events", 2000000));
@@ -273,6 +272,9 @@ int main(int argc, char** argv) {
               << pds::TablePrinter::num(over, 2) << "% (threshold "
               << pds::TablePrinter::num(threshold, 0) << "%)\n";
     return pass ? 0 : 1;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

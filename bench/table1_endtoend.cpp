@@ -29,12 +29,8 @@
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys(
-             {"experiments", "warmup", "seed", "runs", "scheduler", "full",
-              "quick", "jobs"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"experiments", "warmup", "seed", "runs", "scheduler",
+                        "full", "quick", "jobs"});
     const bool full = args.get_bool("full", false);
     const bool quick = args.get_bool("quick", false);
     const auto experiments = static_cast<std::uint32_t>(
@@ -124,6 +120,9 @@ int main(int argc, char** argv) {
               << "  K=4 85%: 2.3 2.2 2.2 2.1 | K=4 95%: 2.1 2.1 2.1 2.0\n"
               << "  K=8 85%: 2.0 2.0 2.0 2.0 | K=8 95%: 2.0 2.0 2.0 2.0\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -31,10 +31,7 @@ run until=300000 warmup=30000 seed=11
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    for (const auto& k : args.unknown_keys({"file", "seed", "help"})) {
-      std::cerr << "unknown option --" << k << "\n";
-      return 2;
-    }
+    args.require_known({"file", "seed", "help"});
     if (args.has("help")) {
       std::cout << "usage: netsim_cli [--file=SCENARIO.pds] [--seed=N]\n";
       return 0;
@@ -81,6 +78,9 @@ int main(int argc, char** argv) {
     links.print(std::cout);
     std::cout << "\ntotal route exits: " << report.total_exits << "\n";
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

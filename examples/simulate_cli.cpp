@@ -12,7 +12,10 @@
 //   simulate_cli --scheduler=hpd --rho=0.8 --check-feasibility
 //   simulate_cli --scheduler=sp --rho=0.95 --save-trace=run.csv
 //   simulate_cli --metrics-out=metrics.csv --trace-out=trace.csv --profile
+//   simulate_cli --fault-plan=flap.plan --max-events=50000000
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/feasibility.hpp"
 #include "core/model.hpp"
@@ -22,26 +25,46 @@
 #include "util/args.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: simulate_cli [--scheduler=wtp|bpr|fcfs|sp|"
+    "additive|pad|hpd|drr|scfq|vc]\n"
+    "  [--rho=0.95] [--sdp=1,2,4,8] [--mix=40,30,20,10]\n"
+    "  [--arrivals=pareto|poisson]\n"
+    "  [--sim-time=4e5] [--seed=1] [--taus=10,100,...]"
+    " (p-units)\n"
+    "  [--check-feasibility] [--save-trace=FILE]\n"
+    "  [--metrics-out=FILE(.csv|.jsonl)]"
+    " [--metrics-window=100] (p-units)\n"
+    "  [--trace-out=FILE] [--trace-sample=0.01] [--profile]\n"
+    "  [--fault-plan=FILE] (fault-plan grammar, target \"link\";"
+    " see docs/robustness.md)\n"
+    "  [--max-events=N] [--max-wall-seconds=S] (watchdog; 0 = off)\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open fault plan: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    const std::vector<std::string> known{
-        "scheduler", "rho", "sdp", "mix", "sim-time", "seed", "arrivals",
-        "taus", "check-feasibility", "save-trace", "metrics-out",
-        "metrics-window", "trace-out", "trace-sample", "profile", "help"};
-    const auto unknown = args.unknown_keys(known);
-    if (!unknown.empty() || args.has("help")) {
-      std::cerr << "usage: simulate_cli [--scheduler=wtp|bpr|fcfs|sp|"
-                   "additive|pad|hpd|drr|scfq|vc]\n"
-                   "  [--rho=0.95] [--sdp=1,2,4,8] [--mix=40,30,20,10]\n"
-                   "  [--arrivals=pareto|poisson]\n"
-                   "  [--sim-time=4e5] [--seed=1] [--taus=10,100,...]"
-                   " (p-units)\n"
-                   "  [--check-feasibility] [--save-trace=FILE]\n"
-                   "  [--metrics-out=FILE(.csv|.jsonl)]"
-                   " [--metrics-window=100] (p-units)\n"
-                   "  [--trace-out=FILE] [--trace-sample=0.01] [--profile]\n";
-      return unknown.empty() ? 0 : 2;
+    args.require_known(
+        {"scheduler", "rho", "sdp", "mix", "sim-time", "seed", "arrivals",
+         "taus", "check-feasibility", "save-trace", "metrics-out",
+         "metrics-window", "trace-out", "trace-sample", "profile",
+         "fault-plan", "max-events", "max-wall-seconds", "help"});
+    if (args.has("help")) {
+      std::cerr << kUsage;
+      return 0;
     }
 
     pds::StudyAConfig config;
@@ -77,6 +100,11 @@ int main(int argc, char** argv) {
     config.trace_out = args.get_string("trace-out", "");
     config.trace_sample = args.get_double("trace-sample", 0.01);
     config.profile = args.get_bool("profile", false);
+    const auto plan_path = args.get_string("fault-plan", "");
+    if (!plan_path.empty()) config.fault_plan = read_file(plan_path);
+    config.max_events =
+        static_cast<std::uint64_t>(args.get_int("max-events", 0));
+    config.max_wall_seconds = args.get_double("max-wall-seconds", 0.0);
 
     const auto result = pds::run_study_a(config);
 
@@ -151,11 +179,19 @@ int main(int argc, char** argv) {
                 << " — inspect with trace_inspect --trace="
                 << config.trace_out << "\n";
     }
+    if (!config.fault_plan.empty()) {
+      std::cout << "\nfault plan: " << result.fault_episodes
+                << " episode(s) completed, " << result.fault_drops
+                << " packet(s) dropped while the link was down\n";
+    }
     if (config.profile) {
       std::cout << "\nsimulator profile (wall time by event category):\n"
                 << result.profile_report;
     }
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -178,18 +178,14 @@ void print_metrics(const std::vector<pds::MetricsRow>& rows) {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    const std::vector<std::string> known{"trace", "metrics", "help"};
-    const auto unknown = args.unknown_keys(known);
+    args.require_known({"trace", "metrics", "help"});
     const auto trace_path = args.get_string("trace", "");
     const auto metrics_path = args.get_string("metrics", "");
-    if (!unknown.empty() || args.has("help") ||
-        (trace_path.empty() && metrics_path.empty())) {
+    if (args.has("help") || (trace_path.empty() && metrics_path.empty())) {
       std::cerr << "usage: trace_inspect [--trace=FILE] [--metrics=FILE]\n"
                    "  --trace    lifecycle trace CSV from --trace-out\n"
                    "  --metrics  windowed metrics CSV from --metrics-out\n";
-      return unknown.empty() && !args.has("help") ? 2
-             : unknown.empty()                    ? 0
-                                                  : 2;
+      return args.has("help") ? 0 : 2;
     }
 
     if (!trace_path.empty()) {
@@ -200,6 +196,9 @@ int main(int argc, char** argv) {
       print_metrics(pds::load_metrics_csv(metrics_path));
     }
     return 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -20,7 +20,15 @@ echo "== bench targets compile (micro benches guard the allocation budget) =="
 cmake --build build -j "${JOBS}" --target micro_event_queue micro_schedulers
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== done (fast mode, sanitizer pass skipped) =="
+  echo "== fast mode: targeted ASan/UBSan over fault + supervisor suites =="
+  # Even the fast path sanitizes the robustness layer: fault injection and
+  # run supervision exercise exception unwinding and teardown ordering, the
+  # classic breeding ground for use-after-free.
+  cmake -B build-asan -S . -DPDS_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target fault_test supervisor_test
+  ./build-asan/tests/fault_test
+  ./build-asan/tests/supervisor_test
+  echo "== done (fast mode, full sanitizer pass skipped) =="
   exit 0
 fi
 
@@ -35,8 +43,9 @@ echo "== sanitizers: TSan build + threaded suites (experiment engine) =="
 # (pool/steal/exception paths) and the kernel it drives concurrently.
 cmake -B build-tsan -S . -DPDS_TSAN=ON -DPDS_BUILD_BENCH=OFF \
   -DPDS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target exp_test dsim_test
+cmake --build build-tsan -j "${JOBS}" --target exp_test dsim_test supervisor_test
 ./build-tsan/tests/exp_test
 ./build-tsan/tests/dsim_test
+./build-tsan/tests/supervisor_test
 
 echo "== all checks passed =="

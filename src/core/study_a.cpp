@@ -4,7 +4,10 @@
 #include <memory>
 #include <sstream>
 
+#include "exp/supervisor.hpp"
 #include "exp/thread_pool.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
@@ -41,6 +44,7 @@ void StudyAConfig::validate() const {
   }
   PDS_CHECK(trace_sample >= 0.0 && trace_sample <= 1.0,
             "trace sample rate must be in [0,1]");
+  PDS_CHECK(max_wall_seconds >= 0.0, "watchdog wall deadline must be >= 0");
 }
 
 StudyAResult run_study_a(const StudyAConfig& config) {
@@ -179,7 +183,25 @@ StudyAResult run_study_a(const StudyAConfig& config) {
   }
   if (tracer) link.set_probe(tracer.get());
 
-  sim.run_until(config.sim_time);
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    injector = std::make_unique<FaultInjector>(
+        sim, parse_fault_plan(config.fault_plan));
+    injector->attach("link", link);
+    injector->arm();
+  }
+
+  Watchdog watchdog(
+      sim, WatchdogLimits{config.max_events, config.max_wall_seconds},
+      [sched = scheduler.get(), n] {
+        std::ostringstream os;
+        for (ClassId c = 0; c < n; ++c) {
+          os << "class " << c << " backlog=" << sched->backlog_packets(c)
+             << "\n";
+        }
+        return os.str();
+      });
+  watchdog.run_until(config.sim_time);
   for (auto& s : sources) s->stop();
   for (auto& m : monitors) m.finish();
   if (writer) {
@@ -205,6 +227,8 @@ StudyAResult run_study_a(const StudyAConfig& config) {
     result.departures.push_back(delays.of(c).count());
   }
   result.measured_utilization = link.busy_time() / config.sim_time;
+  if (injector) result.fault_episodes = injector->episodes_completed();
+  result.fault_drops = link.fault_drops();
   result.rd_per_tau.reserve(monitors.size());
   for (auto& m : monitors) result.rd_per_tau.push_back(m.rd_values());
   result.sawtooth_index.reserve(n);

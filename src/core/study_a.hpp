@@ -82,6 +82,21 @@ struct StudyAConfig {
   // lands in StudyAResult::profile_report.
   bool profile = false;
 
+  // --- Robustness (src/fault, exp/supervisor) ---
+  // Fault plan text (fault_plan.hpp grammar). When non-empty, a
+  // FaultInjector drives the scripted episodes against the congested link,
+  // attached under the target name "link" (so plans say e.g.
+  // "down link at=1000 for=500 mode=hold"). Episode boundaries are ordinary
+  // simulator events and loss bursts are seeded from the plan, so a faulted
+  // run keeps the byte-identical determinism contract.
+  std::string fault_plan;
+
+  // Watchdog limits for the run (0 = unlimited). max_events trips
+  // deterministically; max_wall_seconds is a hang backstop. A trip throws
+  // WatchdogError carrying a diagnostic snapshot with per-class backlogs.
+  std::uint64_t max_events = 0;
+  double max_wall_seconds = 0.0;
+
   std::uint32_t num_classes() const {
     return static_cast<std::uint32_t>(sdp.size());
   }
@@ -115,6 +130,13 @@ struct StudyAResult {
   std::vector<double> sawtooth_index;         // per class
   std::uint64_t sawtooth_collapses = 0;
   std::vector<double> jitter;                 // per class (RFC 3550 style)
+
+  // Fault accounting (iff config.fault_plan): episode instances completed
+  // and packets dropped by link-down episodes in drop mode. Burst-loss drops
+  // are counted at the LossyLink layer and do not appear here (Study A's
+  // link is lossless apart from faults).
+  std::uint64_t fault_episodes = 0;
+  std::uint64_t fault_drops = 0;
 
   // Rendered SimProfiler tables (iff config.profile).
   std::string profile_report;

@@ -44,11 +44,26 @@ std::uint64_t LossyLink::queued_packets() const {
   return total;
 }
 
+void LossyLink::set_burst_loss(double rate, Rng rng) {
+  PDS_CHECK(rate > 0.0 && rate <= 1.0, "burst loss rate must be in (0, 1]");
+  burst_rate_ = rate;
+  burst_rng_ = rng;
+}
+
 void LossyLink::arrive(Packet p) {
   const ClassId cls = p.cls;
   PDS_CHECK(cls < arrivals_.size(), "class index out of range");
   ++arrivals_[cls];
   if (plr_) plr_->note_arrival(cls);
+
+  // Fault-injected burst loss sits in front of the buffer: a lost packet
+  // never contends for admission and never charges the drop policy.
+  if (burst_rate_ > 0.0 && burst_rng_.uniform01() < burst_rate_) {
+    ++burst_drops_;
+    notify_drop(p);
+    on_drop_(p, sim_.now());
+    return;
+  }
 
   if (queued_packets() < buffer_packets_) {
     link_.arrive(std::move(p));

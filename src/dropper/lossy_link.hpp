@@ -18,6 +18,7 @@
 
 #include "dropper/plr_dropper.hpp"
 #include "dsim/simulator.hpp"
+#include "rng/rng.hpp"
 #include "sched/link.hpp"
 #include "sched/scheduler.hpp"
 
@@ -53,6 +54,22 @@ class LossyLink {
 
   const Link& link() const noexcept { return link_; }
 
+  // Mutable access to the inner transmission link, for fault injection
+  // (down/degrade/stall act on the Link itself; see src/fault/).
+  Link& link_mut() noexcept { return link_; }
+
+  // --- Fault injection: bursty loss episodes -----------------------------
+  // While active, every arrival is independently dropped with probability
+  // `rate` before any buffer/policy logic, using the (deterministically
+  // seeded) generator handed in by the fault injector. Burst drops are NOT
+  // counted in drops()/loss_rate() — those track the drop *policy* under
+  // test — but they do fire the probe's on_drop, the DropHandler, and the
+  // burst_drops() counter.
+  void set_burst_loss(double rate, Rng rng);
+  void clear_burst_loss() noexcept { burst_rate_ = 0.0; }
+  bool burst_loss_active() const noexcept { return burst_rate_ > 0.0; }
+  std::uint64_t burst_drops() const noexcept { return burst_drops_; }
+
   // Observability: attaches a lifecycle probe to the inner link/scheduler
   // (arrive/enqueue/dequeue/depart) and to this dropper, which emits exactly
   // one on_drop per lost packet — whether the victim is the arriving packet
@@ -77,6 +94,9 @@ class LossyLink {
   std::vector<std::uint64_t> arrivals_;
   std::vector<std::uint64_t> drops_;
   std::vector<bool> backlogged_;  // PLR victim-pick scratch, reused
+  double burst_rate_ = 0.0;       // 0 = no burst-loss episode active
+  Rng burst_rng_;
+  std::uint64_t burst_drops_ = 0;
   PacketProbe* probe_ = nullptr;
   std::uint32_t hop_ = 0;
 };

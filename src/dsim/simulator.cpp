@@ -1,7 +1,9 @@
 #include "dsim/simulator.hpp"
 
+#include <chrono>
 #include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "util/contracts.hpp"
@@ -33,13 +35,45 @@ void Simulator::run_until(SimTime t_end) {
 }
 
 void Simulator::drain(SimTime horizon, bool bounded) {
+  // The wall-clock half of the budget is only sampled every
+  // kWallCheckPeriod events: the check never influences which events run
+  // (it aborts, it does not reorder), and amortized it costs nothing.
+  constexpr std::uint64_t kWallCheckPeriod = 4096;
+  using WallClock = std::chrono::steady_clock;
+  const bool budgeted = has_budget();
+  const WallClock::time_point run_start =
+      budgeted ? WallClock::now() : WallClock::time_point{};
+  std::uint64_t run_executed = 0;
+
   stopped_ = false;
   while (!events_->empty() && !stopped_) {
     if (bounded && events_->next_time() > horizon) break;
+    if (budgeted) {
+      if (budget_events_ > 0 && run_executed >= budget_events_) {
+        throw SimBudgetExceeded(
+            "event budget exceeded: " + std::to_string(run_executed) +
+                " events executed in one run call (limit " +
+                std::to_string(budget_events_) + ")",
+            now_, run_executed, events_->size());
+      }
+      if (budget_wall_seconds_ > 0.0 &&
+          run_executed % kWallCheckPeriod == 0) {
+        const std::chrono::duration<double> elapsed =
+            WallClock::now() - run_start;
+        if (elapsed.count() > budget_wall_seconds_) {
+          throw SimBudgetExceeded(
+              "wall-clock budget exceeded: " +
+                  std::to_string(elapsed.count()) + " s elapsed (limit " +
+                  std::to_string(budget_wall_seconds_) + " s)",
+              now_, run_executed, events_->size());
+        }
+      }
+    }
     EventItem ev = events_->pop();
     PDS_REQUIRE(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
+    ++run_executed;
     if (monitor_ != nullptr) {
       monitor_->on_event_begin(now_, ev.label(), events_->size());
       ev.action();

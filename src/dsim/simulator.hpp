@@ -10,12 +10,33 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 
 #include "dsim/event_queue.hpp"
 #include "dsim/sim_event.hpp"
 #include "dsim/time.hpp"
 
 namespace pds {
+
+// Thrown by run()/run_until() when a run budget (see Simulator::set_budget)
+// is exhausted. The simulator is left in a consistent state: the clock sits
+// at the last executed event and no pending event has been lost, so the
+// caller may inspect the wreck (or even clear the budget and resume). The
+// exp-layer Watchdog converts this into a WatchdogError carrying a fuller
+// diagnostic snapshot.
+class SimBudgetExceeded : public std::runtime_error {
+ public:
+  SimBudgetExceeded(const std::string& message, SimTime trip_now,
+                    std::uint64_t trip_executed, std::size_t trip_pending)
+      : std::runtime_error(message),
+        now(trip_now),
+        executed(trip_executed),
+        pending(trip_pending) {}
+
+  SimTime now;             // clock when the budget tripped
+  std::uint64_t executed;  // events executed in the tripping run call
+  std::size_t pending;     // pending-event heap size at the trip
+};
 
 // Kernel-level observer invoked around every executed event. The profiler in
 // obs/profiler.hpp is the canonical implementation; the hook is defined here
@@ -81,6 +102,24 @@ class Simulator {
   // Requests that the run loop exits after the current event returns.
   void stop() noexcept { stopped_ = true; }
 
+  // Run-budget watchdog hook. When armed, every run()/run_until() call
+  // throws SimBudgetExceeded once it has executed more than `max_events`
+  // events (0 = unlimited; deterministic — it trips at the same event on
+  // every run) or once `max_wall_seconds` of real time have elapsed since
+  // the run call started (0 = unlimited; checked every few thousand events,
+  // so it only catches real hangs and never perturbs event order). The
+  // budget applies to each run call independently and stays armed until
+  // cleared.
+  void set_budget(std::uint64_t max_events,
+                  double max_wall_seconds = 0.0) noexcept {
+    budget_events_ = max_events;
+    budget_wall_seconds_ = max_wall_seconds;
+  }
+  void clear_budget() noexcept { set_budget(0, 0.0); }
+  bool has_budget() const noexcept {
+    return budget_events_ > 0 || budget_wall_seconds_ > 0.0;
+  }
+
   // Installs (or clears, with nullptr) the kernel observer invoked around
   // every event; see SimMonitor. The monitor must outlive the run.
   void set_monitor(SimMonitor* monitor) noexcept { monitor_ = monitor; }
@@ -99,6 +138,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   SimMonitor* monitor_ = nullptr;
+  std::uint64_t budget_events_ = 0;     // 0 = unlimited
+  double budget_wall_seconds_ = 0.0;    // 0 = unlimited
 };
 
 // Repeatedly runs `body` every `period` time units until the simulator stops

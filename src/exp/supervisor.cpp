@@ -1,0 +1,40 @@
+#include "exp/supervisor.hpp"
+
+#include <sstream>
+
+namespace pds {
+
+Watchdog::Watchdog(Simulator& sim, WatchdogLimits limits, SnapshotFn snapshot)
+    : sim_(sim), limits_(limits), snapshot_(std::move(snapshot)) {}
+
+Watchdog::~Watchdog() { sim_.clear_budget(); }
+
+void Watchdog::run_until(SimTime t_end) {
+  if (!limits_.enabled()) {
+    sim_.run_until(t_end);
+    return;
+  }
+  sim_.set_budget(limits_.max_events, limits_.max_wall_seconds);
+  try {
+    sim_.run_until(t_end);
+  } catch (const SimBudgetExceeded& e) {
+    tripped_ = true;
+    sim_.clear_budget();
+    std::ostringstream snap;
+    snap << "watchdog: " << e.what() << "\n  now=" << e.now
+         << " executed=" << e.executed << " pending=" << e.pending;
+    if (snapshot_) {
+      const std::string extra = snapshot_();
+      // Indent each caller-supplied line under the header.
+      std::istringstream lines(extra);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (!line.empty()) snap << "\n  " << line;
+      }
+    }
+    throw WatchdogError(snap.str(), e.now, e.executed, e.pending);
+  }
+  sim_.clear_budget();
+}
+
+}  // namespace pds

@@ -1,0 +1,97 @@
+// FaultInjector: drives a FaultPlan against live links, clock-driven.
+//
+// Usage:
+//   FaultInjector inj(sim, parse_fault_plan(text));
+//   inj.attach("backbone", link);       // plain Link: down/degrade/stall
+//   inj.attach("edge", lossy_link);     // LossyLink: additionally loss
+//   inj.arm();                          // validate + schedule episodes
+//   sim.run_until(t_end);
+//
+// arm() expands `*` targets over everything attached, validates that every
+// episode references a known target (and that loss episodes reference a
+// LossyLink), rejects overlapping episodes of the same kind on the same
+// target (their begin/end semantics would be ambiguous), and schedules one
+// begin and one end event per episode ("fault.begin"/"fault.end" labels).
+//
+// Determinism contract (docs/robustness.md): every fault boundary is an
+// ordinary simulator event at a plan-scripted time, and loss-burst
+// randomness comes from an Rng seeded by (plan seed, episode index) — never
+// from the host thread, wall clock, or execution order. A faulted run is
+// therefore exactly as replayable as a fault-free one, and sweep cells
+// carrying fault plans keep the byte-identical --jobs contract of
+// exp/sweep.hpp.
+//
+// The injector must outlive the simulation run (scheduled events capture
+// `this`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dropper/lossy_link.hpp"
+#include "dsim/simulator.hpp"
+#include "fault/fault_plan.hpp"
+#include "sched/link.hpp"
+
+namespace pds {
+
+class ChainNetwork;
+class Network;
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Registers a target before arm(). Names must be unique; the link must
+  // outlive the injector's run.
+  void attach(const std::string& name, Link& link);
+  void attach(const std::string& name, LossyLink& lossy);
+
+  // Validates the plan against the attached targets and schedules every
+  // episode boundary. Call exactly once, before running the simulator, at a
+  // simulation time no later than the earliest episode. Throws
+  // std::invalid_argument on unknown targets, loss episodes aimed at plain
+  // links, or same-kind overlapping episodes on one target.
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // Episode instances after `*` expansion (0 until arm()).
+  std::size_t scheduled_episodes() const noexcept {
+    return instances_.size();
+  }
+  std::uint64_t episodes_begun() const noexcept { return begun_; }
+  std::uint64_t episodes_completed() const noexcept { return completed_; }
+  bool any_active() const noexcept { return begun_ > completed_; }
+
+ private:
+  struct Instance {
+    FaultEpisode episode;  // with a concrete (non-*) target
+    Link* link = nullptr;
+    LossyLink* lossy = nullptr;  // non-null iff target is a LossyLink
+  };
+
+  void begin(std::size_t index);
+  void end(std::size_t index);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  std::map<std::string, Link*> links_;
+  std::map<std::string, LossyLink*> lossies_;
+  std::vector<Instance> instances_;
+  bool armed_ = false;
+  std::uint64_t begun_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+// Convenience attachments: every hop of a chain as "hop0".."hop<K-1>", and
+// every link of a routed Network under its link_name().
+void attach_chain(FaultInjector& injector, ChainNetwork& chain);
+void attach_network(FaultInjector& injector, Network& net);
+
+}  // namespace pds

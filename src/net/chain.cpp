@@ -39,6 +39,11 @@ const Link& ChainNetwork::link(std::uint32_t hop) const {
   return *links_[hop];
 }
 
+Link& ChainNetwork::link_mut(std::uint32_t hop) {
+  PDS_CHECK(hop < links_.size(), "hop index out of range");
+  return *links_[hop];
+}
+
 void ChainNetwork::set_hop_observer(HopObserver observer) {
   hop_observer_ = std::move(observer);
 }

@@ -49,6 +49,10 @@ class ChainNetwork {
   }
   const Link& link(std::uint32_t hop) const;
 
+  // Mutable access for fault injection (attach_chain in src/fault/ registers
+  // every hop with a FaultInjector through this).
+  Link& link_mut(std::uint32_t hop);
+
   // Cross-traffic packets absorbed so far (all hops).
   std::uint64_t cross_sunk() const noexcept { return cross_sunk_; }
 

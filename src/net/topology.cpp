@@ -54,6 +54,11 @@ const Link& Network::link(LinkId id) const {
   return *links_[id];
 }
 
+Link& Network::link_mut(LinkId id) {
+  PDS_CHECK(id < links_.size(), "unknown link");
+  return *links_[id];
+}
+
 const std::string& Network::link_name(LinkId id) const {
   PDS_CHECK(id < links_.size(), "unknown link");
   return names_[id];

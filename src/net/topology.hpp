@@ -59,6 +59,10 @@ class Network {
   const Link& link(LinkId id) const;
   const std::string& link_name(LinkId id) const;
 
+  // Mutable access for fault injection (attach_network in src/fault/
+  // registers every link with a FaultInjector under its name).
+  Link& link_mut(LinkId id);
+
   // Utilization of a link measured from time 0 to `now`.
   double utilization(LinkId id) const;
 

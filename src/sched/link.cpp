@@ -22,12 +22,47 @@ ProbeContext Link::probe_context(ClassId cls) const {
 void Link::arrive(Packet p) {
   p.arrival = sim_.now();
   PDS_OBS_NOTIFY(probe_, on_arrive(p, probe_context(p.cls), sim_.now()));
+  if (down_ && outage_mode_ == OutageMode::kDropArrivals) {
+    ++fault_drops_;
+    PDS_OBS_NOTIFY(probe_, on_drop(p, probe_context(p.cls), sim_.now()));
+    if (on_fault_drop_) on_fault_drop_(p, sim_.now());
+    return;
+  }
   sched_.enqueue(std::move(p), sim_.now());
   try_start_service();
 }
 
+void Link::set_capacity_factor(double factor) {
+  PDS_CHECK(factor > 0.0 && factor <= 1.0,
+            "capacity factor must be in (0, 1]");
+  capacity_factor_ = factor;
+}
+
+void Link::take_down(OutageMode mode) {
+  PDS_CHECK(!down_, "link is already down");
+  down_ = true;
+  outage_mode_ = mode;
+}
+
+void Link::bring_up() {
+  PDS_CHECK(down_, "link is not down");
+  down_ = false;
+  try_start_service();  // hold-and-release: drain whatever queued
+}
+
+void Link::stall() {
+  PDS_CHECK(!stalled_, "link is already stalled");
+  stalled_ = true;
+}
+
+void Link::resume() {
+  PDS_CHECK(stalled_, "link is not stalled");
+  stalled_ = false;
+  try_start_service();
+}
+
 void Link::try_start_service() {
-  if (busy_ || sched_.empty()) return;
+  if (busy_ || !service_enabled() || sched_.empty()) return;
   auto next = sched_.dequeue(sim_.now());
   PDS_REQUIRE(next.has_value());  // work conservation: backlog => packet
   Packet& p = in_flight_;
@@ -39,7 +74,8 @@ void Link::try_start_service() {
   ++p.hops_done;
   in_flight_wait_ = wait;
 
-  const SimTime tx = static_cast<double>(p.size_bytes) / capacity_;
+  const SimTime tx =
+      static_cast<double>(p.size_bytes) / (capacity_ * capacity_factor_);
   busy_ = true;
   busy_time_ += tx;
   bytes_sent_ += p.size_bytes;

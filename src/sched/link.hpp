@@ -8,7 +8,9 @@
 // when the last byte leaves (which is when the packet reaches the next hop).
 //
 // The link is lossless (unbounded buffers), matching the paper's Section 3
-// operating assumption of ECN-regulated sources in the stable region.
+// operating assumption of ECN-regulated sources in the stable region. The
+// only exception is scripted fault injection (src/fault/): an outage in
+// drop-on-down mode discards arrivals, counted separately in fault_drops().
 #pragma once
 
 #include <cstdint>
@@ -19,12 +21,25 @@
 
 namespace pds {
 
+// What happens to packets that arrive while the link is down (see
+// Link::take_down). Packets already queued when the outage begins are held
+// and released on recovery under either mode; the mode only governs new
+// arrivals during the outage.
+enum class OutageMode {
+  kDropArrivals,  // arrivals during the outage are dropped and counted
+  kHoldArrivals,  // arrivals queue up normally and drain on recovery
+};
+
 class Link {
  public:
   // `wait` is the queueing delay at this hop (excludes transmission). The
   // packet's cum_queueing/hops_done fields have already been updated.
   using DepartureHandler =
       std::function<void(Packet&& pkt, SimTime wait, SimTime now)>;
+
+  // Called for every arrival dropped because the link was down in
+  // kDropArrivals mode (fault injection; see src/fault/).
+  using FaultDropHandler = std::function<void(const Packet&, SimTime now)>;
 
   // `capacity` is in bytes per time unit. The scheduler is owned elsewhere
   // and must outlive the link.
@@ -40,6 +55,38 @@ class Link {
 
   double capacity() const noexcept { return capacity_; }
   bool busy() const noexcept { return busy_; }
+
+  // --- Fault injection (driven by fault/FaultInjector) -------------------
+  //
+  // All three fault states gate *future* transmissions only: a packet that
+  // is already on the wire when a fault begins finishes at the rate it
+  // started with (its completion event is immutable once scheduled), which
+  // keeps fault onset deterministic and the busy-time accounting exact.
+
+  // Scales the effective service rate to `factor * capacity` for packets
+  // whose transmission starts from now on. Requires factor in (0, 1].
+  void set_capacity_factor(double factor);
+  double capacity_factor() const noexcept { return capacity_factor_; }
+
+  // Outage. While down, no new transmission starts; arrivals are dropped
+  // (kDropArrivals — counted in fault_drops(), reported through the probe's
+  // on_drop and the FaultDropHandler) or queued for recovery
+  // (kHoldArrivals). take_down on a down link and bring_up on an up link
+  // are contract violations (the injector rejects overlapping outages).
+  void take_down(OutageMode mode);
+  void bring_up();
+  bool down() const noexcept { return down_; }
+
+  // Router stall: service pauses, arrivals keep queueing, resume restarts
+  // the transmitter. Stalling a stalled link is a contract violation.
+  void stall();
+  void resume();
+  bool stalled() const noexcept { return stalled_; }
+
+  std::uint64_t fault_drops() const noexcept { return fault_drops_; }
+  void set_fault_drop_handler(FaultDropHandler handler) {
+    on_fault_drop_ = std::move(handler);
+  }
 
   // Lifetime counters for work-conservation checks.
   double busy_time() const noexcept { return busy_time_; }
@@ -70,10 +117,19 @@ class Link {
 
   ProbeContext probe_context(ClassId cls) const;
 
+  // True when the transmitter may start a new packet.
+  bool service_enabled() const noexcept { return !down_ && !stalled_; }
+
   Simulator& sim_;
   Scheduler& sched_;
   double capacity_;
   DepartureHandler on_departure_;
+  FaultDropHandler on_fault_drop_;
+  double capacity_factor_ = 1.0;
+  bool down_ = false;
+  bool stalled_ = false;
+  OutageMode outage_mode_ = OutageMode::kDropArrivals;
+  std::uint64_t fault_drops_ = 0;
   bool busy_ = false;
   double busy_time_ = 0.0;
   std::uint64_t bytes_sent_ = 0;

@@ -14,6 +14,22 @@ bool looks_like_key(const std::string& s) {
   return s.size() > 2 && s[0] == '-' && s[1] == '-';
 }
 
+// Classic two-row Levenshtein; the key sets here are tiny.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
 }  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
@@ -143,6 +159,25 @@ std::vector<std::string> ArgParser::unknown_keys(
     }
   }
   return out;
+}
+
+void ArgParser::require_known(
+    const std::vector<std::string>& allowed) const {
+  const auto unknown = unknown_keys(allowed);
+  if (unknown.empty()) return;
+  const std::string& key = unknown.front();
+  std::string msg = "unknown option --" + key;
+  std::size_t best = 3;  // only hint within edit distance 2
+  const std::string* hint = nullptr;
+  for (const auto& candidate : allowed) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (d < best) {
+      best = d;
+      hint = &candidate;
+    }
+  }
+  if (hint != nullptr) msg += " (did you mean --" + *hint + "?)";
+  throw UsageError(msg);
 }
 
 }  // namespace pds

@@ -8,10 +8,19 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace pds {
+
+// Thrown by ArgParser::require_known for unknown --flags. Mains catch this,
+// print what() plus their usage text, and exit with code 2 (usage error),
+// distinct from exit 1 for runtime failures.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ArgParser {
  public:
@@ -44,6 +53,11 @@ class ArgParser {
   // Returns the keys that are not in `allowed` (for typo detection).
   std::vector<std::string> unknown_keys(
       const std::vector<std::string>& allowed) const;
+
+  // Throws UsageError naming the first unknown key, with a
+  // "(did you mean --X?)" hint when an allowed key is within edit
+  // distance 2. No-op when every key is allowed.
+  void require_known(const std::vector<std::string>& allowed) const;
 
  private:
   std::optional<std::string> raw(const std::string& key) const;

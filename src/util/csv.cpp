@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <cstdio>
+#include <exception>
 #include <stdexcept>
 
 #include "util/contracts.hpp"
@@ -8,7 +10,11 @@ namespace pds {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : path_(path), out_(path), columns_(header.size()) {
+    : path_(path),
+      tmp_path_(path + ".tmp"),
+      out_(tmp_path_),
+      columns_(header.size()),
+      uncaught_at_ctor_(std::uncaught_exceptions()) {
   PDS_CHECK(!header.empty(), "CSV needs at least one column");
   if (!out_) throw std::runtime_error("cannot open for writing: " + path);
   for (std::size_t c = 0; c < header.size(); ++c) {
@@ -16,7 +22,23 @@ CsvWriter::CsvWriter(const std::string& path,
   }
 }
 
+CsvWriter::~CsvWriter() {
+  if (closed_) return;
+  if (std::uncaught_exceptions() > uncaught_at_ctor_) {
+    // Unwinding: the file is partial by definition — discard, don't publish.
+    out_.close();
+    std::remove(tmp_path_.c_str());
+    return;
+  }
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; the temp file was already cleaned up.
+  }
+}
+
 void CsvWriter::add_row(const std::vector<double>& values) {
+  PDS_CHECK(!closed_, "CSV writer already closed: " + path_);
   PDS_CHECK(values.size() == columns_, "CSV row width mismatch");
   for (std::size_t c = 0; c < values.size(); ++c) {
     out_ << values[c] << (c + 1 == values.size() ? "\n" : ",");
@@ -24,9 +46,26 @@ void CsvWriter::add_row(const std::vector<double>& values) {
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& values) {
+  PDS_CHECK(!closed_, "CSV writer already closed: " + path_);
   PDS_CHECK(values.size() == columns_, "CSV row width mismatch");
   for (std::size_t c = 0; c < values.size(); ++c) {
     out_ << values[c] << (c + 1 == values.size() ? "\n" : ",");
+  }
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
+  const bool wrote_ok = static_cast<bool>(out_);
+  out_.close();
+  if (!wrote_ok) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("write failed: " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("cannot rename " + tmp_path_ + " to " + path_);
   }
 }
 

@@ -98,6 +98,91 @@ TEST(ScenarioParse, RejectsUnknownOrMissingOptions) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------------- error paths
+
+// Parse and return the thrown message ("" when nothing threw).
+std::string parse_error(const std::string& text) {
+  try {
+    parse_scenario(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ScenarioErrors, MalformedLinkLinesNameTheirLine) {
+  EXPECT_NE(parse_error("# header\nlink\n")
+                .find("scenario line 2: link needs a name"),
+            std::string::npos);
+  EXPECT_NE(parse_error("link a capacity=ten sched=fcfs sdp=1\n")
+                .find("scenario line 1: malformed number: ten"),
+            std::string::npos);
+  EXPECT_NE(parse_error("link a sched=fcfs sdp=1\n")
+                .find("line 1: missing required option capacity=..."),
+            std::string::npos);
+  EXPECT_NE(parse_error("link a capacity=10 sched=fcfs sdp=1,,2\n")
+                .find("line 1: empty element in sdp"),
+            std::string::npos);
+}
+
+TEST(ScenarioErrors, MalformedSourceLinesNameTheirLine) {
+  const char* prefix =
+      "link a capacity=10 sched=fcfs sdp=1\n"
+      "route r a\n";
+  EXPECT_NE(parse_error(std::string(prefix) + "source renewal\n")
+                .find("scenario line 3: source needs a kind and route"),
+            std::string::npos);
+  EXPECT_NE(parse_error(std::string(prefix) + "source teleport r class=0\n")
+                .find("scenario line 3: unknown source kind teleport"),
+            std::string::npos);
+  EXPECT_NE(parse_error(std::string(prefix) +
+                        "source renewal r class=0 gap=5 size=100 warp=9\n")
+                .find("scenario line 3: unknown option warp"),
+            std::string::npos);
+}
+
+TEST(ScenarioErrors, MalformedRunLinesNameTheirLine) {
+  const char* prefix =
+      "link a capacity=10 sched=fcfs sdp=1\n"
+      "route r a\n"
+      "source renewal r class=0 gap=5 size=100\n";
+  EXPECT_NE(parse_error(std::string(prefix) + "run warmup=5\n")
+                .find("scenario line 4: missing required option until=..."),
+            std::string::npos);
+  EXPECT_NE(parse_error(std::string(prefix) + "run until=10\nrun until=20\n")
+                .find("scenario line 5: duplicate run directive"),
+            std::string::npos);
+}
+
+TEST(ScenarioErrors, DuplicateIdsNameTheOffendingLine) {
+  EXPECT_NE(parse_error("link a capacity=10 sched=fcfs sdp=1\n"
+                        "link b capacity=10 sched=fcfs sdp=1\n"
+                        "link a capacity=10 sched=fcfs sdp=1\n")
+                .find("scenario line 3: duplicate link name a"),
+            std::string::npos);
+  EXPECT_NE(parse_error("link a capacity=10 sched=fcfs sdp=1\n"
+                        "route r a\n"
+                        "route r a\n")
+                .find("scenario line 3: duplicate route name r"),
+            std::string::npos);
+}
+
+TEST(ScenarioErrors, MissingSectionsProduceTheThreeDefinesNoThrows) {
+  EXPECT_NE(parse_error("# empty but commented\n")
+                .find("scenario defines no links"),
+            std::string::npos);
+  EXPECT_NE(parse_error("link a capacity=10 sched=fcfs sdp=1\n"
+                        "route r a\n"
+                        "source renewal r class=0 gap=5 size=100\n")
+                .find("scenario has no run directive"),
+            std::string::npos);
+  EXPECT_NE(parse_error("link a capacity=10 sched=fcfs sdp=1\n"
+                        "route r a\n"
+                        "run until=10\n")
+                .find("scenario defines no sources"),
+            std::string::npos);
+}
+
 // ----------------------------------------------------------------- running
 
 TEST(ScenarioRun, ExecutesAndReports) {

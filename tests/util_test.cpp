@@ -98,6 +98,37 @@ TEST(ArgParser, NegativeValuesViaEquals) {
   EXPECT_EQ(parse({"--off=-3"}).get_int("off", 0), -3);
 }
 
+TEST(ArgParser, RequireKnownPassesWhenAllKeysAreAllowed) {
+  EXPECT_NO_THROW(
+      parse({"--rho=0.9", "--seed=1"}).require_known({"rho", "seed"}));
+}
+
+TEST(ArgParser, RequireKnownSuggestsTheNearestKey) {
+  try {
+    parse({"--sede=1"}).require_known({"rho", "seed", "jobs"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_STREQ(e.what(), "unknown option --sede (did you mean --seed?)");
+  }
+  try {
+    parse({"--sim-tmie=1e5"}).require_known({"sim-time", "seeds", "jobs"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown option --sim-tmie (did you mean --sim-time?)");
+  }
+}
+
+TEST(ArgParser, RequireKnownOmitsFarFetchedHints) {
+  // Nothing within edit distance 2: plain rejection, no guess.
+  try {
+    parse({"--frobnicate"}).require_known({"rho", "seed"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_STREQ(e.what(), "unknown option --frobnicate");
+  }
+}
+
 // RAII guard so PDS_JOBS manipulation never leaks into other tests.
 class PdsJobsEnvGuard {
  public:
@@ -212,6 +243,65 @@ TEST(CsvWriter, RejectsWidthMismatch) {
 TEST(CsvWriter, RejectsUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
                std::runtime_error);
+}
+
+bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+TEST(CsvWriter, CommitsAtomicallyOnClose) {
+  const std::string path = testing::TempDir() + "pds_csv_atomic.csv";
+  std::remove(path.c_str());
+  CsvWriter w(path, {"a"});
+  w.add_row(std::vector<double>{1.0});
+  // Until close, only the temp file exists — an interrupted run can never
+  // leave a truncated CSV under the final name.
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_TRUE(file_exists(path + ".tmp"));
+  w.close();
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_THROW(w.add_row(std::vector<double>{2.0}), std::invalid_argument);
+  w.close();  // idempotent
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, OverwritesAPreviousFileOnlyOnCommit) {
+  const std::string path = testing::TempDir() + "pds_csv_atomic2.csv";
+  {
+    CsvWriter w(path, {"a"});
+    w.add_row(std::vector<double>{1.0});
+  }
+  {
+    CsvWriter w(path, {"a"});
+    w.add_row(std::vector<double>{2.0});
+    // The previous run's committed file is intact while this one writes.
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    std::getline(in, line);
+    EXPECT_EQ(line, "1");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwindingDiscardsThePartialFile) {
+  const std::string path = testing::TempDir() + "pds_csv_unwind.csv";
+  std::remove(path.c_str());
+  try {
+    CsvWriter w(path, {"a"});
+    w.add_row(std::vector<double>{1.0});
+    throw std::runtime_error("interrupted");
+  } catch (const std::runtime_error&) {
+  }
+  // Neither the final file nor the temp file survives the exception.
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
 }
 
 // ----------------------------------------------------------------- contracts
