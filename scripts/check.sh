@@ -19,6 +19,15 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "== bench targets compile (micro benches guard the allocation budget) =="
 cmake --build build -j "${JOBS}" --target micro_event_queue micro_schedulers
 
+echo "== micro benches: quick run (hot-path smoke, ~5 s) =="
+# Not a performance gate — a smoke run that exercises the event-queue and
+# scheduler hot paths end to end, so a calendar-resize bug or allocation
+# regression that the unit tests abstract away still fails the check.
+./build/bench/micro_event_queue --benchmark_min_time=0.05 \
+  --benchmark_format=console 2>/dev/null | tail -n +4
+./build/bench/micro_schedulers --benchmark_min_time=0.05 \
+  --benchmark_format=console 2>/dev/null | tail -n +4
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fast mode: targeted ASan/UBSan over fault + supervisor suites =="
   # Even the fast path sanitizes the robustness layer: fault injection and

@@ -1,188 +1,108 @@
 #include "dsim/event_queue.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
 namespace pds {
 
-// ----------------------------------------------------------------- heap
-
-void HeapEventQueue::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!earlier(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-void HeapEventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    std::size_t best = i;
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = left + 1;
-    if (left < n && earlier(heap_[left], heap_[best])) best = left;
-    if (right < n && earlier(heap_[right], heap_[best])) best = right;
-    if (best == i) return;
-    std::swap(heap_[i], heap_[best]);
-    i = best;
-  }
-}
-
-void HeapEventQueue::push(EventItem item) {
-  heap_.push_back(std::move(item));
-  sift_up(heap_.size() - 1);
-}
-
-EventItem HeapEventQueue::pop() {
-  PDS_REQUIRE(!heap_.empty());
-  EventItem item = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return item;
-}
-
-SimTime HeapEventQueue::next_time() const {
-  PDS_REQUIRE(!heap_.empty());
-  return heap_.front().time;
-}
-
 // ------------------------------------------------------------- calendar
+//
+// Only the cold path lives here: resize() runs O(count) a logarithmic
+// number of times per population swing, while push/pop/next_time are
+// header-inline so the kernel's instantiated run loop flattens them.
 
 namespace {
-constexpr std::size_t kMinDays = 4;
 constexpr double kMinWidth = 1e-9;
+// Day-width estimation samples at most this many event times on resize.
+constexpr std::size_t kWidthSample = 64;
 }  // namespace
-
-CalendarEventQueue::CalendarEventQueue() : days_(kMinDays) {}
-
-std::size_t CalendarEventQueue::day_of(SimTime t) const {
-  const double virtual_day = std::floor(t / width_);
-  return static_cast<std::size_t>(
-             std::fmod(virtual_day, static_cast<double>(days_.size())));
-}
-
-void CalendarEventQueue::insert_sorted(Day& day, EventItem item) {
-  const auto pos = std::upper_bound(
-      day.begin(), day.end(), item,
-      [](const EventItem& a, const EventItem& b) {
-        if (a.time != b.time) return a.time < b.time;
-        return a.seq < b.seq;
-      });
-  day.insert(pos, std::move(item));
-}
-
-void CalendarEventQueue::push(EventItem item) {
-  PDS_CHECK(item.time >= 0.0, "negative event time");
-  cache_valid_ = false;
-  insert_sorted(days_[day_of(item.time)], std::move(item));
-  ++count_;
-  maybe_resize();
-}
-
-void CalendarEventQueue::locate_next() const {
-  if (cache_valid_) return;
-  PDS_REQUIRE(count_ > 0);
-  const std::size_t start_day = day_of(last_popped_);
-  double day_end = (std::floor(last_popped_ / width_) + 1.0) * width_;
-  for (std::size_t i = 0; i < days_.size(); ++i) {
-    const std::size_t d = (start_day + i) % days_.size();
-    if (!days_[d].empty() && days_[d].front().time < day_end) {
-      cached_day_ = d;
-      cache_valid_ = true;
-      return;
-    }
-    day_end += width_;
-  }
-  // Every pending event lies a full year or more ahead: fall back to a
-  // direct minimum scan across bucket heads.
-  bool found = false;
-  std::size_t best = 0;
-  for (std::size_t d = 0; d < days_.size(); ++d) {
-    if (days_[d].empty()) continue;
-    if (!found) {
-      found = true;
-      best = d;
-      continue;
-    }
-    const auto& a = days_[d].front();
-    const auto& b = days_[best].front();
-    if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) best = d;
-  }
-  PDS_REQUIRE(found);
-  cached_day_ = best;
-  cache_valid_ = true;
-}
-
-EventItem CalendarEventQueue::pop() {
-  locate_next();
-  Day& day = days_[cached_day_];
-  EventItem item = std::move(day.front());
-  day.erase(day.begin());
-  --count_;
-  last_popped_ = item.time;
-  cache_valid_ = false;
-  maybe_resize();
-  return item;
-}
-
-SimTime CalendarEventQueue::next_time() const {
-  locate_next();
-  return days_[cached_day_].front().time;
-}
-
-void CalendarEventQueue::maybe_resize() {
-  const std::size_t n = days_.size();
-  if (count_ > 2 * n) {
-    resize(2 * n);
-  } else if (n > kMinDays && count_ < n / 2) {
-    resize(std::max(kMinDays, n / 2));
-  }
-}
 
 void CalendarEventQueue::resize(std::size_t new_days) {
   std::vector<EventItem> all;
   all.reserve(count_);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
   for (auto& day : days_) {
-    for (auto& item : day) all.push_back(std::move(item));
-    day.clear();
-  }
-  // New day width from the population's time span: aim for O(1) events per
-  // day across the occupied window.
-  if (all.size() >= 2) {
-    double lo = all.front().time;
-    double hi = lo;
-    for (const auto& item : all) {
-      lo = std::min(lo, item.time);
-      hi = std::max(hi, item.time);
+    for (std::size_t i = day.live; i < day.items.size(); ++i) {
+      lo = std::min(lo, day.items[i].time);
+      hi = std::max(hi, day.items[i].time);
+      all.push_back(std::move(day.items[i]));
     }
-    if (hi > lo) {
-      width_ = std::max(kMinWidth,
-                        2.0 * (hi - lo) / static_cast<double>(all.size()));
-    }
+    day.items.clear();
+    day.live = 0;
   }
+
+  // New day width: target a few events per day over the *dense* part of
+  // the population. Wider days mean more pops land in the cached window
+  // (the repeat-pop fast path) and fewer window steps per locate, so small
+  // populations — where that per-pop overhead dominates — get wider days;
+  // large populations pay per-push for in-day crowding (the shift-insert
+  // scales with events per day) while the locate amortizes over many more
+  // pops, so they get narrower ones. A strided sample of event times is
+  // sorted and its largest quartile of gaps discarded, so one far-future
+  // straggler (common: a drained source's final rearm) cannot stretch the
+  // day width until every live event lands in the same bucket. Falls back
+  // to the plain span-over-count estimate for degenerate samples.
+  const double events_per_day = all.size() <= 2048 ? 6.0 : 4.0;
+  if (all.size() >= 2 && hi > lo) {
+    double width =
+        events_per_day * (hi - lo) / static_cast<double>(all.size());
+    const std::size_t stride =
+        std::max<std::size_t>(1, all.size() / kWidthSample);
+    std::array<double, kWidthSample> sample{};
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < all.size() && m < kWidthSample; i += stride) {
+      sample[m++] = all[i].time;
+    }
+    if (m >= 4) {
+      std::sort(sample.begin(),
+                sample.begin() + static_cast<std::ptrdiff_t>(m));
+      std::array<double, kWidthSample> gaps{};
+      for (std::size_t i = 1; i < m; ++i) {
+        gaps[i - 1] = sample[i] - sample[i - 1];
+      }
+      std::sort(gaps.begin(),
+                gaps.begin() + static_cast<std::ptrdiff_t>(m - 1));
+      const std::size_t keep = ((m - 1) * 3 + 3) / 4;  // lower ~3/4 of gaps
+      double sum = 0.0;
+      for (std::size_t i = 0; i < keep; ++i) sum += gaps[i];
+      if (sum > 0.0) {
+        // Mean sample gap scaled back to a per-event gap: the sample
+        // covers the population at `stride`, so divide by it.
+        const double event_gap =
+            sum / static_cast<double>(keep) / static_cast<double>(stride);
+        width = events_per_day * event_gap;
+      }
+    }
+    // Snap to the nearest power of two: at most a factor sqrt(2) off the
+    // estimate, in exchange for exact reciprocal scaling on every push
+    // and locate (see the width_ comment in the header).
+    width_ = std::exp2(std::round(std::log2(std::max(kMinWidth, width))));
+    inv_width_ = 1.0 / width_;
+  }
+
   // clear+resize instead of assign: EventItem is move-only, and assign's
   // fill path copy-assigns the prototype bucket.
   days_.clear();
   days_.resize(new_days);
+  day_mask_ = new_days - 1;
   for (auto& item : all) {
     insert_sorted(days_[day_of(item.time)], std::move(item));
   }
   cache_valid_ = false;
+  fallback_pops_ = 0;
+  // Every resize re-estimates the width, so a pending (or future) pop-count
+  // recalibration would be pure overhead — disarm it. Fallback distress
+  // re-arms if the new estimate still misfits.
+  recalibrate_at_ = std::numeric_limits<std::uint64_t>::max();
 }
 
 std::unique_ptr<EventQueue> make_event_queue(EventQueueKind kind) {
-  switch (kind) {
-    case EventQueueKind::kBinaryHeap:
-      return std::make_unique<HeapEventQueue>();
-    case EventQueueKind::kCalendar:
-      return std::make_unique<CalendarEventQueue>();
-  }
-  PDS_REQUIRE(false);
+  return std::make_unique<EventQueue>(kind);
 }
 
 }  // namespace pds

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -32,6 +33,15 @@ class SimEvent {
 
   SimEvent() noexcept = default;
 
+  // Caller's promise that the callable may be relocated by memcpy without
+  // running its move constructor or destroying the source — true whenever
+  // every capture is either trivially copyable or a standard smart pointer
+  // (their move constructor copies the representation and nulls the
+  // source, whose destructor is then a no-op). The kernel's rearm chains
+  // opt in with this tag so steady-state queue churn never makes an
+  // indirect call per relocation.
+  struct TrustedRelocation {};
+
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, SimEvent> &&
@@ -46,6 +56,18 @@ class SimEvent {
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &HeapOps<Fn>::ops;
     }
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SimEvent(TrustedRelocation, F&& f, const char* label = nullptr)
+      : label_(label) {
+    using Fn = std::decay_t<F>;
+    static_assert(fits_inline<Fn>,
+                  "trusted-relocation captures must fit inline");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &TrustedOps<Fn>::ops;
   }
 
   SimEvent(SimEvent&& other) noexcept { move_from(other); }
@@ -86,8 +108,12 @@ class SimEvent {
     void (*invoke)(void* self);
     // Move-constructs the callable into `dst` raw storage and destroys the
     // source. noexcept: inline storage requires a nothrow move constructor,
-    // heap storage relocates by pointer.
+    // heap storage relocates by pointer. nullptr means "relocate by
+    // memcpy": the queue's relocation — the operation it performs most —
+    // then never leaves straight-line code. Trivially copyable captures
+    // and the heap fallback's pointer slot both qualify.
     void (*relocate)(void* dst, void* src) noexcept;
+    // nullptr means trivially destructible: reset() skips the call.
     void (*destroy)(void* self) noexcept;
   };
 
@@ -105,32 +131,51 @@ class SimEvent {
       static_cast<Fn*>(src)->~Fn();
     }
     static void destroy(void* self) noexcept { static_cast<Fn*>(self)->~Fn(); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
+    static constexpr Ops ops{
+        &invoke,
+        std::is_trivially_copyable_v<Fn> ? nullptr : &relocate,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy};
+  };
+
+  // Like InlineOps, but relocation is forced onto the memcpy path on the
+  // caller's TrustedRelocation promise; destruction still runs normally.
+  template <typename Fn>
+  struct TrustedOps {
+    static void invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void destroy(void* self) noexcept { static_cast<Fn*>(self)->~Fn(); }
+    static constexpr Ops ops{
+        &invoke, nullptr,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy};
   };
 
   template <typename Fn>
   struct HeapOps {
     static Fn* ptr(void* self) noexcept { return *static_cast<Fn**>(self); }
     static void invoke(void* self) { (*ptr(self))(); }
-    static void relocate(void* dst, void* src) noexcept {
-      ::new (dst) Fn*(ptr(src));
-    }
     static void destroy(void* self) noexcept { delete ptr(self); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
+    // The inline slot holds a plain pointer: relocation is always a memcpy.
+    static constexpr Ops ops{&invoke, nullptr, &destroy};
   };
 
   void move_from(SimEvent& other) noexcept {
     ops_ = other.ops_;
     label_ = other.label_;
     if (ops_ != nullptr) {
-      ops_->relocate(buf_, other.buf_);
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        // Copying the whole fixed-size buffer (three 16-byte chunks)
+        // beats an indirect call even for small captures, and the branch
+        // is perfectly predicted in queue churn loops.
+        std::memcpy(buf_, other.buf_, kInlineCapacity);
+      }
       other.ops_ = nullptr;
     }
   }
 
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
       ops_ = nullptr;
     }
   }

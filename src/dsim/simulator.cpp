@@ -10,14 +10,13 @@
 
 namespace pds {
 
-Simulator::Simulator(EventQueueKind queue)
-    : events_(make_event_queue(queue)) {}
+Simulator::Simulator(EventQueueKind queue) : events_(queue) {}
 
 void Simulator::schedule_at(SimTime t, Action action, const char* label) {
   PDS_CHECK(t >= now_, "cannot schedule an event in the past");
   PDS_CHECK(static_cast<bool>(action), "null event action");
   if (label != nullptr) action.set_label(label);
-  events_->push(EventItem{t, next_seq_++, std::move(action)});
+  events_.push(EventItem{t, next_seq_++, std::move(action)});
 }
 
 void Simulator::schedule_in(SimTime dt, Action action, const char* label) {
@@ -35,6 +34,11 @@ void Simulator::run_until(SimTime t_end) {
 }
 
 void Simulator::drain(SimTime horizon, bool bounded) {
+  events_.visit([&](auto& queue) { drain_impl(queue, horizon, bounded); });
+}
+
+template <typename Queue>
+void Simulator::drain_impl(Queue& queue, SimTime horizon, bool bounded) {
   // The wall-clock half of the budget is only sampled every
   // kWallCheckPeriod events: the check never influences which events run
   // (it aborts, it does not reorder), and amortized it costs nothing.
@@ -46,15 +50,15 @@ void Simulator::drain(SimTime horizon, bool bounded) {
   std::uint64_t run_executed = 0;
 
   stopped_ = false;
-  while (!events_->empty() && !stopped_) {
-    if (bounded && events_->next_time() > horizon) break;
+  while (!queue.empty() && !stopped_) {
+    if (bounded && queue.next_time() > horizon) break;
     if (budgeted) {
       if (budget_events_ > 0 && run_executed >= budget_events_) {
         throw SimBudgetExceeded(
             "event budget exceeded: " + std::to_string(run_executed) +
                 " events executed in one run call (limit " +
                 std::to_string(budget_events_) + ")",
-            now_, run_executed, events_->size());
+            now_, run_executed, queue.size());
       }
       if (budget_wall_seconds_ > 0.0 &&
           run_executed % kWallCheckPeriod == 0) {
@@ -65,17 +69,17 @@ void Simulator::drain(SimTime horizon, bool bounded) {
               "wall-clock budget exceeded: " +
                   std::to_string(elapsed.count()) + " s elapsed (limit " +
                   std::to_string(budget_wall_seconds_) + " s)",
-              now_, run_executed, events_->size());
+              now_, run_executed, queue.size());
         }
       }
     }
-    EventItem ev = events_->pop();
+    EventItem ev = queue.pop();
     PDS_REQUIRE(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
     ++run_executed;
     if (monitor_ != nullptr) {
-      monitor_->on_event_begin(now_, ev.label(), events_->size());
+      monitor_->on_event_begin(now_, ev.label(), queue.size());
       ev.action();
       monitor_->on_event_end(now_, ev.label());
     } else {
@@ -106,9 +110,10 @@ struct PeriodicProcess::State {
     Simulator& sim = st->sim;
     const SimTime period = st->period;
     sim.schedule_in(period,
-                    SimEvent([st = std::move(st)]() mutable {
-                      fire(std::move(st));
-                    }, "dsim.periodic"));
+                    SimEvent(SimEvent::TrustedRelocation{},
+                             [st = std::move(st)]() mutable {
+                               fire(std::move(st));
+                             }, "dsim.periodic"));
   }
 };
 
@@ -118,7 +123,8 @@ PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime start, SimTime period,
   PDS_CHECK(period > 0.0, "period must be positive");
   PDS_CHECK(static_cast<bool>(state_->body), "null process body");
   sim.schedule_at(start,
-                  SimEvent([st = state_]() mutable { State::fire(std::move(st)); },
+                  SimEvent(SimEvent::TrustedRelocation{},
+                           [st = state_]() mutable { State::fire(std::move(st)); },
                            "dsim.periodic"));
 }
 

@@ -66,6 +66,8 @@ class Simulator {
   // The pending-event set defaults to a binary heap; packet-level
   // workloads with roughly uniform event spacing can opt into the calendar
   // queue (see dsim/event_queue.hpp). Both give identical execution orders.
+  // The queue is a sealed variant held by value — no virtual dispatch and
+  // no pointer indirection on the per-event path.
   explicit Simulator(EventQueueKind queue = EventQueueKind::kBinaryHeap);
 
   // Non-copyable: scheduled actions capture `this` of client objects.
@@ -125,14 +127,19 @@ class Simulator {
   void set_monitor(SimMonitor* monitor) noexcept { monitor_ = monitor; }
   SimMonitor* monitor() const noexcept { return monitor_; }
 
-  bool empty() const noexcept { return events_->empty(); }
-  std::size_t pending_events() const noexcept { return events_->size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t pending_events() const noexcept { return events_.size(); }
   std::uint64_t executed_events() const noexcept { return executed_; }
 
  private:
   void drain(SimTime horizon, bool bounded);
+  // The run loop, instantiated once per concrete queue type so every queue
+  // operation inside it is a direct (inlinable) call. drain() dispatches on
+  // the sealed EventQueue's kind exactly once per run call.
+  template <typename Queue>
+  void drain_impl(Queue& queue, SimTime horizon, bool bounded);
 
-  std::unique_ptr<EventQueue> events_;
+  EventQueue events_;
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

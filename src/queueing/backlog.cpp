@@ -5,7 +5,7 @@
 namespace pds {
 
 MultiClassBacklog::MultiClassBacklog(std::uint32_t num_classes)
-    : queues_(num_classes) {
+    : queues_(num_classes), heads_(num_classes) {
   PDS_CHECK(num_classes >= 1, "need at least one class");
 }
 
@@ -13,6 +13,13 @@ void MultiClassBacklog::push(Packet p) {
   PDS_CHECK(p.cls < queues_.size(), "class index out of range");
   ++total_packets_;
   total_bytes_ += p.size_bytes;
+  ClassHead& h = heads_[p.cls];
+  h.bytes += p.size_bytes;
+  if (h.packets++ == 0) {
+    // The arrival becomes the head of an idle class.
+    h.arrival = p.arrival;
+    h.head_bytes = p.size_bytes;
+  }
   queues_[p.cls].push(std::move(p));
 }
 
@@ -21,6 +28,13 @@ Packet MultiClassBacklog::pop(ClassId cls) {
   Packet p = queues_[cls].pop();
   --total_packets_;
   total_bytes_ -= p.size_bytes;
+  ClassHead& h = heads_[cls];
+  h.bytes -= p.size_bytes;
+  if (--h.packets != 0) {
+    const Packet& next = queues_[cls].head();
+    h.arrival = next.arrival;
+    h.head_bytes = next.size_bytes;
+  }
   return p;
 }
 
@@ -29,6 +43,11 @@ Packet MultiClassBacklog::pop_tail(ClassId cls) {
   Packet p = queues_[cls].pop_tail();
   --total_packets_;
   total_bytes_ -= p.size_bytes;
+  ClassHead& h = heads_[cls];
+  h.bytes -= p.size_bytes;
+  // A tail removal only changes the head fields when it empties the class,
+  // and `packets == 0` already marks those fields stale.
+  --h.packets;
   return p;
 }
 

@@ -10,6 +10,21 @@
 
 namespace pds {
 
+// Contiguous head-of-line snapshot, one entry per class: everything a
+// scheduler's dequeue scan reads (head arrival time, head size, byte and
+// packet backlog) in one flat 24-byte record, maintained incrementally by
+// push/pop/pop_tail. `bytes` and `packets` are always exact; `arrival` and
+// `head_bytes` describe the head packet and are stale while `packets == 0`
+// (the idle sentinel). Schedulers scan this array instead
+// of chasing per-class queue objects, so one decision over N classes
+// touches one or two cache lines instead of N.
+struct ClassHead {
+  SimTime arrival = kTimeZero;   // arrival time of the head packet
+  std::uint64_t bytes = 0;       // byte backlog of the class
+  std::uint32_t head_bytes = 0;  // wire size of the head packet
+  std::uint32_t packets = 0;     // packet backlog; 0 == idle
+};
+
 class MultiClassBacklog {
  public:
   explicit MultiClassBacklog(std::uint32_t num_classes);
@@ -26,6 +41,10 @@ class MultiClassBacklog {
   const ClassQueue& queue(ClassId cls) const;
   ClassQueue& queue(ClassId cls);
 
+  // Head-of-line snapshot indexed by class; exactly num_classes() entries.
+  const ClassHead* heads() const noexcept { return heads_.data(); }
+  const ClassHead& head_of(ClassId cls) const noexcept { return heads_[cls]; }
+
   bool empty() const noexcept { return total_packets_ == 0; }
   std::uint64_t total_packets() const noexcept { return total_packets_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
@@ -35,6 +54,7 @@ class MultiClassBacklog {
 
  private:
   std::vector<ClassQueue> queues_;
+  std::vector<ClassHead> heads_;
   std::uint64_t total_packets_ = 0;
   std::uint64_t total_bytes_ = 0;
 };

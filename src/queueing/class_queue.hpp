@@ -4,11 +4,20 @@
 // scheduler in this library differentiates *between* classes, never inside a
 // class. The queue tracks both packet and byte backlog; byte backlog drives
 // the BPR rate allocation (Eq. 8), packet counts drive statistics.
+//
+// Storage is a power-of-two ring buffer over a flat Packet array rather than
+// a std::deque: deque's 512-byte block map costs an extra pointer chase per
+// access and scatters consecutive packets across allocations, while the ring
+// keeps a class's backlog contiguous (modulo one wrap seam) and makes
+// push/pop/pop_tail/head branch-free index arithmetic. Head and tail are
+// free-running counters masked on access, so emptiness is `head_ == tail_`
+// and size is plain subtraction — no wasted slot, no wrap bookkeeping.
+// Capacity doubles on overflow and is never given back: a class that once
+// built a large backlog is expected to do so again.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
+#include <memory>
 
 #include "packet/packet.hpp"
 #include "util/contracts.hpp"
@@ -20,16 +29,18 @@ class ClassQueue {
   ClassQueue() = default;
 
   void push(Packet p) {
+    if (tail_ - head_ == cap_) grow();
     bytes_ += p.size_bytes;
     ++total_arrived_;
-    q_.push_back(std::move(p));
+    buf_[tail_ & mask_] = p;
+    ++tail_;
   }
 
   // Removes and returns the head. Requires a non-empty queue.
   Packet pop() {
-    PDS_REQUIRE(!q_.empty());
-    Packet p = std::move(q_.front());
-    q_.pop_front();
+    PDS_REQUIRE(head_ != tail_);
+    Packet p = buf_[head_ & mask_];
+    ++head_;
     bytes_ -= p.size_bytes;
     return p;
   }
@@ -37,25 +48,46 @@ class ClassQueue {
   // Removes and returns the most recently arrived packet (used by droppers
   // that push out from the tail of a class).
   Packet pop_tail() {
-    PDS_REQUIRE(!q_.empty());
-    Packet p = std::move(q_.back());
-    q_.pop_back();
+    PDS_REQUIRE(head_ != tail_);
+    --tail_;
+    Packet p = buf_[tail_ & mask_];
     bytes_ -= p.size_bytes;
     return p;
   }
 
   const Packet& head() const {
-    PDS_REQUIRE(!q_.empty());
-    return q_.front();
+    PDS_REQUIRE(head_ != tail_);
+    return buf_[head_ & mask_];
   }
 
-  bool empty() const noexcept { return q_.empty(); }
-  std::size_t packets() const noexcept { return q_.size(); }
+  bool empty() const noexcept { return head_ == tail_; }
+  std::size_t packets() const noexcept { return tail_ - head_; }
   std::uint64_t bytes() const noexcept { return bytes_; }
   std::uint64_t total_arrived() const noexcept { return total_arrived_; }
 
+  // Allocated slot count (power of two, or zero before the first push).
+  std::size_t capacity() const noexcept { return cap_; }
+
  private:
-  std::deque<Packet> q_;
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    auto fresh = std::make_unique<Packet[]>(new_cap);
+    const std::size_t n = tail_ - head_;
+    for (std::size_t i = 0; i < n; ++i) {
+      fresh[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(fresh);
+    cap_ = new_cap;
+    mask_ = new_cap - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::unique_ptr<Packet[]> buf_;
+  std::size_t cap_ = 0;   // power of two (0 until first push)
+  std::size_t mask_ = 0;  // cap_ - 1
+  std::size_t head_ = 0;  // free-running; buf_[head_ & mask_] is the head
+  std::size_t tail_ = 0;  // free-running; one past the most recent arrival
   std::uint64_t bytes_ = 0;
   std::uint64_t total_arrived_ = 0;
 };

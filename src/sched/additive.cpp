@@ -6,15 +6,18 @@ namespace pds {
 
 std::optional<Packet> AdditiveWtpScheduler::dequeue(SimTime now) {
   if (backlog_.empty()) return std::nullopt;
+  // Single pass over the head-of-line snapshot (same shape as WTP).
+  const ClassHead* heads = backlog_.heads();
+  const double* s = sdp().data();
+  const ClassId n = backlog_.num_classes();
   bool found = false;
   ClassId best = 0;
   double best_priority = 0.0;
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    const ClassQueue& q = backlog_.queue(c);
-    if (q.empty()) continue;
-    const SimTime wait = now - q.head().arrival;
+  for (ClassId c = 0; c < n; ++c) {
+    if (heads[c].packets == 0) continue;
+    const SimTime wait = now - heads[c].arrival;
     PDS_REQUIRE(wait >= 0.0);
-    const double p = wait + sdp()[c];
+    const double p = wait + s[c];
     if (!found || p >= best_priority) {  // >=: tie goes to the higher class
       found = true;
       best = c;

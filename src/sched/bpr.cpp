@@ -16,14 +16,18 @@ double BprScheduler::rate(ClassId cls) const {
 
 void BprScheduler::recompute_rates() {
   // Eq. 8/9: r_i = R * s_i q_i / sum_k s_k q_k over backlogged classes,
-  // with byte backlogs (the fluid server serves bytes).
+  // with byte backlogs (the fluid server serves bytes). The snapshot's
+  // `bytes` field is exact for idle classes too (zero), so one pass over
+  // the flat array suffices.
+  const ClassHead* heads = backlog_.heads();
+  const double* s = sdp().data();
+  const ClassId n = backlog_.num_classes();
   double denom = 0.0;
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    denom += sdp()[c] * static_cast<double>(backlog_.queue(c).bytes());
+  for (ClassId c = 0; c < n; ++c) {
+    denom += s[c] * static_cast<double>(heads[c].bytes);
   }
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    const double weighted =
-        sdp()[c] * static_cast<double>(backlog_.queue(c).bytes());
+  for (ClassId c = 0; c < n; ++c) {
+    const double weighted = s[c] * static_cast<double>(heads[c].bytes);
     rates_[c] = denom > 0.0 ? link_capacity() * weighted / denom : 0.0;
   }
 }
@@ -36,23 +40,24 @@ std::optional<Packet> BprScheduler::dequeue(SimTime now) {
 
   // Update virtual service for all backlogged queues and pick the head with
   // the least *remaining* virtual work, L_i - v_i. Ties favour the higher
-  // class (scan ascending with >= on the negated criterion).
+  // class (scan ascending with <= on the criterion).
+  const ClassHead* heads = backlog_.heads();
+  const ClassId n = backlog_.num_classes();
   bool found = false;
   ClassId best = 0;
   double best_remaining = 0.0;
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    ClassQueue& q = backlog_.queue(c);
-    if (q.empty()) {
+  for (ClassId c = 0; c < n; ++c) {
+    if (heads[c].packets == 0) {
       virtual_service_[c] = 0.0;
       continue;
     }
-    if (!any_departure_yet_ || q.head().arrival > last_departure_) {
+    if (!any_departure_yet_ || heads[c].arrival > last_departure_) {
       virtual_service_[c] = 0.0;  // head reached the front after t^{k-1}
     } else {
       virtual_service_[c] += rates_[c] * elapsed;
     }
     const double remaining =
-        static_cast<double>(q.head().size_bytes) - virtual_service_[c];
+        static_cast<double>(heads[c].head_bytes) - virtual_service_[c];
     if (!found || remaining <= best_remaining) {
       found = true;
       best = c;

@@ -31,7 +31,7 @@ void DrrScheduler::enqueue(Packet p, SimTime now) {
 
 std::optional<Packet> DrrScheduler::drop_tail(ClassId cls) {
   auto dropped = ClassBasedScheduler::drop_tail(cls);
-  if (dropped && backlog_.queue(cls).empty()) {
+  if (dropped && backlog_.head_of(cls).packets == 0) {
     // Keep the active ring consistent: an emptied class leaves the ring.
     if (!active_.empty() && active_.front() == cls) visit_started_ = false;
     for (auto it = active_.begin(); it != active_.end(); ++it) {
@@ -57,16 +57,16 @@ std::optional<Packet> DrrScheduler::dequeue(SimTime) {
   for (;;) {
     PDS_REQUIRE(!active_.empty());
     const ClassId c = active_.front();
-    ClassQueue& q = backlog_.queue(c);
-    PDS_REQUIRE(!q.empty());
+    const ClassHead& h = backlog_.head_of(c);
+    PDS_REQUIRE(h.packets != 0);
     if (!visit_started_) {
       deficit_[c] += quantum_[c];
       visit_started_ = true;
     }
-    if (deficit_[c] >= static_cast<double>(q.head().size_bytes)) {
-      deficit_[c] -= static_cast<double>(q.head().size_bytes);
+    if (deficit_[c] >= static_cast<double>(h.head_bytes)) {
+      deficit_[c] -= static_cast<double>(h.head_bytes);
       Packet p = backlog_.pop(c);
-      if (backlog_.queue(c).empty()) {
+      if (backlog_.head_of(c).packets == 0) {
         active_.pop_front();
         in_ring_[c] = false;
         deficit_[c] = 0.0;

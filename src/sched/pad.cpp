@@ -11,11 +11,11 @@ PadScheduler::PadScheduler(const SchedulerConfig& config)
 
 double PadScheduler::normalized_average_delay(ClassId cls, SimTime now) const {
   PDS_CHECK(cls < num_classes(), "class index out of range");
-  const ClassQueue& q = backlog_.queue(cls);
+  const ClassHead& h = backlog_.head_of(cls);
   double sum = cum_delay_[cls];
   std::uint64_t n = served_[cls];
-  if (!q.empty()) {
-    sum += now - q.head().arrival;
+  if (h.packets != 0) {
+    sum += now - h.arrival;
     n += 1;
   }
   if (n == 0) return 0.0;
@@ -33,11 +33,13 @@ void PadScheduler::note_served(const Packet& p, SimTime now) {
 
 std::optional<Packet> PadScheduler::pop_best(SimTime now) {
   if (backlog_.empty()) return std::nullopt;
+  const ClassHead* heads = backlog_.heads();
+  const ClassId n = backlog_.num_classes();
   bool found = false;
   ClassId best = 0;
   double best_priority = 0.0;
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    if (backlog_.queue(c).empty()) continue;
+  for (ClassId c = 0; c < n; ++c) {
+    if (heads[c].packets == 0) continue;
     const double p = priority(c, now);
     if (!found || p >= best_priority) {  // >=: tie goes to the higher class
       found = true;
@@ -59,9 +61,9 @@ HpdScheduler::HpdScheduler(const SchedulerConfig& config)
     : PadScheduler(config), g_(config.hpd_g) {}
 
 double HpdScheduler::priority(ClassId cls, SimTime now) const {
-  const ClassQueue& q = backlog_.queue(cls);
-  PDS_REQUIRE(!q.empty());
-  const double head_wait = now - q.head().arrival;
+  const ClassHead& h = backlog_.head_of(cls);
+  PDS_REQUIRE(h.packets != 0);
+  const double head_wait = now - h.arrival;
   const double wtp_part = head_wait * sdp()[cls];
   const double pad_part = normalized_average_delay(cls, now);
   return g_ * wtp_part + (1.0 - g_) * pad_part;

@@ -29,11 +29,13 @@ void ScfqScheduler::enqueue(Packet p, SimTime now) {
 
 std::optional<Packet> ScfqScheduler::dequeue(SimTime) {
   if (backlog_.empty()) return std::nullopt;
+  const ClassHead* heads = backlog_.heads();
+  const ClassId n = backlog_.num_classes();
   bool found = false;
   ClassId best = 0;
   double best_tag = 0.0;
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    if (backlog_.queue(c).empty()) continue;
+  for (ClassId c = 0; c < n; ++c) {
+    if (heads[c].packets == 0) continue;
     const double tag = tags_[c].front();
     // `<=` keeps the higher class on ties, consistent with the other
     // schedulers in this library.

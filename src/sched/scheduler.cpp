@@ -40,7 +40,7 @@ std::optional<Packet> Scheduler::drop_tail(ClassId) { return std::nullopt; }
 
 std::optional<Packet> ClassBasedScheduler::drop_tail(ClassId cls) {
   PDS_CHECK(cls < num_classes(), "class index out of range");
-  if (backlog_.queue(cls).empty()) return std::nullopt;
+  if (backlog_.head_of(cls).packets == 0) return std::nullopt;
   return backlog_.pop_tail(cls);
 }
 

@@ -118,10 +118,12 @@ class ClassBasedScheduler : public Scheduler {
     return backlog_.num_classes();
   }
   std::uint64_t backlog_packets(ClassId cls) const override {
-    return backlog_.queue(cls).packets();
+    PDS_CHECK(cls < backlog_.num_classes(), "class index out of range");
+    return backlog_.head_of(cls).packets;
   }
   std::uint64_t backlog_bytes(ClassId cls) const override {
-    return backlog_.queue(cls).bytes();
+    PDS_CHECK(cls < backlog_.num_classes(), "class index out of range");
+    return backlog_.head_of(cls).bytes;
   }
 
   void enqueue(Packet p, SimTime now) override;

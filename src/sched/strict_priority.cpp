@@ -4,8 +4,9 @@ namespace pds {
 
 std::optional<Packet> StrictPriorityScheduler::dequeue(SimTime) {
   if (backlog_.empty()) return std::nullopt;
+  const ClassHead* heads = backlog_.heads();
   for (ClassId c = backlog_.num_classes(); c-- > 0;) {
-    if (!backlog_.queue(c).empty()) return backlog_.pop(c);
+    if (heads[c].packets != 0) return backlog_.pop(c);
   }
   return std::nullopt;  // unreachable: empty() was false
 }

@@ -5,21 +5,30 @@
 namespace pds {
 
 double WtpScheduler::head_priority(ClassId cls, SimTime now) const {
-  const ClassQueue& q = backlog_.queue(cls);
-  if (q.empty()) return 0.0;
-  const SimTime wait = now - q.head().arrival;
+  PDS_CHECK(cls < num_classes(), "class index out of range");
+  const ClassHead& h = backlog_.head_of(cls);
+  if (h.packets == 0) return 0.0;
+  const SimTime wait = now - h.arrival;
   PDS_REQUIRE(wait >= 0.0);
   return wait * sdp()[cls];
 }
 
 std::optional<Packet> WtpScheduler::dequeue(SimTime now) {
   if (backlog_.empty()) return std::nullopt;
+  // One pass over the head-of-line snapshot: emptiness, head arrival and
+  // the SDP product are all evaluated in place — no per-class queue fetch
+  // and no second emptiness test inside a helper.
+  const ClassHead* heads = backlog_.heads();
+  const double* s = sdp().data();
+  const ClassId n = backlog_.num_classes();
   bool found = false;
   ClassId best = 0;
   double best_priority = -1.0;
-  for (ClassId c = 0; c < backlog_.num_classes(); ++c) {
-    if (backlog_.queue(c).empty()) continue;
-    const double p = head_priority(c, now);
+  for (ClassId c = 0; c < n; ++c) {
+    if (heads[c].packets == 0) continue;
+    const SimTime wait = now - heads[c].arrival;
+    PDS_REQUIRE(wait >= 0.0);
+    const double p = wait * s[c];
     // `>=` implements the tie-break in favour of the higher class: classes
     // are scanned in ascending order, so an equal priority at a higher
     // index wins.

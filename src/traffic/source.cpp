@@ -48,6 +48,7 @@ void arm_next(std::shared_ptr<StateT> st) {
   PDS_REQUIRE(gap > 0.0);
   Simulator& sim = st->sim;
   sim.schedule_in(gap, SimEvent(
+                           SimEvent::TrustedRelocation{},
                            [st = std::move(st)]() mutable {
                              if (st->stopped) return;
                              st->emit();
@@ -100,7 +101,7 @@ void RenewalSource::start(SimTime at) {
   PDS_CHECK(!state_->started, "source already started");
   state_->started = true;
   state_->sim.schedule_at(
-      at, SimEvent([st = state_]() mutable {
+      at, SimEvent(SimEvent::TrustedRelocation{}, [st = state_]() mutable {
         if (!st->stopped) arm_next(std::move(st));
       }, "traffic.source"));
 }
@@ -175,7 +176,7 @@ void ClassMixSource::start(SimTime at) {
   PDS_CHECK(!state_->started, "source already started");
   state_->started = true;
   state_->sim.schedule_at(
-      at, SimEvent([st = state_]() mutable {
+      at, SimEvent(SimEvent::TrustedRelocation{}, [st = state_]() mutable {
         if (!st->stopped) arm_next(std::move(st));
       }, "traffic.source"));
 }
@@ -211,6 +212,7 @@ struct CbrFlowSource::State {
       Simulator& sim = st->sim;
       const SimTime interval = st->interval;
       sim.schedule_in(interval, SimEvent(
+                                    SimEvent::TrustedRelocation{},
                                     [st = std::move(st)]() mutable {
                                       emit_and_rearm(std::move(st));
                                     },
@@ -235,7 +237,7 @@ CbrFlowSource::CbrFlowSource(Simulator& sim, PacketIdAllocator& ids,
 void CbrFlowSource::start(SimTime at) {
   PDS_CHECK(state_->emitted == 0, "flow already started");
   state_->sim.schedule_at(
-      at, SimEvent([st = state_]() mutable {
+      at, SimEvent(SimEvent::TrustedRelocation{}, [st = state_]() mutable {
         State::emit_and_rearm(std::move(st));
       }, "traffic.cbr"));
 }

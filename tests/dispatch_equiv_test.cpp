@@ -3,6 +3,7 @@
 // Runs Study A twice with the same seed — binary heap vs calendar queue —
 // and asserts the PacketTracer lifecycle files are byte-identical, plus the
 // aggregate results agree exactly.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -91,6 +92,38 @@ TEST(DispatchEquivalence, HoldsForPoissonArrivalsToo) {
   EXPECT_TRUE(slurp(heap_file.path) == slurp(cal_file.path))
       << "PacketTracer output diverged between event queue kinds";
   EXPECT_EQ(heap.total_departures, cal.total_departures);
+}
+
+// Golden-trace regression: the two-queue differential above would pass if
+// both implementations drifted *together* (say, a shared kernel change
+// that reorders equal-time events). Pinning the FNV-1a hash of the Study A
+// trace catches that: any change to execution order, trace sampling, or
+// CSV formatting shows up as a hash mismatch and must be an intentional,
+// reviewed break of the determinism contract.
+TEST(DispatchEquivalence, StudyATraceMatchesGoldenHash) {
+  constexpr std::uint64_t kGoldenFnv1a = 0xe924853a494d050eULL;
+  constexpr std::uint64_t kGoldenRecords = 292;
+
+  for (const auto kind :
+       {EventQueueKind::kBinaryHeap, EventQueueKind::kCalendar}) {
+    TempFile trace_file("pds_golden_trace.csv");
+    StudyAConfig cfg = base_config();
+    cfg.event_queue = kind;
+    cfg.trace_out = trace_file.path;
+    const StudyAResult result = run_study_a(cfg);
+
+    const std::string bytes = slurp(trace_file.path);
+    std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+    for (const unsigned char c : bytes) {
+      hash ^= c;
+      hash *= 1099511628211ULL;  // FNV-1a prime
+    }
+    EXPECT_EQ(result.trace_records, kGoldenRecords)
+        << "queue kind " << static_cast<int>(kind);
+    EXPECT_EQ(hash, kGoldenFnv1a)
+        << "queue kind " << static_cast<int>(kind)
+        << ": Study A trace diverged from the golden execution order";
+  }
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <random>
+
 #include "queueing/backlog.hpp"
 #include "queueing/class_queue.hpp"
 
@@ -105,6 +108,70 @@ TEST(MultiClassBacklog, RejectsOutOfRangeClass) {
 
 TEST(MultiClassBacklog, RejectsZeroClasses) {
   EXPECT_THROW(MultiClassBacklog(0), std::invalid_argument);
+}
+
+// Differential test for the ring-buffer ClassQueue against std::deque, the
+// container it replaced: a randomized mix of push / pop / pop_tail with
+// phases that force both index wraparound (fill-drain cycles around the
+// ring) and capacity growth mid-stream. Any divergence in order, head
+// identity, or byte/packet accounting is a ring-index bug.
+TEST(ClassQueue, MatchesDequeUnderRandomizedChurn) {
+  std::mt19937 rng(20260806);
+  ClassQueue q;
+  std::deque<Packet> ref;
+  std::uint64_t next_id = 1;
+  std::uint64_t ref_bytes = 0;
+
+  const auto push_one = [&] {
+    const auto bytes = static_cast<std::uint32_t>(rng() % 1500 + 1);
+    q.push(make_packet(next_id, 0, bytes));
+    ref.push_back(make_packet(next_id, 0, bytes));
+    ++next_id;
+    ref_bytes += bytes;
+  };
+
+  for (int round = 0; round < 50; ++round) {
+    // Growth phase: push far past the current capacity so the ring
+    // reallocates while holding live packets at arbitrary offsets.
+    const int burst = static_cast<int>(rng() % 40 + 10);
+    for (int i = 0; i < burst; ++i) push_one();
+
+    // Churn phase: interleave all three operations; drain low enough that
+    // head/tail wrap the mask repeatedly across rounds.
+    const int churn = static_cast<int>(rng() % 80 + 40);
+    for (int i = 0; i < churn; ++i) {
+      const auto op = rng() % 4;
+      if (op == 0 || ref.empty()) {
+        push_one();
+      } else if (op == 1) {
+        ASSERT_EQ(q.head().id, ref.front().id);
+        const Packet got = q.pop();
+        const Packet want = ref.front();
+        ref.pop_front();
+        ASSERT_EQ(got.id, want.id);
+        ASSERT_EQ(got.size_bytes, want.size_bytes);
+        ref_bytes -= want.size_bytes;
+      } else if (op == 2) {
+        const Packet got = q.pop_tail();
+        const Packet want = ref.back();
+        ref.pop_back();
+        ASSERT_EQ(got.id, want.id);
+        ASSERT_EQ(got.size_bytes, want.size_bytes);
+        ref_bytes -= want.size_bytes;
+      } else {
+        ASSERT_EQ(q.packets(), ref.size());
+        ASSERT_EQ(q.bytes(), ref_bytes);
+      }
+    }
+  }
+
+  // Full drain: every surviving packet must come out in deque order.
+  while (!ref.empty()) {
+    ASSERT_EQ(q.pop().id, ref.front().id);
+    ref.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
 }
 
 }  // namespace
