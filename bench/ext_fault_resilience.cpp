@@ -21,7 +21,12 @@
 // table is byte-identical for any --jobs (fault boundaries are scripted
 // simulator events; see docs/robustness.md).
 //
-// Knobs: --sim-time (time units), --seeds, --quick, --jobs.
+// Knobs: --sim-time (time units), --seeds, --quick, --jobs. Telemetry:
+// --spans-out writes the sweep's span timeline (add --spans-wall for the
+// wall-clock worker/shard view), --conformance-tau enables per-cell DDP
+// conformance monitoring, --report-out writes the unified run report
+// (--report-volatile opts the schedule-dependent pool section in). Default
+// span/report output is byte-identical for any --jobs.
 #include <array>
 #include <cmath>
 #include <iostream>
@@ -32,6 +37,8 @@
 #include "exp/supervisor.hpp"
 #include "exp/sweep.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -60,6 +67,11 @@ struct CellStats {
   std::vector<std::array<double, 3>> err;
   std::uint64_t fault_drops = 0;
   std::uint64_t episodes = 0;
+  // Per-cell DDP conformance summary (iff --conformance-tau).
+  std::uint64_t conf_windows = 0;
+  std::uint64_t conf_violations = 0;
+  std::uint64_t conf_during_faults = 0;
+  double conf_max_error = 0.0;
 };
 
 // Mean over adjacent pairs of |achieved/target - 1| for departures in
@@ -94,13 +106,20 @@ std::string cell_text(double v) {
 int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
-    args.require_known({"sim-time", "seeds", "quick", "jobs"});
+    args.require_known({"sim-time", "seeds", "quick", "jobs", "spans-out",
+                        "spans-wall", "conformance-tau", "report-out",
+                        "report-volatile"});
     const bool quick = args.get_bool("quick", false);
     const double sim_time =
         args.get_double("sim-time", quick ? 1.2e5 : 4.0e5);
     const auto seeds =
         static_cast<std::uint32_t>(args.get_int("seeds", quick ? 2 : 5));
     pds::ThreadPool::set_global_workers(args.get_jobs());
+    const auto spans_out = args.get_string("spans-out", "");
+    const bool spans_wall = args.get_bool("spans-wall", false);
+    const double conformance_tau = args.get_double("conformance-tau", 0.0);
+    const auto report_out = args.get_string("report-out", "");
+    const bool report_volatile = args.get_bool("report-volatile", false);
 
     const std::string plan_text = build_plan(sim_time);
     const auto plan = pds::parse_fault_plan(plan_text);
@@ -117,8 +136,13 @@ int main(int argc, char** argv) {
     // One cell per (scheduler, seed); each runs the full fault plan and
     // reduces its departure records to per-episode phase errors.
     const pds::SweepGrid grid({kinds.size(), seeds});
+    pds::SweepTelemetry telemetry;
+    pds::SupervisorOptions sup_opts;
+    if (!spans_out.empty() || !report_out.empty()) {
+      sup_opts.telemetry = &telemetry;
+    }
     const auto sup = pds::run_supervised_sweep(
-        grid.size(), pds::SupervisorOptions{},
+        grid.size(), sup_opts,
         [&](std::size_t i) {
           const auto at = grid.coords(i);
           pds::StudyAConfig config;
@@ -127,6 +151,7 @@ int main(int argc, char** argv) {
           config.seed = 1 + at[1];
           config.record_departures = true;
           config.fault_plan = plan_text;
+          config.conformance_tau = conformance_tau;
           // Deterministic backstop: a healthy cell at this scale stays far
           // below the budget; a livelocked one is killed and reported.
           config.max_events = 500000000;
@@ -135,6 +160,10 @@ int main(int argc, char** argv) {
           CellStats stats;
           stats.fault_drops = result.fault_drops;
           stats.episodes = result.fault_episodes;
+          stats.conf_windows = result.conformance.windows;
+          stats.conf_violations = result.conformance.violations;
+          stats.conf_during_faults = result.conformance.violations_during_faults;
+          stats.conf_max_error = result.conformance.max_error;
           for (const auto& ep : plan.episodes) {
             const double window = ep.duration;
             stats.err.push_back(
@@ -183,6 +212,65 @@ int main(int argc, char** argv) {
       std::cout << "cell " << f.index << " FAILED after " << f.attempts
                 << " attempt(s): " << f.error << "\n";
     }
+    if (conformance_tau > 0.0) {
+      std::uint64_t violations = 0;
+      std::uint64_t during = 0;
+      for (const auto& cell : sup.cells) {
+        violations += cell.conf_violations;
+        during += cell.conf_during_faults;
+      }
+      std::cout << "conformance (tau " << conformance_tau << " tu): "
+                << violations << " violation(s) across all cells, " << during
+                << " during fault episodes\n";
+    }
+
+    if (!spans_out.empty()) {
+      pds::SpanTracer spans(spans_wall ? pds::SpanMode::kWall
+                                       : pds::SpanMode::kDeterministic);
+      spans.add_sweep(telemetry);
+      spans.write(spans_out);
+      std::cout << "spans: " << spans.span_count() << " span(s) written to "
+                << spans_out
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+
+    if (!report_out.empty()) {
+      pds::RunReport report("supervised_sweep");
+      report.set_section("run",
+                         pds::Json::object()
+                             .set("bench", "ext_fault_resilience")
+                             .set("sim_time", sim_time)
+                             .set("seeds", seeds)
+                             .set("cells", grid.size())
+                             .set("fault_plan", plan_text));
+      report.set_section(
+          "supervisor",
+          pds::Json::object()
+              .set("cells", pds::sweep_cells_json(telemetry))
+              .set("failures", pds::failures_json(sup.failures)));
+      if (conformance_tau > 0.0) {
+        pds::Json per_cell = pds::Json::array();
+        for (std::size_t i = 0; i < sup.cells.size(); ++i) {
+          const auto& cell = sup.cells[i];
+          per_cell.push(pds::Json::object()
+                            .set("index", i)
+                            .set("windows", cell.conf_windows)
+                            .set("violations", cell.conf_violations)
+                            .set("during_faults", cell.conf_during_faults)
+                            .set("max_error", cell.conf_max_error));
+        }
+        report.set_section(
+            "conformance",
+            pds::Json::object().set("tau", conformance_tau)
+                .set("cells", std::move(per_cell)));
+      }
+      if (report_volatile) {
+        report.set_section("volatile", pds::sweep_volatile_json(telemetry));
+      }
+      report.write(report_out);
+      std::cout << "run report written to " << report_out << "\n";
+    }
+
     std::cout << "\nReading: 'err' is the mean over adjacent class pairs of\n"
                  "|achieved ratio / target - 1| (0 = perfect proportional\n"
                  "differentiation); '-' means a window with no departures in\n"

@@ -16,10 +16,19 @@
 //     records nothing) and at rate 1 (every event recorded). The no-probe
 //     configuration is the disabled path; its only cost over compiled-out
 //     is one null-pointer branch per lifecycle event.
+//  3. Departure-side conformance monitoring (guarded). The same link run
+//     with no ConformanceMonitor, with one constructed but disabled
+//     (tau = 0, record() early-returns), and with live windowed monitoring.
+//     The disabled configuration is what every run without
+//     --conformance-tau pays and must stay within the threshold.
+//
+// The event-loop table also times a KernelSpanMonitor (span batching when
+// --spans-out is live) next to the SimProfiler — informational, since the
+// disabled-span path is exactly the "no monitor" row the guard covers.
 //
 // Each configuration is timed `--reps` times and the best run is kept, which
-// filters scheduler noise on shared machines. Exits non-zero when the
-// guarded event-loop overhead exceeds `--threshold` percent.
+// filters scheduler noise on shared machines. Exits non-zero when a guarded
+// overhead exceeds `--threshold` percent.
 //
 //   micro_obs_overhead [--events=2000000] [--packets=400000] [--reps=5]
 //                      [--threshold=5]
@@ -32,8 +41,10 @@
 
 #include "dsim/event_queue.hpp"
 #include "dsim/simulator.hpp"
+#include "obs/conformance.hpp"
 #include "obs/probe.hpp"
 #include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/tracer.hpp"
 #include "packet/size_law.hpp"
 #include "sched/factory.hpp"
@@ -154,16 +165,20 @@ void run_sim_event_chain(std::uint64_t events, pds::SimMonitor* monitor) {
   sim.run();
 }
 
-void run_link_path(std::uint64_t packets, pds::PacketProbe* probe) {
+void run_link_path(std::uint64_t packets, pds::PacketProbe* probe,
+                   pds::ConformanceMonitor* conformance = nullptr) {
   pds::Simulator sim;
   pds::SchedulerConfig config;
   config.sdp = {1.0, 2.0, 4.0, 8.0};
   config.link_capacity = pds::kStudyACapacity;
   const auto sched = pds::make_scheduler(pds::SchedulerKind::kWtp, config);
   std::uint64_t departed = 0;
+  // The branch + forwarded record() mirror the run_study_a departure path.
   pds::Link link(sim, *sched, config.link_capacity,
-                 [&departed](pds::Packet&&, pds::SimTime, pds::SimTime) {
+                 [&departed, conformance](pds::Packet&& p, pds::SimTime wait,
+                                          pds::SimTime now) {
                    ++departed;
+                   if (conformance) conformance->record(p.cls, wait, now);
                  });
   link.set_probe(probe);
 
@@ -231,6 +246,12 @@ int main(int argc, char** argv) {
       pds::SimProfiler profiler;
       run_sim_event_chain(events, &profiler);
     });
+    const double t_span = best_seconds(reps, [&]() {
+      pds::SpanBuffer buffer;
+      pds::KernelSpanMonitor monitor(buffer);
+      run_sim_event_chain(events, &monitor);
+      monitor.finish();
+    });
 
     // --- link transmission path -------------------------------------------
     const double t_noprobe =
@@ -242,6 +263,22 @@ int main(int argc, char** argv) {
     const double t_trace1 = best_seconds(reps, [&]() {
       pds::PacketTracer tracer(1.0, 1);
       run_link_path(packets, &tracer);
+    });
+
+    // --- departure-side conformance monitoring ----------------------------
+    const std::vector<double> sdp{1.0, 2.0, 4.0, 8.0};
+    const double t_conf_off = best_seconds(reps, [&]() {
+      pds::ConformanceOptions copts;
+      copts.tau = 0.0;  // constructed but disabled: record() early-returns
+      pds::ConformanceMonitor conformance(sdp, copts);
+      run_link_path(packets, nullptr, &conformance);
+    });
+    const double t_conf_on = best_seconds(reps, [&]() {
+      pds::ConformanceOptions copts;
+      copts.tau = 500.0;  // live Eq. 2 windowing on every departure
+      pds::ConformanceMonitor conformance(sdp, copts);
+      run_link_path(packets, nullptr, &conformance);
+      conformance.finish();
     });
 
     const double ev = static_cast<double>(events);
@@ -257,19 +294,28 @@ int main(int argc, char** argv) {
     row("event loop", "raw queue (no hooks)", t_raw, ev, t_raw);
     row("event loop", "simulator, no monitor", t_nomon, ev, t_raw);
     row("event loop", "simulator + SimProfiler", t_prof, ev, t_raw);
+    row("event loop", "simulator + KernelSpanMonitor", t_span, ev, t_raw);
     row("link", "no probe", t_noprobe, pk, t_noprobe);
     row("link", "PacketTracer rate 0", t_trace0, pk, t_noprobe);
     row("link", "PacketTracer rate 1", t_trace1, pk, t_noprobe);
+    row("link", "conformance disabled (tau 0)", t_conf_off, pk, t_noprobe);
+    row("link", "conformance tau 500", t_conf_on, pk, t_noprobe);
     table.print(std::cout);
 
-    // The guard: obs compiled in but disabled (no monitor installed) must
-    // stay within `threshold` percent of the pre-hook kernel.
+    // The guards: obs compiled in but disabled must stay within `threshold`
+    // percent of the path without the hook — the monitor branch in the event
+    // loop, and the conformance branch + early-return on the departure path.
     const double over = 100.0 * (t_nomon / t_raw - 1.0);
-    const bool pass = over < threshold;
+    const double conf_over = 100.0 * (t_conf_off / t_noprobe - 1.0);
+    const bool pass = over < threshold && conf_over < threshold;
     std::cout << "\n"
-              << (pass ? "PASS" : "FAIL")
+              << (over < threshold ? "PASS" : "FAIL")
               << ": event loop with monitor hook disabled costs "
               << pds::TablePrinter::num(over, 2) << "% (threshold "
+              << pds::TablePrinter::num(threshold, 0) << "%)\n"
+              << (conf_over < threshold ? "PASS" : "FAIL")
+              << ": departure path with conformance disabled costs "
+              << pds::TablePrinter::num(conf_over, 2) << "% (threshold "
               << pds::TablePrinter::num(threshold, 0) << "%)\n";
     return pass ? 0 : 1;
   } catch (const pds::UsageError& e) {

@@ -40,7 +40,14 @@ constexpr const char kUsage[] =
     "  [--trace-out=FILE] [--trace-sample=0.01] [--profile]\n"
     "  [--fault-plan=FILE] (fault-plan grammar, target \"link\";"
     " see docs/robustness.md)\n"
-    "  [--max-events=N] [--max-wall-seconds=S] (watchdog; 0 = off)\n";
+    "  [--max-events=N] [--max-wall-seconds=S] (watchdog; 0 = off)\n"
+    "  [--spans-out=FILE.json] (Chrome trace-event timeline;"
+    " open in Perfetto)\n"
+    "  [--conformance-tau=T] (p-units; 0 = off)"
+    " [--conformance-tolerance=0.25]\n"
+    "  [--conformance-min-samples=10] [--conformance-out=FILE.jsonl]\n"
+    "  [--report-out=FILE.json] [--report-volatile]"
+    " (unified run report; see docs/observability.md)\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -61,7 +68,9 @@ int main(int argc, char** argv) {
         {"scheduler", "rho", "sdp", "mix", "sim-time", "seed", "arrivals",
          "taus", "check-feasibility", "save-trace", "metrics-out",
          "metrics-window", "trace-out", "trace-sample", "profile",
-         "fault-plan", "max-events", "max-wall-seconds", "help"});
+         "fault-plan", "max-events", "max-wall-seconds", "spans-out",
+         "conformance-tau", "conformance-tolerance", "conformance-min-samples",
+         "conformance-out", "report-out", "report-volatile", "help"});
     if (args.has("help")) {
       std::cerr << kUsage;
       return 0;
@@ -105,6 +114,16 @@ int main(int argc, char** argv) {
     config.max_events =
         static_cast<std::uint64_t>(args.get_int("max-events", 0));
     config.max_wall_seconds = args.get_double("max-wall-seconds", 0.0);
+    config.spans_out = args.get_string("spans-out", "");
+    config.conformance_tau =
+        args.get_double("conformance-tau", 0.0) * pds::kPUnit;
+    config.conformance_tolerance =
+        args.get_double("conformance-tolerance", 0.25);
+    config.conformance_min_samples = static_cast<std::uint64_t>(
+        args.get_int("conformance-min-samples", 10));
+    config.conformance_out = args.get_string("conformance-out", "");
+    config.report_out = args.get_string("report-out", "");
+    config.report_volatile = args.get_bool("report-volatile", false);
 
     const auto result = pds::run_study_a(config);
 
@@ -187,6 +206,31 @@ int main(int argc, char** argv) {
     if (config.profile) {
       std::cout << "\nsimulator profile (wall time by event category):\n"
                 << result.profile_report;
+    }
+    if (config.conformance_tau > 0.0) {
+      std::cout << "\nconformance: " << result.conformance.windows
+                << " window(s), " << result.conformance.pairs_checked
+                << " pair(s) checked, " << result.conformance.violations
+                << " violation(s)";
+      if (result.conformance.violations > 0) {
+        std::cout << " (max error "
+                  << pds::TablePrinter::num(result.conformance.max_error)
+                  << ", " << result.conformance.violations_during_faults
+                  << " during faults)";
+      }
+      std::cout << "\n";
+      if (!config.conformance_out.empty()) {
+        std::cout << "violations written to " << config.conformance_out
+                  << "\n";
+      }
+    }
+    if (!config.spans_out.empty()) {
+      std::cout << "\nspans: " << result.span_count << " span(s) written to "
+                << config.spans_out
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!config.report_out.empty()) {
+      std::cout << "run report written to " << config.report_out << "\n";
     }
     return 0;
   } catch (const pds::UsageError& e) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Snapshot the hot-path microbenchmarks into a reviewable JSON file.
 #
-#   scripts/bench_snapshot.sh                 # quick mode -> BENCH_pr5.json
+#   scripts/bench_snapshot.sh                 # quick mode -> BENCH_pr6.json
 #   scripts/bench_snapshot.sh --out FILE      # alternate output path
 #   scripts/bench_snapshot.sh --preset bench  # use the Release+IPO tree
 #
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-OUT="BENCH_pr5.json"
+OUT="BENCH_pr6.json"
 PRESET="default"
 MIN_TIME="0.25"
 REPS="1"
@@ -35,8 +35,15 @@ case "${PRESET}" in
   *) echo "unsupported preset: ${PRESET} (use default or bench)" >&2; exit 2 ;;
 esac
 
-cmake --preset "${PRESET}" >/dev/null
-cmake --build --preset "${PRESET}" -j "${JOBS}" \
+# Reuse an already-configured tree as-is (its cached generator may differ
+# from the preset's, e.g. a Makefiles tree on a box where the preset says
+# Ninja); only a fresh tree goes through the preset.
+if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+else
+  cmake --preset "${PRESET}" >/dev/null
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target micro_event_queue micro_schedulers >/dev/null
 
 TMP="$(mktemp -d)"

@@ -28,15 +28,38 @@ echo "== micro benches: quick run (hot-path smoke, ~5 s) =="
 ./build/bench/micro_schedulers --benchmark_min_time=0.05 \
   --benchmark_format=console 2>/dev/null | tail -n +4
 
+echo "== observability: compile-out proof + disabled-path overhead guard =="
+# -DPDS_OBS=OFF must keep compiling everything that touches the telemetry
+# plane (the macros and #if gates are only honest if both sides build), and
+# the compiled-in-but-disabled paths must stay within the <5% contract. The
+# overhead smoke uses reduced sizes: the guard thresholds are generous
+# enough to hold there, and the full run stays available by hand.
+cmake -B build-obsoff -S . -DPDS_OBS=OFF >/dev/null
+cmake --build build-obsoff -j "${JOBS}" \
+  --target simulate_cli ext_fault_resilience micro_obs_overhead \
+  obs_test conformance_test telemetry_test
+./build-obsoff/tests/obs_test
+./build-obsoff/tests/conformance_test
+./build-obsoff/tests/telemetry_test
+cmake --build build -j "${JOBS}" --target micro_obs_overhead
+./build/bench/micro_obs_overhead --events=300000 --packets=80000 --reps=3
+
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== fast mode: targeted ASan/UBSan over fault + supervisor suites =="
+  echo "== fast mode: targeted ASan/UBSan over fault + supervisor + obs suites =="
   # Even the fast path sanitizes the robustness layer: fault injection and
   # run supervision exercise exception unwinding and teardown ordering, the
-  # classic breeding ground for use-after-free.
+  # classic breeding ground for use-after-free. The obs suites join them
+  # because atomic-file commit/discard and span-buffer teardown live on the
+  # same unwind paths.
   cmake -B build-asan -S . -DPDS_SANITIZE=ON >/dev/null
-  cmake --build build-asan -j "${JOBS}" --target fault_test supervisor_test
+  cmake --build build-asan -j "${JOBS}" \
+    --target fault_test supervisor_test obs_test conformance_test \
+    telemetry_test
   ./build-asan/tests/fault_test
   ./build-asan/tests/supervisor_test
+  ./build-asan/tests/obs_test
+  ./build-asan/tests/conformance_test
+  ./build-asan/tests/telemetry_test
   echo "== done (fast mode, full sanitizer pass skipped) =="
   exit 0
 fi

@@ -10,6 +10,8 @@
 #include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "obs/tracer.hpp"
 #include "sched/link.hpp"
 #include "stats/delay_stats.hpp"
@@ -45,6 +47,13 @@ void StudyAConfig::validate() const {
   PDS_CHECK(trace_sample >= 0.0 && trace_sample <= 1.0,
             "trace sample rate must be in [0,1]");
   PDS_CHECK(max_wall_seconds >= 0.0, "watchdog wall deadline must be >= 0");
+  PDS_CHECK(conformance_tau >= 0.0, "conformance tau must be >= 0");
+  if (conformance_tau > 0.0) {
+    PDS_CHECK(conformance_tolerance > 0.0,
+              "conformance tolerance must be positive");
+  }
+  PDS_CHECK(conformance_out.empty() || conformance_tau > 0.0,
+            "conformance output requires a conformance tau");
 }
 
 StudyAResult run_study_a(const StudyAConfig& config) {
@@ -118,9 +127,45 @@ StudyAResult run_study_a(const StudyAConfig& config) {
     tracer = std::make_unique<PacketTracer>(config.trace_sample, config.seed);
   }
   std::unique_ptr<SimProfiler> profiler;
-  if (config.profile) {
-    profiler = std::make_unique<SimProfiler>();
+  if (config.profile) profiler = std::make_unique<SimProfiler>();
+  std::unique_ptr<SpanTracer> spans;
+  std::unique_ptr<KernelSpanMonitor> span_monitor;
+  if (!config.spans_out.empty()) {
+    spans = std::make_unique<SpanTracer>(SpanMode::kDeterministic);
+    span_monitor = std::make_unique<KernelSpanMonitor>(spans->buffer());
+  }
+  // The kernel holds one monitor slot; mux only when both observers want it.
+  SimMonitorMux monitor_mux;
+  if (profiler && span_monitor) {
+    monitor_mux.add(profiler.get());
+    monitor_mux.add(span_monitor.get());
+    sim.set_monitor(&monitor_mux);
+  } else if (profiler) {
     sim.set_monitor(profiler.get());
+  } else if (span_monitor) {
+    sim.set_monitor(span_monitor.get());
+  }
+
+  // Live DDP conformance monitoring, fed from the departure callback.
+  std::unique_ptr<ConformanceMonitor> conformance;
+  std::unique_ptr<ViolationLog> violation_log;
+  if (config.conformance_tau > 0.0) {
+    ConformanceOptions copts;
+    copts.tau = config.conformance_tau;
+    copts.start = warmup;
+    copts.tolerance = config.conformance_tolerance;
+    copts.min_samples = config.conformance_min_samples;
+    conformance = std::make_unique<ConformanceMonitor>(config.sdp, copts);
+    conformance->set_class_namer(cls_name);
+    if (registry) conformance->bind_metrics(*registry);
+    if (!config.conformance_out.empty()) {
+      violation_log =
+          std::make_unique<ViolationLog>(config.conformance_out, cls_name);
+      conformance->set_violation_sink(
+          [log = violation_log.get()](const ConformanceViolation& v) {
+            log->write(v);
+          });
+    }
   }
 
   StudyAResult result;
@@ -139,6 +184,7 @@ StudyAResult run_study_a(const StudyAConfig& config) {
             [&](Packet&& p, SimTime wait, SimTime now) {
               delays.record(p.cls, wait, now);
               for (auto& m : monitors) m.record(p.cls, wait, now);
+              if (conformance) conformance->record(p.cls, wait, now);
               if (registry) {
                 delay_summaries[p.cls]->observe(wait);
                 departure_counters[p.cls]->inc();
@@ -189,6 +235,11 @@ StudyAResult run_study_a(const StudyAConfig& config) {
         sim, parse_fault_plan(config.fault_plan));
     injector->attach("link", link);
     injector->arm();
+    if (spans) injector->set_span_buffer(&spans->buffer());
+    if (conformance) {
+      conformance->set_fault_context(
+          [inj = injector.get()] { return inj->active_summary(); });
+    }
   }
 
   Watchdog watchdog(
@@ -213,12 +264,27 @@ StudyAResult run_study_a(const StudyAConfig& config) {
     tracer->save(config.trace_out);
     result.trace_records = tracer->records().size();
   }
+  if (profiler || span_monitor) sim.set_monitor(nullptr);
   if (profiler) {
-    sim.set_monitor(nullptr);
     std::ostringstream os;
     profiler->print(os);
     result.profile_report = os.str();
   }
+  if (conformance) {
+    conformance->finish();
+    if (violation_log) violation_log->close();
+    result.conformance = conformance->summary();
+    result.violations = conformance->violations();
+  }
+  if (spans) {
+    span_monitor->finish();
+    spans->write(config.spans_out);
+    result.span_count = spans->span_count();
+  }
+  result.executed_events = sim.executed_events();
+  // Attribute the deterministic work measure to the enclosing sweep cell (a
+  // no-op outside supervised sweeps with telemetry).
+  report_cell_work(sim.executed_events());
 
   result.mean_delays = delays.means();
   result.ratios = delays.successive_ratios();
@@ -244,6 +310,52 @@ StudyAResult run_study_a(const StudyAConfig& config) {
       result.delay_percentiles.push_back(
           retained[c].percentiles(config.report_percentiles));
     }
+  }
+
+  if (!config.report_out.empty()) {
+    RunReport report("study_a");
+    Json run = Json::object();
+    run.set("scheduler", to_string(config.scheduler))
+        .set("classes", n)
+        .set("utilization", config.utilization)
+        .set("sim_time", config.sim_time)
+        .set("seed", config.seed)
+        .set("fault_plan", config.fault_plan);
+    report.set_section("run", std::move(run));
+    Json res = Json::object();
+    Json means = Json::array();
+    for (const double d : result.mean_delays) means.push(d);
+    Json ratios = Json::array();
+    for (const double r : result.ratios) ratios.push(r);
+    res.set("executed_events", result.executed_events)
+        .set("total_departures", result.total_departures)
+        .set("measured_utilization", result.measured_utilization)
+        .set("mean_delays", std::move(means))
+        .set("ratios", std::move(ratios));
+    report.set_section("results", std::move(res));
+    if (registry) report.set_section("metrics", metrics_json(*registry));
+    if (profiler) {
+      report.set_section("profile",
+                         profile_json(*profiler, config.report_volatile));
+    }
+    if (conformance) {
+      report.set_section(
+          "conformance",
+          conformance_json(result.conformance, result.violations));
+    }
+    if (injector) {
+      report.set_section("faults",
+                         Json::object()
+                             .set("scheduled", injector->scheduled_episodes())
+                             .set("begun", injector->episodes_begun())
+                             .set("completed", injector->episodes_completed())
+                             .set("drops", result.fault_drops));
+    }
+    if (spans) {
+      report.set_section("spans",
+                         Json::object().set("count", result.span_count));
+    }
+    report.write(config.report_out);
   }
 
   // The trace is recorded at arrival order = emission order per source, but

@@ -16,6 +16,7 @@
 #include "core/trace.hpp"
 #include "dsim/event_queue.hpp"
 #include "dsim/time.hpp"
+#include "obs/conformance.hpp"
 #include "packet/size_law.hpp"
 #include "sched/factory.hpp"
 #include "stats/sawtooth.hpp"
@@ -82,6 +83,33 @@ struct StudyAConfig {
   // lands in StudyAResult::profile_report.
   bool profile = false;
 
+  // When non-empty, a SpanTracer writes a Chrome trace-event JSON timeline
+  // here (chrome://tracing / Perfetto): kernel event batches by label plus
+  // one span per fault episode, all on the simulation clock — byte-identical
+  // across runs. Composes with `profile` through a SimMonitorMux.
+  std::string spans_out;
+
+  // Live DDP conformance monitoring (obs/conformance.hpp): every
+  // `conformance_tau` time units (0 disables) the window's adjacent-class
+  // delay ratios are checked against the configured SDPs; windows whose
+  // relative error exceeds `conformance_tolerance` become violation events.
+  // Monitoring starts after warmup. A pair only counts in windows where both
+  // classes have `conformance_min_samples` departures.
+  SimTime conformance_tau = 0.0;
+  double conformance_tolerance = 0.25;
+  std::uint64_t conformance_min_samples = 10;
+  // When non-empty (requires conformance_tau > 0), violations stream to this
+  // JSONL file as they are detected.
+  std::string conformance_out;
+
+  // When non-empty, a unified schema-versioned RunReport (obs/report.hpp)
+  // aggregating run parameters, result summary, metrics totals, profiler
+  // categories, conformance state, and fault accounting is written here.
+  // `report_volatile` opts the wall-clock section in (profiler wall times);
+  // default reports are byte-identical across runs and --jobs.
+  std::string report_out;
+  bool report_volatile = false;
+
   // --- Robustness (src/fault, exp/supervisor) ---
   // Fault plan text (fault_plan.hpp grammar). When non-empty, a
   // FaultInjector drives the scripted episodes against the congested link,
@@ -144,6 +172,14 @@ struct StudyAResult {
   // same records are in the file).
   std::uint64_t trace_records = 0;
   std::uint64_t metrics_snapshots = 0;        // iff config.metrics_out
+
+  // DDP conformance (iff config.conformance_tau > 0): the run-end summary
+  // and every violation, in window order.
+  ConformanceSummary conformance;
+  std::vector<ConformanceViolation> violations;
+
+  std::uint64_t span_count = 0;       // iff config.spans_out
+  std::uint64_t executed_events = 0;  // kernel events over the whole run
 };
 
 StudyAResult run_study_a(const StudyAConfig& config);

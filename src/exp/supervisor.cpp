@@ -4,6 +4,23 @@
 
 namespace pds {
 
+namespace detail {
+
+CellRecord*& active_cell_record() noexcept {
+  thread_local CellRecord* t_record = nullptr;
+  return t_record;
+}
+
+}  // namespace detail
+
+void report_cell_work(std::uint64_t work) noexcept {
+  if (CellRecord* record = detail::active_cell_record()) {
+    // Accumulate: a cell that runs several simulations (e.g. seed
+    // replications) reports the sum of their work measures.
+    record->work += work;
+  }
+}
+
 Watchdog::Watchdog(Simulator& sim, WatchdogLimits limits, SnapshotFn snapshot)
     : sim_(sim), limits_(limits), snapshot_(std::move(snapshot)) {}
 

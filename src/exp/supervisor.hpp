@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -47,6 +48,44 @@ struct CellFailure {
   int attempts = 0;
 };
 
+// Per-cell execution telemetry captured by run_supervised_sweep when
+// SupervisorOptions::telemetry is set. The deterministic fields (index,
+// work, attempts, failed) are identical for any --jobs; worker / wall times
+// are schedule-dependent and feed only the wall-mode span view and the
+// volatile run-report section (see obs/span.hpp, obs/report.hpp).
+struct CellRecord {
+  std::size_t index = 0;
+  std::uint32_t worker = 0;   // participant that executed the cell
+  double start_s = 0.0;       // wall time from sweep submit to cell start
+  double run_s = 0.0;         // wall time inside the cell body
+  std::uint64_t work = 0;     // deterministic work measure (report_cell_work)
+  int attempts = 0;
+  bool failed = false;
+};
+
+// Everything a sweep run can report about how it executed: one record per
+// cell (in grid order) plus the pool-level accounting delta for the sweep.
+struct SweepTelemetry {
+  std::vector<CellRecord> cells;
+  std::uint32_t workers = 0;
+  std::uint64_t steals = 0;             // across the sweep, all workers
+  std::vector<double> worker_busy_s;    // per participant, this sweep
+  double elapsed_s = 0.0;               // submit to post-barrier assembly
+};
+
+// Reports a deterministic work measure (e.g. simulator events executed) for
+// the sweep cell currently running on this thread; a no-op outside a
+// supervised sweep with telemetry enabled. The measure is attributed to the
+// cell regardless of which worker ran it, so it survives the byte-identical
+// --jobs contract.
+void report_cell_work(std::uint64_t work) noexcept;
+
+namespace detail {
+// Thread-local slot report_cell_work writes through; owned by the supervised
+// sweep while a cell body runs.
+CellRecord*& active_cell_record() noexcept;
+}  // namespace detail
+
 // All cells in grid order (failed cells default-constructed) plus the
 // failures sorted by index — both deterministic regardless of worker count.
 template <typename T>
@@ -62,6 +101,12 @@ struct SupervisorOptions {
   // cells can trip a wall-clock watchdog on a transiently loaded machine;
   // deterministic failures simply fail twice.
   bool retry_once = false;
+
+  // When set, the sweep fills one CellRecord per cell (worker, wall times,
+  // attempts, report_cell_work measure) plus the pool stats delta — the raw
+  // material for span traces and run reports. Costs two steady_clock reads
+  // per cell; null skips all of it.
+  SweepTelemetry* telemetry = nullptr;
 };
 
 // Like run_sweep(cells, fn) but with per-cell failure isolation.
@@ -73,22 +118,56 @@ auto run_supervised_sweep(std::size_t cells, const SupervisorOptions& opts,
   out.cells.resize(cells);
   std::mutex mu;
   const int max_attempts = opts.retry_once ? 2 : 1;
-  parallel_for(cells, [&](std::size_t i) {
+  SweepTelemetry* telemetry = opts.telemetry;
+  ThreadPool& pool = ThreadPool::global();
+  PoolStats stats_before;
+  std::chrono::steady_clock::time_point submit_at{};
+  if (telemetry) {
+    *telemetry = SweepTelemetry{};
+    telemetry->cells.resize(cells);
+    telemetry->workers = pool.workers();
+    stats_before = pool.stats();
+    submit_at = std::chrono::steady_clock::now();
+  }
+  pool.parallel_for(cells, [&](std::uint32_t worker, std::size_t i) {
+    CellRecord* record = nullptr;
+    std::chrono::steady_clock::time_point t0{};
+    if (telemetry) {
+      record = &telemetry->cells[i];
+      record->index = i;
+      record->worker = worker;
+      t0 = std::chrono::steady_clock::now();
+      record->start_s =
+          std::chrono::duration<double>(t0 - submit_at).count();
+      detail::active_cell_record() = record;
+    }
     std::string error;
     int attempts = 0;
-    while (attempts < max_attempts) {
+    bool ok = false;
+    while (attempts < max_attempts && !ok) {
       ++attempts;
+      if (record) record->work = 0;  // a retry re-reports from scratch
       try {
         out.cells[i] = fn(i);
-        return;
+        ok = true;
       } catch (const std::exception& e) {
         error = e.what();
       } catch (...) {
         error = "unknown exception";
       }
     }
-    const std::lock_guard<std::mutex> lock(mu);
-    out.failures.push_back(CellFailure{i, std::move(error), attempts});
+    if (record) {
+      detail::active_cell_record() = nullptr;
+      record->run_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      record->attempts = attempts;
+      record->failed = !ok;
+    }
+    if (!ok) {
+      const std::lock_guard<std::mutex> lock(mu);
+      out.failures.push_back(CellFailure{i, std::move(error), attempts});
+    }
   });
   // Failures arrive in execution order (worker-dependent); sort by index so
   // the report is as deterministic as the cell vector.
@@ -96,6 +175,22 @@ auto run_supervised_sweep(std::size_t cells, const SupervisorOptions& opts,
             [](const CellFailure& a, const CellFailure& b) {
               return a.index < b.index;
             });
+  if (telemetry) {
+    const PoolStats stats_after = pool.stats();
+    telemetry->steals =
+        stats_after.total_steals() - stats_before.total_steals();
+    telemetry->worker_busy_s.resize(stats_after.workers.size());
+    for (std::size_t w = 0; w < stats_after.workers.size(); ++w) {
+      const double before = w < stats_before.workers.size()
+                                ? stats_before.workers[w].busy_seconds
+                                : 0.0;
+      telemetry->worker_busy_s[w] =
+          stats_after.workers[w].busy_seconds - before;
+    }
+    telemetry->elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - submit_at)
+                               .count();
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "exp/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
@@ -49,10 +50,15 @@ struct ThreadPool::Job {
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr error;
+  // Per-participant work accounting: each participant writes only its own
+  // slot while the job runs; the submitter folds the slots into the pool
+  // totals after the idle barrier, when no worker touches the job anymore.
+  std::vector<PoolWorkerStats> slots;
 };
 
 ThreadPool::ThreadPool(std::uint32_t workers)
     : n_participants_(resolve_workers(workers)) {
+  stats_.workers.resize(n_participants_);
   threads_.reserve(n_participants_ - 1);
   for (std::uint32_t id = 1; id < n_participants_; ++id) {
     threads_.emplace_back([this, id] { worker_main(id); });
@@ -69,6 +75,21 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::in_parallel_region() { return t_in_parallel; }
+
+PoolStats ThreadPool::stats() const {
+  PDS_CHECK(!t_in_parallel,
+            "cannot snapshot pool stats from inside a parallel region");
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+void ThreadPool::reset_stats() {
+  PDS_CHECK(!t_in_parallel,
+            "cannot reset pool stats from inside a parallel region");
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_ = PoolStats{};
+  stats_.workers.resize(n_participants_);
+}
 
 std::uint32_t ThreadPool::resolve_workers(std::uint32_t requested) {
   if (requested > 0) return requested;
@@ -105,8 +126,11 @@ void ThreadPool::parallel_for(std::size_t count, const IndexedBody& body) {
   if (count == 0) return;
   if (t_in_parallel || threads_.empty() || count == 1) {
     // Nested, single-worker, or trivial: run inline on this participant.
+    // Nested loops are not separately accounted — their wall time already
+    // belongs to the enclosing body's claim.
     const bool was_in_parallel = t_in_parallel;
     t_in_parallel = true;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       for (std::size_t i = 0; i < count; ++i) body(t_worker_id, i);
     } catch (...) {
@@ -114,12 +138,21 @@ void ThreadPool::parallel_for(std::size_t count, const IndexedBody& body) {
       throw;
     }
     t_in_parallel = was_in_parallel;
+    if (!was_in_parallel) {
+      const auto t1 = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.jobs;
+      PoolWorkerStats& slot = stats_.workers[t_worker_id];
+      slot.claimed += count;
+      slot.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
+    }
     return;
   }
 
   std::lock_guard<std::mutex> submit(submit_mu_);
   Job job;
   job.body = &body;
+  job.slots.resize(n_participants_);
   const auto shard_count = static_cast<std::uint32_t>(
       std::min<std::size_t>(n_participants_, count));
   job.shards.reserve(shard_count);
@@ -149,6 +182,16 @@ void ThreadPool::parallel_for(std::size_t count, const IndexedBody& body) {
     idle_.wait(lk, [&] { return busy_ == 0; });
     job_ = nullptr;
   }
+  {
+    // Every worker has left the job, so its slots are quiescent.
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.jobs;
+    for (std::uint32_t w = 0; w < n_participants_; ++w) {
+      stats_.workers[w].claimed += job.slots[w].claimed;
+      stats_.workers[w].stolen += job.slots[w].stolen;
+      stats_.workers[w].busy_seconds += job.slots[w].busy_seconds;
+    }
+  }
   if (job.error) std::rethrow_exception(job.error);
 }
 
@@ -177,17 +220,26 @@ void ThreadPool::work_on(Job& job, std::uint32_t self) {
   t_worker_id = self;
   t_in_parallel = true;
   const std::uint32_t home = self % shard_count;
+  PoolWorkerStats& slot = job.slots[self];
   std::size_t index = 0;
+  const auto timed_run = [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_index(job, self, i);
+    const auto t1 = std::chrono::steady_clock::now();
+    slot.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
+  };
   while (!job.failed.load(std::memory_order_relaxed)) {
     if (job.shards[home]->claim_front(index)) {
-      run_index(job, self, index);
+      ++slot.claimed;
+      timed_run(index);
       continue;
     }
     bool stole = false;
     for (std::uint32_t off = 1; off < shard_count && !stole; ++off) {
       if (job.shards[(home + off) % shard_count]->claim_back(index)) {
         stole = true;
-        run_index(job, self, index);
+        ++slot.stolen;
+        timed_run(index);
       }
     }
     if (!stole) break;  // every shard is dry

@@ -46,6 +46,28 @@
 
 namespace pds {
 
+// Lifetime work accounting for one pool participant. `claimed` counts
+// indices popped from the participant's own shard, `stolen` those taken from
+// a victim's shard; `busy_seconds` is wall time spent inside bodies. All of
+// it is wall-clock / schedule-dependent telemetry: it feeds run reports and
+// the wall-mode span view, never deterministic output.
+struct PoolWorkerStats {
+  std::uint64_t claimed = 0;
+  std::uint64_t stolen = 0;
+  double busy_seconds = 0.0;
+};
+
+struct PoolStats {
+  std::uint64_t jobs = 0;  // parallel_for calls (including inline ones)
+  std::vector<PoolWorkerStats> workers;
+
+  std::uint64_t total_steals() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& w : workers) n += w.stolen;
+    return n;
+  }
+};
+
 class ThreadPool {
  public:
   // body(worker, index): `worker` is the participant id in [0, workers()),
@@ -62,6 +84,13 @@ class ThreadPool {
   std::uint32_t workers() const { return n_participants_; }
 
   void parallel_for(std::size_t count, const IndexedBody& body);
+
+  // Cumulative work accounting since construction (or the last
+  // reset_stats()); one entry per participant. Folded in at the end of every
+  // parallel_for, so a snapshot taken between jobs is consistent. Must not
+  // be called from inside a parallel region.
+  PoolStats stats() const;
+  void reset_stats();
 
   // True while the current thread is executing inside a parallel_for body
   // (worker thread or participating submitter).
@@ -89,6 +118,9 @@ class ThreadPool {
 
   std::uint32_t n_participants_;
   std::vector<std::thread> threads_;
+
+  mutable std::mutex stats_mu_;
+  PoolStats stats_;
 
   std::mutex mu_;
   std::condition_variable wake_;  // workers: a new job epoch is available

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <sstream>
+
 #include "net/chain.hpp"
 #include "net/topology.hpp"
+#include "obs/probe.hpp"
+#include "obs/span.hpp"
 #include "rng/rng.hpp"
 #include "util/contracts.hpp"
 
@@ -98,9 +102,33 @@ void FaultInjector::arm() {
   }
 }
 
+void FaultInjector::set_span_buffer(SpanBuffer* buffer,
+                                    double us_per_time_unit) {
+#if PDS_OBS_ENABLED
+  spans_ = buffer;
+  span_scale_ = us_per_time_unit;
+#else
+  (void)buffer;
+  (void)us_per_time_unit;
+#endif
+}
+
+std::string FaultInjector::active_summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Instance& inst : instances_) {
+    if (!inst.active) continue;
+    if (!first) os << "+";
+    first = false;
+    os << to_string(inst.episode.kind) << " " << inst.episode.target;
+  }
+  return os.str();
+}
+
 void FaultInjector::begin(std::size_t index) {
   Instance& inst = instances_[index];
   ++begun_;
+  inst.active = true;
   switch (inst.episode.kind) {
     case FaultKind::kDown:
       inst.link->take_down(inst.episode.mode);
@@ -123,6 +151,19 @@ void FaultInjector::begin(std::size_t index) {
 void FaultInjector::end(std::size_t index) {
   Instance& inst = instances_[index];
   ++completed_;
+  inst.active = false;
+#if PDS_OBS_ENABLED
+  if (spans_ != nullptr) {
+    const FaultEpisode& ep = inst.episode;
+    std::ostringstream args;
+    args << "\"kind\":\"" << to_string(ep.kind) << "\",\"target\":\""
+         << ep.target << "\"";
+    spans_->emit(Span{ep.at * span_scale_,
+                      (ep.end() - ep.at) * span_scale_, kSpanSimPid,
+                      kSpanFaultTid, to_string(ep.kind) + " " + ep.target,
+                      "fault", args.str()});
+  }
+#endif
   switch (inst.episode.kind) {
     case FaultKind::kDown:
       inst.link->bring_up();

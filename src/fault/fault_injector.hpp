@@ -39,6 +39,7 @@ namespace pds {
 
 class ChainNetwork;
 class Network;
+class SpanBuffer;
 
 class FaultInjector {
  public:
@@ -69,11 +70,24 @@ class FaultInjector {
   std::uint64_t episodes_completed() const noexcept { return completed_; }
   bool any_active() const noexcept { return begun_ > completed_; }
 
+  // Optional span emission (obs/span.hpp): each completed episode becomes
+  // one span [at, end] on the fault track, scaled by `us_per_time_unit`.
+  // Timestamps are plan times — fully deterministic. Compiled out (the calls
+  // become no-ops) when PDS_OBS_ENABLED=0. Set before running the simulator;
+  // the buffer must outlive the run.
+  void set_span_buffer(SpanBuffer* buffer, double us_per_time_unit = 1.0);
+
+  // Human-readable "<kind> <target>" list of currently active episodes, in
+  // instance order, "+"-joined ("down link+loss edge"); empty when none.
+  // Feeds ConformanceMonitor::set_fault_context for violation attribution.
+  std::string active_summary() const;
+
  private:
   struct Instance {
     FaultEpisode episode;  // with a concrete (non-*) target
     Link* link = nullptr;
     LossyLink* lossy = nullptr;  // non-null iff target is a LossyLink
+    bool active = false;
   };
 
   void begin(std::size_t index);
@@ -87,6 +101,8 @@ class FaultInjector {
   bool armed_ = false;
   std::uint64_t begun_ = 0;
   std::uint64_t completed_ = 0;
+  SpanBuffer* spans_ = nullptr;
+  double span_scale_ = 1.0;
 };
 
 // Convenience attachments: every hop of a chain as "hop0".."hop<K-1>", and

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
 #include "util/contracts.hpp"
@@ -70,9 +71,8 @@ MetricsSnapshotWriter::MetricsSnapshotWriter(
       window_(window),
       pre_snapshot_(std::move(pre_snapshot)) {
   PDS_CHECK(window > 0.0, "monitoring window must be positive");
-  if (!out_) throw std::runtime_error("cannot open metrics file: " + path);
   if (format_ == MetricsFormat::kCsv) {
-    out_ << "time,name,type,value,count,mean,stddev,min,max\n";
+    out_.stream() << "time,name,type,value,count,mean,stddev,min,max\n";
   }
   ticker_ = std::make_unique<PeriodicProcess>(
       sim_, sim_.now() + window_, window_,
@@ -84,53 +84,55 @@ MetricsSnapshotWriter::~MetricsSnapshotWriter() = default;
 void MetricsSnapshotWriter::flush() {
   if (ticker_) ticker_->cancel();
   if (sim_.now() > last_time_) write_snapshot(sim_.now());
+  out_.close();  // commit: tmp renames onto the final path
 }
 
 void MetricsSnapshotWriter::write_snapshot(SimTime now) {
   if (pre_snapshot_) pre_snapshot_(now);
+  std::ostream& out_stream = out_.stream();
   const std::string t = fmt(now);
   if (format_ == MetricsFormat::kCsv) {
     for (const auto& [name, c] : registry_.counters()) {
-      out_ << t << ',' << name << ",counter," << c.total() << ','
+      out_stream << t << ',' << name << ",counter," << c.total() << ','
            << c.window_delta() << ",,,,\n";
     }
     for (const auto& [name, g] : registry_.gauges()) {
-      out_ << t << ',' << name << ",gauge," << fmt(g.value()) << ",,,,,\n";
+      out_stream << t << ',' << name << ",gauge," << fmt(g.value()) << ",,,,,\n";
     }
     for (const auto& [name, s] : registry_.summaries()) {
       const RunningStats& w = s.window();
-      out_ << t << ',' << name << ",summary,," << w.count();
+      out_stream << t << ',' << name << ",summary,," << w.count();
       if (w.count() > 0) {
-        out_ << ',' << fmt(w.mean()) << ',' << fmt(w.stddev()) << ','
+        out_stream << ',' << fmt(w.mean()) << ',' << fmt(w.stddev()) << ','
              << fmt(w.min()) << ',' << fmt(w.max());
       } else {
-        out_ << ",,,,";
+        out_stream << ",,,,";
       }
-      out_ << '\n';
+      out_stream << '\n';
     }
   } else {
     for (const auto& [name, c] : registry_.counters()) {
-      out_ << "{\"time\":" << t << ",\"name\":\"" << name
+      out_stream << "{\"time\":" << t << ",\"name\":\"" << name
            << "\",\"type\":\"counter\",\"value\":" << c.total()
            << ",\"count\":" << c.window_delta() << "}\n";
     }
     for (const auto& [name, g] : registry_.gauges()) {
-      out_ << "{\"time\":" << t << ",\"name\":\"" << name
+      out_stream << "{\"time\":" << t << ",\"name\":\"" << name
            << "\",\"type\":\"gauge\",\"value\":" << fmt(g.value()) << "}\n";
     }
     for (const auto& [name, s] : registry_.summaries()) {
       const RunningStats& w = s.window();
-      out_ << "{\"time\":" << t << ",\"name\":\"" << name
+      out_stream << "{\"time\":" << t << ",\"name\":\"" << name
            << "\",\"type\":\"summary\",\"count\":" << w.count();
       if (w.count() > 0) {
-        out_ << ",\"mean\":" << fmt(w.mean())
+        out_stream << ",\"mean\":" << fmt(w.mean())
              << ",\"stddev\":" << fmt(w.stddev())
              << ",\"min\":" << fmt(w.min()) << ",\"max\":" << fmt(w.max());
       }
-      out_ << "}\n";
+      out_stream << "}\n";
     }
   }
-  out_.flush();
+  out_stream.flush();
   registry_.reset_windows();
   last_time_ = now;
   ++snapshots_;

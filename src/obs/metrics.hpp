@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,6 +26,7 @@
 #include "dsim/simulator.hpp"
 #include "dsim/time.hpp"
 #include "stats/running_stats.hpp"
+#include "util/atomic_file.hpp"
 
 namespace pds {
 
@@ -138,6 +138,11 @@ class MetricsSnapshotWriter {
   // (.jsonl => JSON lines, anything else => CSV with a header row). Throws
   // std::runtime_error when the file cannot be opened. `pre_snapshot`, when
   // set, runs before every sample so the caller can refresh gauges.
+  //
+  // Output is atomic (util/atomic_file.hpp): rows accumulate in
+  // `path + ".tmp"` and the file appears under its final name only when
+  // flush() (or a non-unwinding destructor) commits it. A run that dies with
+  // an exception leaves no partial metrics file.
   MetricsSnapshotWriter(Simulator& sim, MetricsRegistry& registry,
                         const std::string& path, SimTime window,
                         std::function<void(SimTime)> pre_snapshot = {});
@@ -147,9 +152,10 @@ class MetricsSnapshotWriter {
   MetricsSnapshotWriter& operator=(const MetricsSnapshotWriter&) = delete;
 
   // Writes a final partial-window snapshot at the current simulation time
-  // (no-op if a row for this instant was already written). Call once after
-  // the run; the destructor does NOT flush because the simulator may already
-  // be out of scope by then.
+  // (no-op if a row for this instant was already written) and commits the
+  // file. Call once after the run; the destructor does NOT snapshot because
+  // the simulator may already be out of scope by then (it still commits the
+  // rows written so far, unless unwinding).
   void flush();
 
   std::uint64_t snapshots_written() const noexcept { return snapshots_; }
@@ -162,7 +168,7 @@ class MetricsSnapshotWriter {
 
   Simulator& sim_;
   MetricsRegistry& registry_;
-  std::ofstream out_;
+  AtomicOutFile out_;
   MetricsFormat format_;
   SimTime window_;
   std::function<void(SimTime)> pre_snapshot_;

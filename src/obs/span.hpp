@@ -1,0 +1,156 @@
+// Span tracing: Chrome trace-event / Perfetto-compatible timelines of how a
+// run executed.
+//
+// A Span is one `"ph":"X"` complete event — a named interval on a (pid,
+// tid) track. Three emitters produce them:
+//
+//  * KernelSpanMonitor — a SimMonitor that coalesces consecutive events
+//    with the same schedule-time label into one batch span on the
+//    simulation-time axis ("drain batches"): the kernel timeline shows what
+//    event class the simulator was executing when.
+//  * FaultInjector (src/fault/) — one span per fault episode begin→end, so
+//    fault windows line up under the kernel timeline.
+//  * SpanTracer::add_sweep — per sweep-cell spans built from the
+//    SweepTelemetry a supervised sweep records (exp/supervisor.hpp).
+//
+// Clock domains and the determinism contract: kernel and fault spans live
+// on the simulation clock (1 time unit = 1 us by default) and are exactly
+// as deterministic as the simulation itself. Sweep-cell spans come in two
+// modes:
+//
+//  * SpanMode::kDeterministic (default) — cells are laid back-to-back in
+//    grid order on one track, each with duration equal to its deterministic
+//    work measure (report_cell_work, e.g. simulator events). The timeline
+//    is a bar chart of per-cell weight: cell skew is visible, and the
+//    rendered bytes are identical for any --jobs (the contract
+//    tests/telemetry_test.cpp pins).
+//  * SpanMode::kWall — cells are placed at their real wall-clock times on
+//    pid = executing worker, tid = home shard, with idle-gap "wait" spans
+//    and a post-barrier "assemble" span. A stolen cell renders on the
+//    thief's pid with the victim's tid — work-stealing imbalance is
+//    directly visible. Wall output is schedule-dependent by nature and
+//    exempt from byte-identity.
+//
+// write() merges every buffer, sorts spans by content (a deterministic
+// total order independent of which worker emitted what), and commits the
+// JSON atomically (tmp + rename).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsim/simulator.hpp"
+#include "exp/supervisor.hpp"
+
+namespace pds {
+
+// Track constants for the simulation-clock process row.
+inline constexpr std::uint32_t kSpanSimPid = 0;
+inline constexpr std::uint32_t kSpanKernelTid = 0;
+inline constexpr std::uint32_t kSpanFaultTid = 1;
+
+struct Span {
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+  std::string cat;
+  // Pre-rendered JSON object body (`"k":v,...`), empty for no args.
+  std::string args;
+};
+
+// Append-only span sink. Single-writer: each emitting context (the one
+// simulation thread, one pool worker) owns its buffer; merging happens
+// post-barrier in SpanTracer.
+class SpanBuffer {
+ public:
+  void emit(Span span) { spans_.push_back(std::move(span)); }
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  std::size_t size() const noexcept { return spans_.size(); }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+enum class SpanMode {
+  kDeterministic,  // byte-identical across --jobs; virtual cell timeline
+  kWall,           // real wall-clock cell placement; schedule-dependent
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(SpanMode mode = SpanMode::kDeterministic);
+
+  SpanMode mode() const noexcept { return mode_; }
+
+  SpanBuffer& buffer() noexcept { return buffer_; }
+
+  // Ingests a supervised sweep's telemetry as per-cell spans (see the mode
+  // semantics above). Call after the sweep barrier.
+  void add_sweep(const SweepTelemetry& telemetry);
+
+  std::size_t span_count() const noexcept { return buffer_.size(); }
+
+  // Deterministic merge + render: spans sorted by full content, rendered as
+  // a Chrome trace-event JSON document ({"traceEvents":[...]}).
+  std::string render() const;
+
+  // Renders and writes atomically (tmp + rename). Throws on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  SpanMode mode_;
+  SpanBuffer buffer_;
+};
+
+// SimMonitor that batches executed events into spans by label: consecutive
+// events with the same label become one span from the first event's time to
+// the last's, with the event count in args. A batch also closes after
+// `max_batch` events so a long homogeneous stretch still shows progress.
+// Timestamps are simulation time scaled by `us_per_time_unit` — fully
+// deterministic. Call finish() after the run to flush the open batch.
+class KernelSpanMonitor final : public SimMonitor {
+ public:
+  explicit KernelSpanMonitor(SpanBuffer& buffer,
+                             double us_per_time_unit = 1.0,
+                             std::uint64_t max_batch = 65536);
+
+  void on_event_begin(SimTime now, const char* label,
+                      std::size_t pending) noexcept override;
+  void on_event_end(SimTime now, const char* label) noexcept override;
+
+  void finish();
+
+  std::uint64_t events_seen() const noexcept { return events_; }
+
+ private:
+  void flush();
+
+  SpanBuffer& buffer_;
+  double scale_;
+  std::uint64_t max_batch_;
+  const char* label_ = nullptr;  // nullptr = no open batch
+  bool open_ = false;
+  SimTime first_ = 0.0;
+  SimTime last_ = 0.0;
+  std::uint64_t count_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+// Fans one kernel monitor slot out to several SimMonitors (the kernel holds
+// exactly one): profiler + span monitor can observe the same run.
+class SimMonitorMux final : public SimMonitor {
+ public:
+  void add(SimMonitor* monitor);
+
+  void on_event_begin(SimTime now, const char* label,
+                      std::size_t pending) noexcept override;
+  void on_event_end(SimTime now, const char* label) noexcept override;
+
+ private:
+  std::vector<SimMonitor*> monitors_;
+};
+
+}  // namespace pds

@@ -1,0 +1,54 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+
+namespace pds {
+
+AtomicOutFile::AtomicOutFile(const std::string& path)
+    : path_(path),
+      tmp_path_(path + ".tmp"),
+      out_(tmp_path_),
+      uncaught_at_ctor_(std::uncaught_exceptions()) {
+  if (!out_) throw std::runtime_error("cannot open for writing: " + path);
+}
+
+AtomicOutFile::~AtomicOutFile() {
+  if (closed_) return;
+  if (std::uncaught_exceptions() > uncaught_at_ctor_) {
+    // Unwinding: the file is partial by definition — discard, don't publish.
+    out_.close();
+    std::remove(tmp_path_.c_str());
+    return;
+  }
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; the temp file was already cleaned up.
+  }
+}
+
+void AtomicOutFile::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
+  const bool wrote_ok = static_cast<bool>(out_);
+  out_.close();
+  if (!wrote_ok) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("write failed: " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("cannot rename " + tmp_path_ + " to " + path_);
+  }
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  AtomicOutFile out(path);
+  out.stream() << content;
+  out.close();
+}
+
+}  // namespace pds

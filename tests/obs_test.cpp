@@ -169,6 +169,7 @@ TEST(MetricsSnapshotWriter, JsonlRowsAreWellFormedLines) {
   MetricsSnapshotWriter writer(sim, reg, file.path, 5.0);
   sim.schedule_at(5.0, [] {});
   sim.run_until(5.0);
+  writer.flush();  // commits the atomic file under its final name
   std::ifstream in(file.path);
   std::string line;
   std::size_t lines = 0;

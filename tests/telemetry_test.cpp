@@ -1,0 +1,412 @@
+// Telemetry tests: span tracing (content-sort determinism, sweep layouts,
+// kernel batching), the run-report JSON DOM and schema header, atomic
+// output-file semantics, and the tentpole contract — sweep span/report
+// artifacts are byte-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/supervisor.hpp"
+#include "exp/thread_pool.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "util/atomic_file.hpp"
+
+namespace pds {
+namespace {
+
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {}
+  ~TempFile() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::string path;
+};
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+CellRecord cell(std::size_t index, std::uint64_t work, std::uint32_t worker,
+                double start_s = 0.0, double run_s = 0.0) {
+  CellRecord r;
+  r.index = index;
+  r.work = work;
+  r.worker = worker;
+  r.start_s = start_s;
+  r.run_s = run_s;
+  r.attempts = 1;
+  return r;
+}
+
+const Span* find_span(const SpanBuffer& buffer, const std::string& name) {
+  for (const Span& s : buffer.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SpanTracer, RenderIsIndependentOfEmissionOrder) {
+  // The same span set appended in two different orders (as different
+  // workers would) must render to identical bytes: the content sort is the
+  // determinism mechanism write() relies on.
+  const std::vector<Span> set{
+      {10.0, 5.0, 0, 0, "arrival", "kernel", "\"count\":3"},
+      {15.0, 2.0, 0, 0, "departure", "kernel", "\"count\":1"},
+      {12.0, 8.0, 0, 1, "degrade link", "fault", ""},
+      {0.0, 30.0, 0, 2, "cell 0", "sweep.cell", "\"index\":0"},
+  };
+  SpanTracer forward;
+  for (const Span& s : set) forward.buffer().emit(s);
+  SpanTracer reverse;
+  for (auto it = set.rbegin(); it != set.rend(); ++it) {
+    reverse.buffer().emit(*it);
+  }
+  EXPECT_EQ(forward.render(), reverse.render());
+}
+
+TEST(SpanTracer, RenderEmitsTraceEventEnvelopeAndTrackMetadata) {
+  SpanTracer tracer;
+  tracer.buffer().emit({1.0, 2.0, 0, 0, "arrival", "kernel", ""});
+  tracer.buffer().emit({3.0, 1.0, 0, 1, "down link", "fault", ""});
+  const std::string json = tracer.render();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // One process_name for pid 0, thread_name rows for both tids.
+  EXPECT_NE(json.find("\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"args\":{\"name\":\"sim\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"kernel\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"fault\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":1,\"dur\":2,\"pid\":0,\"tid\":0"),
+            std::string::npos);
+}
+
+TEST(SpanTracer, DeterministicModeLaysCellsBackToBackInGridOrder) {
+  // Cells get dur = work (minimum 1 us so empty/failed cells stay visible)
+  // regardless of which worker ran them or when.
+  SweepTelemetry telemetry;
+  telemetry.cells = {cell(0, 50, 3, 0.9, 0.1), cell(1, 0, 1, 0.1, 0.2),
+                     cell(2, 20, 0, 0.5, 0.3)};
+  telemetry.workers = 4;
+  SpanTracer tracer(SpanMode::kDeterministic);
+  tracer.add_sweep(telemetry);
+  ASSERT_EQ(tracer.span_count(), 3u);
+
+  const Span* c0 = find_span(tracer.buffer(), "cell 0");
+  const Span* c1 = find_span(tracer.buffer(), "cell 1");
+  const Span* c2 = find_span(tracer.buffer(), "cell 2");
+  ASSERT_TRUE(c0 != nullptr && c1 != nullptr && c2 != nullptr);
+  EXPECT_DOUBLE_EQ(c0->ts, 0.0);
+  EXPECT_DOUBLE_EQ(c0->dur, 50.0);
+  EXPECT_DOUBLE_EQ(c1->ts, 50.0);
+  EXPECT_DOUBLE_EQ(c1->dur, 1.0);  // work 0 still renders
+  EXPECT_DOUBLE_EQ(c2->ts, 51.0);
+  EXPECT_DOUBLE_EQ(c2->dur, 20.0);
+  for (const Span* s : {c0, c1, c2}) {
+    EXPECT_EQ(s->pid, kSpanSimPid);
+    EXPECT_EQ(s->cat, "sweep.cell");
+  }
+  EXPECT_NE(c0->args.find("\"work\":50"), std::string::npos);
+  EXPECT_NE(c0->args.find("\"failed\":false"), std::string::npos);
+}
+
+TEST(SpanTracer, WallModePlacesCellsOnWorkersWithWaitAndAssembleSpans) {
+  // Worker 0 runs cell 0 at t=0 for 10 us and cell 1 at t=20 us for 5 us:
+  // the 10 us idle gap becomes a "wait" span, and the tail from the last
+  // cell end (25 us) to the sweep end (40 us) becomes the "assemble" span.
+  SweepTelemetry telemetry;
+  telemetry.cells = {cell(0, 5, 0, 0.0, 10e-6), cell(1, 5, 0, 20e-6, 5e-6)};
+  telemetry.workers = 1;
+  telemetry.elapsed_s = 40e-6;
+  SpanTracer tracer(SpanMode::kWall);
+  tracer.add_sweep(telemetry);
+
+  const Span* c0 = find_span(tracer.buffer(), "cell 0");
+  const Span* wait = find_span(tracer.buffer(), "wait");
+  const Span* assemble = find_span(tracer.buffer(), "assemble");
+  ASSERT_TRUE(c0 != nullptr && wait != nullptr && assemble != nullptr);
+  EXPECT_EQ(c0->pid, 1u);  // wall pids are worker + 1 (pid 0 is "sim")
+  EXPECT_EQ(c0->tid, 0u);  // home shard under one worker
+  EXPECT_DOUBLE_EQ(wait->ts, 10.0);
+  EXPECT_DOUBLE_EQ(wait->dur, 10.0);
+  EXPECT_DOUBLE_EQ(assemble->ts, 25.0);
+  EXPECT_DOUBLE_EQ(assemble->dur, 15.0);
+  EXPECT_NE(assemble->args.find("\"workers\":1"), std::string::npos);
+}
+
+TEST(SpanTracer, EmptySweepAddsNothing) {
+  SpanTracer tracer;
+  tracer.add_sweep(SweepTelemetry{});
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(KernelSpanMonitor, BatchesConsecutiveSameLabelEvents) {
+  SpanBuffer buffer;
+  KernelSpanMonitor monitor(buffer);
+  static const char kArrival[] = "arrival";
+  static const char kDeparture[] = "departure";
+  for (double t : {1.0, 2.0, 3.0}) {
+    monitor.on_event_begin(t, kArrival, 0);
+    monitor.on_event_end(t, kArrival);
+  }
+  monitor.on_event_begin(4.0, kDeparture, 0);
+  monitor.on_event_end(4.0, kDeparture);
+  EXPECT_EQ(buffer.size(), 1u);  // arrival batch closed by the label change
+  monitor.finish();
+  EXPECT_EQ(monitor.events_seen(), 4u);
+
+  ASSERT_EQ(buffer.size(), 2u);
+  const Span& arrivals = buffer.spans()[0];
+  EXPECT_EQ(arrivals.name, "arrival");
+  EXPECT_EQ(arrivals.cat, "kernel");
+  EXPECT_DOUBLE_EQ(arrivals.ts, 1.0);
+  EXPECT_DOUBLE_EQ(arrivals.dur, 2.0);
+  EXPECT_EQ(arrivals.args, "\"count\":3");
+  EXPECT_EQ(buffer.spans()[1].args, "\"count\":1");
+}
+
+TEST(KernelSpanMonitor, BatchesMatchEqualLabelsByContentNotPointer) {
+  // Two distinct char arrays with equal text must coalesce: event labels
+  // are string literals but identity is not guaranteed across TUs.
+  static const char a[] = "arrival";
+  static const char b[] = "arrival";
+  SpanBuffer buffer;
+  KernelSpanMonitor monitor(buffer);
+  monitor.on_event_begin(1.0, a, 0);
+  monitor.on_event_begin(2.0, b, 0);
+  monitor.finish();
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.spans()[0].args, "\"count\":2");
+}
+
+TEST(KernelSpanMonitor, MaxBatchClosesLongHomogeneousStretches) {
+  SpanBuffer buffer;
+  KernelSpanMonitor monitor(buffer, 1.0, /*max_batch=*/2);
+  static const char kLabel[] = "arrival";
+  for (int i = 0; i < 5; ++i) {
+    monitor.on_event_begin(static_cast<double>(i), kLabel, 0);
+  }
+  monitor.finish();
+  ASSERT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.spans()[0].args, "\"count\":2");
+  EXPECT_EQ(buffer.spans()[1].args, "\"count\":2");
+  EXPECT_EQ(buffer.spans()[2].args, "\"count\":1");
+}
+
+TEST(KernelSpanMonitor, ScalesSimTimeToMicroseconds) {
+  SpanBuffer buffer;
+  KernelSpanMonitor monitor(buffer, /*us_per_time_unit=*/2.5);
+  static const char kLabel[] = "arrival";
+  monitor.on_event_begin(4.0, kLabel, 0);
+  monitor.on_event_end(10.0, kLabel);
+  monitor.finish();
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_DOUBLE_EQ(buffer.spans()[0].ts, 10.0);
+  EXPECT_DOUBLE_EQ(buffer.spans()[0].dur, 15.0);
+}
+
+TEST(KernelSpanMonitor, FinishIsIdempotentAndFlushesOpenBatch) {
+  SpanBuffer buffer;
+  KernelSpanMonitor monitor(buffer);
+  static const char kLabel[] = "arrival";
+  monitor.on_event_begin(1.0, kLabel, 0);
+  monitor.finish();
+  monitor.finish();
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(SimMonitorMux, FansOutToEveryRegisteredMonitor) {
+  SpanBuffer b1, b2;
+  KernelSpanMonitor m1(b1), m2(b2);
+  SimMonitorMux mux;
+  mux.add(&m1);
+  mux.add(&m2);
+  mux.add(nullptr);  // ignored
+  static const char kLabel[] = "arrival";
+  mux.on_event_begin(1.0, kLabel, 3);
+  mux.on_event_end(2.0, kLabel);
+  m1.finish();
+  m2.finish();
+  EXPECT_EQ(m1.events_seen(), 1u);
+  EXPECT_EQ(m2.events_seen(), 1u);
+  ASSERT_EQ(b1.size(), 1u);
+  ASSERT_EQ(b2.size(), 1u);
+  EXPECT_DOUBLE_EQ(b1.spans()[0].dur, 1.0);
+}
+
+TEST(Json, RendersScalarsArraysObjectsAndEscapes) {
+  Json obj = Json::object();
+  obj.set("i", -3)
+      .set("u", 7u)
+      .set("d", 2.5)
+      .set("nan", std::numeric_limits<double>::quiet_NaN())
+      .set("b", true)
+      .set("n", Json())
+      .set("s", "a\"b\nc")
+      .set("arr", Json::array().push(1).push("x"));
+  EXPECT_EQ(obj.dump(),
+            "{\"i\":-3,\"u\":7,\"d\":2.5,\"nan\":null,\"b\":true,"
+            "\"n\":null,\"s\":\"a\\\"b\\nc\",\"arr\":[1,\"x\"]}");
+}
+
+TEST(Json, PreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1).set("apple", 2);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2}");
+}
+
+TEST(Json, KindMisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.set("k", 1), std::logic_error);
+  EXPECT_THROW(scalar.push(1), std::logic_error);
+  EXPECT_THROW(Json::array().set("k", 1), std::logic_error);
+  EXPECT_THROW(Json::object().push(1), std::logic_error);
+}
+
+TEST(RunReport, GoldenSchemaHeaderAndSectionOrder) {
+  // The header is pinned: consumers dispatch on the first two keys. The
+  // schema string only changes with a version bump.
+  RunReport report("study_a");
+  report.set_section("results", Json::object().set("departures", 42));
+  report.set_section("run", Json::object().set("seed", 1));
+  EXPECT_EQ(report.dump(),
+            "{\"schema\":\"pds.run_report/1\",\"kind\":\"study_a\","
+            "\"results\":{\"departures\":42},\"run\":{\"seed\":1}}\n");
+}
+
+TEST(RunReport, SetSectionReplacesByKey) {
+  RunReport report("study_a");
+  report.set_section("run", Json::object().set("seed", 1));
+  report.set_section("run", Json::object().set("seed", 9));
+  EXPECT_EQ(report.dump(),
+            "{\"schema\":\"pds.run_report/1\",\"kind\":\"study_a\","
+            "\"run\":{\"seed\":9}}\n");
+}
+
+TEST(RunReport, WriteCommitsAtomically) {
+  TempFile file("report_atomic.json");
+  RunReport report("study_a");
+  report.write(file.path);
+  EXPECT_FALSE(file_exists(file.path + ".tmp"));
+  EXPECT_EQ(slurp(file.path), report.dump());
+}
+
+TEST(SweepSections, CellsJsonIsDeterministicAndVolatileJsonIsNot) {
+  SweepTelemetry telemetry;
+  telemetry.cells = {cell(0, 10, 2, 0.25, 0.5)};
+  telemetry.cells[0].failed = true;
+  telemetry.workers = 4;
+  telemetry.steals = 3;
+  telemetry.worker_busy_s = {0.5};
+  telemetry.elapsed_s = 1.5;
+  EXPECT_EQ(sweep_cells_json(telemetry).dump(),
+            "[{\"index\":0,\"work\":10,\"attempts\":1,\"failed\":true}]");
+  // The volatile section carries the schedule-dependent fields and nothing
+  // deterministic consumers should ever diff.
+  const std::string vol = sweep_volatile_json(telemetry).dump();
+  EXPECT_NE(vol.find("\"steals\":3"), std::string::npos);
+  EXPECT_NE(vol.find("\"worker\":2"), std::string::npos);
+  EXPECT_EQ(vol.find("\"work\":"), std::string::npos);
+}
+
+TEST(AtomicOutFile, DiscardsPartialOutputOnUnwind) {
+  TempFile file("atomic_unwind.txt");
+  try {
+    AtomicOutFile out(file.path);
+    out.stream() << "partial row that must never be published";
+    throw std::runtime_error("cell blew up");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(file_exists(file.path));
+  EXPECT_FALSE(file_exists(file.path + ".tmp"));
+}
+
+TEST(AtomicOutFile, DestructorCommitsOnNormalExit) {
+  TempFile file("atomic_commit.txt");
+  {
+    AtomicOutFile out(file.path);
+    out.stream() << "row\n";
+    EXPECT_FALSE(file_exists(file.path));  // still under the .tmp name
+  }
+  EXPECT_EQ(slurp(file.path), "row\n");
+  EXPECT_FALSE(file_exists(file.path + ".tmp"));
+}
+
+TEST(AtomicOutFile, CloseIsIdempotent) {
+  TempFile file("atomic_idem.txt");
+  AtomicOutFile out(file.path);
+  out.stream() << "once";
+  out.close();
+  EXPECT_TRUE(out.closed());
+  out.close();
+  EXPECT_EQ(slurp(file.path), "once");
+}
+
+// The tentpole contract: a supervised sweep's deterministic telemetry
+// artifacts — span trace and run report — are byte-identical for any worker
+// count, including in the presence of a failing cell.
+class JobsDifferential {
+ public:
+  struct Artifacts {
+    std::string spans;
+    std::string report;
+  };
+
+  static Artifacts run(std::uint32_t workers) {
+    ThreadPool::set_global_workers(workers);
+    SweepTelemetry telemetry;
+    SupervisorOptions opts;
+    opts.telemetry = &telemetry;
+    const auto sup = run_supervised_sweep(kCells, opts, [](std::size_t i) {
+      if (i == 5) throw std::runtime_error("scripted cell failure");
+      // Deterministic per-cell work measure; which worker runs the cell
+      // must not matter.
+      report_cell_work(100 * (i + 1));
+      return i;
+    });
+
+    SpanTracer tracer(SpanMode::kDeterministic);
+    tracer.add_sweep(telemetry);
+
+    RunReport report("supervised_sweep");
+    report.set_section("run", Json::object().set("cells", kCells));
+    report.set_section("supervisor",
+                       Json::object()
+                           .set("cells", sweep_cells_json(telemetry))
+                           .set("failures", failures_json(sup.failures)));
+    return Artifacts{tracer.render(), report.dump()};
+  }
+
+  static constexpr std::size_t kCells = 12;
+};
+
+TEST(TelemetryJobsDifferential, SweepArtifactsAreByteIdenticalAcrossJobs) {
+  const auto serial = JobsDifferential::run(1);
+  const auto parallel = JobsDifferential::run(4);
+  ThreadPool::set_global_workers(0);  // restore the auto-sized pool
+  EXPECT_EQ(serial.spans, parallel.spans);
+  EXPECT_EQ(serial.report, parallel.report);
+  // Sanity: the artifacts actually carry the sweep, including the failure.
+  EXPECT_NE(serial.spans.find("\"name\":\"cell 11\""), std::string::npos);
+  EXPECT_NE(serial.report.find("scripted cell failure"), std::string::npos);
+  EXPECT_NE(serial.report.find("\"work\":1200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pds
