@@ -28,6 +28,22 @@ echo "== micro benches: quick run (hot-path smoke, ~5 s) =="
 ./build/bench/micro_schedulers --benchmark_min_time=0.05 \
   --benchmark_format=console 2>/dev/null | tail -n +4
 
+echo "== scenario smoke: parse + short run of every examples/scenarios/*.pds =="
+# Every shipped scenario must parse and run end to end (10% horizon); the
+# fat-tree sweep additionally pins the sweep-mode determinism contract:
+# stdout byte-identical for any --jobs.
+for pds in examples/scenarios/*.pds; do
+  echo "   ${pds}"
+  ./build/examples/netsim_cli --file="${pds}" --quick >/dev/null
+done
+SWEEP_A="$(mktemp)"; SWEEP_B="$(mktemp)"
+./build/examples/netsim_cli --file=examples/scenarios/fat_tree.pds \
+  --quick --sweep-users=4,8 --jobs=1 > "${SWEEP_A}"
+./build/examples/netsim_cli --file=examples/scenarios/fat_tree.pds \
+  --quick --sweep-users=4,8 --jobs=4 > "${SWEEP_B}"
+diff "${SWEEP_A}" "${SWEEP_B}"
+rm -f "${SWEEP_A}" "${SWEEP_B}"
+
 echo "== observability: compile-out proof + disabled-path overhead guard =="
 # -DPDS_OBS=OFF must keep compiling everything that touches the telemetry
 # plane (the macros and #if gates are only honest if both sides build), and

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <sstream>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/flows.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "stats/percentile.hpp"
 #include "traffic/source.hpp"
 #include "util/contracts.hpp"
@@ -122,10 +128,122 @@ class Options {
   std::vector<std::string> flags_;
 };
 
+// Parse-time view of the declared graph, for routed-route validation.
+struct ParseGraph {
+  std::map<std::string, NodeId> node_index;
+  std::vector<GraphEdge> edges;  // link = index into scenario.links
+  std::set<std::string> link_names;
+  std::set<std::string> route_names;
+};
+
+// Positive-integer option with a clean per-line error.
+std::uint32_t integer(Options& opts, const std::string& key,
+                      std::size_t line_no) {
+  const double v = opts.number(key);
+  if (v < 0.0 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    fail(line_no, key + " must be a non-negative integer");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+void add_scenario_node(Scenario& scenario, ParseGraph& graph,
+                       const std::string& name, std::size_t line_no) {
+  if (graph.node_index.count(name)) {
+    fail(line_no, "duplicate node name " + name);
+  }
+  graph.node_index[name] = static_cast<NodeId>(scenario.nodes.size());
+  scenario.nodes.push_back(name);
+}
+
+void add_scenario_link(Scenario& scenario, ParseGraph& graph,
+                       ScenarioLink link, std::size_t line_no) {
+  if (!graph.link_names.insert(link.name).second) {
+    fail(line_no, "duplicate link name " + link.name);
+  }
+  if (!link.from.empty()) {
+    graph.edges.push_back(
+        GraphEdge{static_cast<std::uint32_t>(scenario.links.size()),
+                  graph.node_index.at(link.from),
+                  graph.node_index.at(link.to)});
+  }
+  scenario.links.push_back(std::move(link));
+}
+
+NodeId require_node(const ParseGraph& graph, const std::string& name,
+                    std::size_t line_no) {
+  const auto it = graph.node_index.find(name);
+  if (it == graph.node_index.end()) fail(line_no, "unknown node " + name);
+  return it->second;
+}
+
+const ScenarioRoute* find_route(const Scenario& scenario,
+                                const std::string& name) {
+  for (const auto& r : scenario.routes) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void expand_topology(Scenario& scenario, ParseGraph& graph,
+                     const std::vector<std::string>& tokens,
+                     std::size_t line_no) {
+  if (tokens.size() < 2) fail(line_no, "topology needs a kind");
+  const std::string& kind = tokens[1];
+  Options opts(tokens, 2, line_no);
+  TopologySpec spec;
+  if (kind == "line" || kind == "ring") {
+    const std::uint32_t n = integer(opts, "n", line_no);
+    if (kind == "line") {
+      if (n < 2) fail(line_no, "line needs n >= 2");
+      spec = make_line_topology(n);
+    } else {
+      if (n < 3) fail(line_no, "ring needs n >= 3");
+      spec = make_ring_topology(n);
+    }
+  } else if (kind == "fat_tree") {
+    const std::uint32_t k = integer(opts, "k", line_no);
+    if (k < 2 || k % 2 != 0) fail(line_no, "fat_tree needs an even k >= 2");
+    spec = make_fat_tree_topology(k);
+  } else if (kind == "two_tier") {
+    const std::uint32_t cores = integer(opts, "cores", line_no);
+    const std::uint32_t pops = integer(opts, "pops", line_no);
+    if (cores < 1 || pops < 1) {
+      fail(line_no, "two_tier needs cores >= 1 and pops >= 1");
+    }
+    spec = make_two_tier_topology(cores, pops);
+  } else {
+    fail(line_no, "unknown topology kind " + kind);
+  }
+
+  const double capacity = opts.number("capacity");
+  const SchedulerKind sched =
+      scheduler_kind_from_string(opts.require("sched"));
+  const std::vector<double> sdp = opts.list("sdp");
+  const std::string prefix = opts.take("prefix").value_or("");
+  opts.finish();
+
+  for (const auto& name : spec.nodes) {
+    add_scenario_node(scenario, graph, prefix + name, line_no);
+  }
+  for (const auto& [a, b] : spec.edges) {
+    for (int dir = 0; dir < 2; ++dir) {
+      ScenarioLink link;
+      link.from = prefix + (dir == 0 ? a : b);
+      link.to = prefix + (dir == 0 ? b : a);
+      link.name = link.from + ">" + link.to;
+      link.capacity = capacity;
+      link.kind = sched;
+      link.sdp = sdp;
+      add_scenario_link(scenario, graph, std::move(link), line_no);
+    }
+  }
+}
+
 }  // namespace
 
 Scenario parse_scenario(const std::string& text) {
   Scenario scenario;
+  ParseGraph graph;
   bool saw_run = false;
   std::istringstream in(text);
   std::string line;
@@ -136,35 +254,67 @@ Scenario parse_scenario(const std::string& text) {
     if (tokens.empty()) continue;
     const auto& kind = tokens[0];
 
-    if (kind == "link") {
+    if (kind == "node") {
+      if (tokens.size() < 2) fail(line_no, "node needs a name");
+      Options opts(tokens, 2, line_no);
+      opts.finish();
+      add_scenario_node(scenario, graph, tokens[1], line_no);
+    } else if (kind == "edge") {
+      if (tokens.size() < 2) fail(line_no, "edge needs a name");
+      ScenarioLink link;
+      link.name = tokens[1];
+      Options opts(tokens, 2, line_no);
+      link.from = opts.require("from");
+      link.to = opts.require("to");
+      require_node(graph, link.from, line_no);
+      require_node(graph, link.to, line_no);
+      if (link.from == link.to) fail(line_no, "edge endpoints must differ");
+      link.capacity = opts.number("capacity");
+      link.kind = scheduler_kind_from_string(opts.require("sched"));
+      link.sdp = opts.list("sdp");
+      opts.finish();
+      add_scenario_link(scenario, graph, std::move(link), line_no);
+    } else if (kind == "topology") {
+      expand_topology(scenario, graph, tokens, line_no);
+    } else if (kind == "link") {
       if (tokens.size() < 2) fail(line_no, "link needs a name");
       ScenarioLink link;
       link.name = tokens[1];
-      for (const auto& existing : scenario.links) {
-        if (existing.name == link.name) {
-          fail(line_no, "duplicate link name " + link.name);
-        }
-      }
       Options opts(tokens, 2, line_no);
       link.capacity = opts.number("capacity");
       link.kind = scheduler_kind_from_string(opts.require("sched"));
       link.sdp = opts.list("sdp");
       opts.finish();
-      scenario.links.push_back(std::move(link));
+      add_scenario_link(scenario, graph, std::move(link), line_no);
     } else if (kind == "route") {
       if (tokens.size() < 3) fail(line_no, "route needs a name and links");
       ScenarioRoute route;
       route.name = tokens[1];
-      for (const auto& existing : scenario.routes) {
-        if (existing.name == route.name) {
-          fail(line_no, "duplicate route name " + route.name);
-        }
+      if (!graph.route_names.insert(route.name).second) {
+        fail(line_no, "duplicate route name " + route.name);
       }
-      for (std::size_t i = 2; i < tokens.size(); ++i) {
-        bool known = false;
-        for (const auto& l : scenario.links) known |= l.name == tokens[i];
-        if (!known) fail(line_no, "unknown link " + tokens[i]);
-        route.links.push_back(tokens[i]);
+      const bool routed = tokens[2].find('=') != std::string::npos;
+      if (routed) {
+        Options opts(tokens, 2, line_no);
+        route.from = opts.require("from");
+        route.to = opts.require("to");
+        opts.finish();
+        const NodeId from = require_node(graph, route.from, line_no);
+        const NodeId to = require_node(graph, route.to, line_no);
+        if (from == to) fail(line_no, "route endpoints must differ");
+        const auto path = shortest_path_links(
+            static_cast<NodeId>(scenario.nodes.size()), graph.edges, from,
+            to);
+        if (path.empty()) {
+          fail(line_no, "no path from " + route.from + " to " + route.to);
+        }
+      } else {
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          if (!graph.link_names.count(tokens[i])) {
+            fail(line_no, "unknown link " + tokens[i]);
+          }
+          route.links.push_back(tokens[i]);
+        }
       }
       scenario.routes.push_back(std::move(route));
     } else if (kind == "source") {
@@ -181,9 +331,9 @@ Scenario parse_scenario(const std::string& text) {
         fail(line_no, "unknown source kind " + sk);
       }
       src.route = tokens[2];
-      bool known = false;
-      for (const auto& r : scenario.routes) known |= r.name == src.route;
-      if (!known) fail(line_no, "unknown route " + src.route);
+      if (!find_route(scenario, src.route)) {
+        fail(line_no, "unknown route " + src.route);
+      }
 
       Options opts(tokens, 3, line_no);
       src.start = opts.number_or("start", 0.0);
@@ -210,6 +360,65 @@ Scenario parse_scenario(const std::string& text) {
       }
       opts.finish();
       scenario.sources.push_back(std::move(src));
+    } else if (kind == "flows") {
+      if (tokens.size() < 2) fail(line_no, "flows need a route");
+      ScenarioFlows f;
+      f.route = tokens[1];
+      const ScenarioRoute* route = find_route(scenario, f.route);
+      if (!route) fail(line_no, "unknown route " + f.route);
+
+      Options opts(tokens, 2, line_no);
+      f.cls = static_cast<ClassId>(integer(opts, "class", line_no));
+      f.users = integer(opts, "users", line_no);
+      f.size_bytes = integer(opts, "size", line_no);
+      f.think_mean = opts.number("think");
+      f.request_packets =
+          static_cast<std::uint32_t>(opts.number_or("request", 1.0));
+      f.response_packets = static_cast<std::uint32_t>(
+          opts.number_or("response", f.request_packets));
+      f.deadline = opts.number_or("deadline", 0.0);
+      f.rto = opts.number_or("rto", 0.0);
+      f.max_retries =
+          static_cast<std::uint32_t>(opts.number_or("retries", 0.0));
+      f.backoff = opts.number_or("backoff", 2.0);
+      f.rto_cap = opts.number_or("rto_cap", 0.0);
+      f.throttle_tokens = opts.number_or("throttle", 0.0);
+      f.throttle_ratio = opts.number_or("throttle_ratio", 0.1);
+      f.start = opts.number_or("start", 0.0);
+      if (const auto rev = opts.take("reverse")) {
+        f.reverse = *rev;
+        if (!find_route(scenario, f.reverse)) {
+          fail(line_no, "unknown route " + f.reverse);
+        }
+      }
+      opts.finish();
+
+      if (f.users < 1) fail(line_no, "flows need users >= 1");
+      if (f.size_bytes < 1) fail(line_no, "flows need size >= 1");
+      if (f.request_packets < 1 || f.response_packets < 1) {
+        fail(line_no, "request/response need at least one packet");
+      }
+      if (f.think_mean < 0.0) fail(line_no, "think must be non-negative");
+      if (f.max_retries > 0 && f.rto <= 0.0) {
+        fail(line_no, "retries need a positive rto");
+      }
+      if (f.backoff < 1.0) fail(line_no, "backoff must be >= 1");
+      if (f.reverse.empty()) {
+        // Responses return over the auto-computed shortest path back, which
+        // only exists for routed (from=/to=) forward routes.
+        if (route->from.empty()) {
+          fail(line_no,
+               "flows over an explicit route need reverse=<route>");
+        }
+        const auto back = shortest_path_links(
+            static_cast<NodeId>(scenario.nodes.size()), graph.edges,
+            graph.node_index.at(route->to), graph.node_index.at(route->from));
+        if (back.empty()) {
+          fail(line_no, "no path from " + route->to + " to " + route->from +
+                            " for the response direction");
+        }
+      }
+      scenario.flows.push_back(std::move(f));
     } else if (kind == "run") {
       if (saw_run) fail(line_no, "duplicate run directive");
       saw_run = true;
@@ -227,7 +436,7 @@ Scenario parse_scenario(const std::string& text) {
     throw std::invalid_argument("scenario defines no links");
   }
   if (!saw_run) throw std::invalid_argument("scenario has no run directive");
-  if (scenario.sources.empty()) {
+  if (scenario.sources.empty() && scenario.flows.empty()) {
     throw std::invalid_argument("scenario defines no sources");
   }
   PDS_CHECK(scenario.run.until > scenario.run.warmup,
@@ -235,24 +444,34 @@ Scenario parse_scenario(const std::string& text) {
   return scenario;
 }
 
-ScenarioReport run_scenario(const std::string& text,
-                            std::optional<std::uint64_t> seed_override) {
-  const Scenario scenario = parse_scenario(text);
-  const double warmup = scenario.run.warmup;
+ScenarioReport run_scenario(const Scenario& scenario,
+                            const ScenarioOptions& options) {
+  PDS_CHECK(options.horizon_scale > 0.0,
+            "horizon scale must be positive");
+  const double until = scenario.run.until * options.horizon_scale;
+  const double warmup = scenario.run.warmup * options.horizon_scale;
 
   Simulator sim;
   PacketIdAllocator ids;
-  Rng master(seed_override.value_or(scenario.run.seed));
+  FlowIdAllocator flow_ids;
+  Rng master(options.seed.value_or(scenario.run.seed));
 
   Network net(sim);
+  std::map<std::string, NodeId> node_ids;
+  for (const auto& name : scenario.nodes) node_ids[name] = net.add_node(name);
+
   std::map<std::string, LinkId> link_ids;
   std::uint32_t max_classes = 1;
   for (const auto& link : scenario.links) {
     SchedulerConfig sc;
     sc.sdp = link.sdp;
     sc.link_capacity = link.capacity;
-    link_ids[link.name] = net.add_link(link.kind, sc, link.capacity,
-                                       link.name);
+    const LinkId id =
+        link.from.empty()
+            ? net.add_link(link.kind, sc, link.capacity, link.name)
+            : net.add_edge(node_ids.at(link.from), node_ids.at(link.to),
+                           link.kind, sc, link.capacity, link.name);
+    link_ids[link.name] = id;
     max_classes = std::max(
         max_classes, static_cast<std::uint32_t>(link.sdp.size()));
   }
@@ -261,18 +480,61 @@ ScenarioReport run_scenario(const std::string& text,
   // (route index, class) -> samples of end-to-end queueing delay.
   std::vector<std::vector<SampleSet>> samples(
       scenario.routes.size(), std::vector<SampleSet>(max_classes));
+  // RouteId -> workloads whose forward or reverse route it is; sized after
+  // every route (including auto-created reverse routes) exists, which is
+  // before the first event fires.
+  std::vector<std::vector<RpcWorkload*>> flow_dispatch;
+
   std::map<std::string, RouteId> route_ids;
   for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
     const auto& route = scenario.routes[r];
-    std::vector<LinkId> path;
-    for (const auto& name : route.links) path.push_back(link_ids.at(name));
-    route_ids[route.name] = net.add_route(
-        path, [&, r](const Packet& p, SimTime now) {
-          ++report.total_exits;
-          if (now >= warmup && p.cls < max_classes) {
-            samples[r][p.cls].add(p.cum_queueing);
-          }
-        });
+    const auto handler = [&, r](const Packet& p, SimTime now) {
+      ++report.total_exits;
+      if (now >= warmup && p.cls < max_classes) {
+        samples[r][p.cls].add(p.cum_queueing);
+      }
+      for (RpcWorkload* wl : flow_dispatch[p.route]) {
+        wl->on_route_exit(p, now);
+      }
+    };
+    if (route.from.empty()) {
+      std::vector<LinkId> path;
+      for (const auto& name : route.links) path.push_back(link_ids.at(name));
+      route_ids[route.name] = net.add_route(path, handler);
+    } else {
+      route_ids[route.name] = net.add_route_between(
+          node_ids.at(route.from), node_ids.at(route.to), handler);
+    }
+  }
+
+  // Reverse routes for flows without an explicit reverse= (one per forward
+  // route, shared between workloads). Their exits count toward total_exits
+  // but carry no per-route stats row.
+  const auto reverse_handler = [&](const Packet& p, SimTime now) {
+    ++report.total_exits;
+    for (RpcWorkload* wl : flow_dispatch[p.route]) wl->on_route_exit(p, now);
+  };
+  std::map<std::string, RouteId> auto_reverse;
+  std::vector<std::pair<RouteId, RouteId>> flow_routes;  // (forward, reverse)
+  for (const auto& f : scenario.flows) {
+    const RouteId forward = route_ids.at(f.route);
+    RouteId reverse;
+    if (!f.reverse.empty()) {
+      reverse = route_ids.at(f.reverse);
+    } else {
+      const auto it = auto_reverse.find(f.route);
+      if (it != auto_reverse.end()) {
+        reverse = it->second;
+      } else {
+        const ScenarioRoute* route = find_route(scenario, f.route);
+        PDS_REQUIRE(route != nullptr && !route->from.empty());
+        reverse = net.add_route_between(node_ids.at(route->to),
+                                        node_ids.at(route->from),
+                                        reverse_handler);
+        auto_reverse.emplace(f.route, reverse);
+      }
+    }
+    flow_routes.emplace_back(forward, reverse);
   }
 
   const auto make_gaps = [](const ScenarioSource& src) {
@@ -280,6 +542,9 @@ ScenarioReport run_scenario(const std::string& text,
                                   : exponential_gaps(src.gap);
   };
 
+  // Rng split order: every source in file order, then every workload in
+  // file order — adding flows to a scenario never perturbs the packet
+  // streams of its existing sources.
   std::vector<std::unique_ptr<RenewalSource>> renewals;
   std::vector<std::unique_ptr<ClassMixSource>> mixes;
   std::vector<std::unique_ptr<CbrFlowSource>> cbrs;
@@ -310,9 +575,88 @@ ScenarioReport run_scenario(const std::string& text,
     }
   }
 
-  sim.run_until(scenario.run.until);
+  std::vector<std::unique_ptr<RpcWorkload>> workloads;
+  for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+    const auto& f = scenario.flows[i];
+    RpcConfig rc;
+    rc.cls = f.cls;
+    rc.users = options.users.value_or(f.users);
+    rc.request_packets = f.request_packets;
+    rc.response_packets = f.response_packets;
+    rc.size_bytes = f.size_bytes;
+    rc.think_mean = f.think_mean;
+    rc.deadline = f.deadline;
+    rc.rto = f.rto;
+    rc.max_retries = f.max_retries;
+    rc.backoff = f.backoff;
+    rc.rto_cap = f.rto_cap;
+    rc.throttle_tokens = f.throttle_tokens;
+    rc.throttle_ratio = f.throttle_ratio;
+    workloads.push_back(std::make_unique<RpcWorkload>(
+        sim, net, ids, flow_ids, flow_routes[i].first, flow_routes[i].second,
+        rc, master.split()));
+    workloads.back()->set_warmup(warmup);
+  }
+  flow_dispatch.assign(net.num_routes(), {});
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    flow_dispatch[flow_routes[i].first].push_back(workloads[i].get());
+    if (flow_routes[i].second != flow_routes[i].first) {
+      flow_dispatch[flow_routes[i].second].push_back(workloads[i].get());
+    }
+  }
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    workloads[i]->start(scenario.flows[i].start);
+  }
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!options.fault_plan.empty()) {
+    injector = std::make_unique<FaultInjector>(
+        sim, parse_fault_plan(options.fault_plan));
+    attach_network(*injector, net);
+    injector->arm();
+    report.faulted = true;
+  }
+
+  MetricsRegistry registry;
+  std::unique_ptr<MetricsSnapshotWriter> metrics;
+  if (!options.metrics_out.empty()) {
+    PDS_CHECK(options.metrics_window > 0.0,
+              "metrics window must be positive");
+    metrics = std::make_unique<MetricsSnapshotWriter>(
+        sim, registry, options.metrics_out, options.metrics_window,
+        [&](SimTime) {
+          for (const auto& [name, id] : link_ids) {
+            registry.gauge("link." + name + ".util")
+                .set(net.utilization(id));
+            registry.gauge("link." + name + ".sent")
+                .set(static_cast<double>(net.link(id).packets_sent()));
+          }
+          for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const auto& st = workloads[i]->stats();
+            const std::string p = "flows.f" + std::to_string(i) + ".";
+            registry.gauge(p + "completed")
+                .set(static_cast<double>(st.completed));
+            registry.gauge(p + "failed").set(static_cast<double>(st.failed));
+            registry.gauge(p + "retries")
+                .set(static_cast<double>(st.retries));
+            registry.gauge(p + "waiting")
+                .set(static_cast<double>(workloads[i]->waiting_users()));
+            registry.gauge(p + "slo").set(st.slo_attainment());
+          }
+        });
+  }
+
+  if (options.max_events > 0 || options.max_wall_seconds > 0.0) {
+    sim.set_budget(options.max_events, options.max_wall_seconds);
+  }
+
+  sim.run_until(until);
   for (auto& s : renewals) s->stop();
   for (auto& s : mixes) s->stop();
+  if (metrics) {
+    metrics->flush();
+    report.metrics_snapshots = metrics->snapshots_written();
+  }
 
   for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
     for (ClassId c = 0; c < max_classes; ++c) {
@@ -326,9 +670,114 @@ ScenarioReport run_scenario(const std::string& text,
   for (const auto& link : scenario.links) {
     const LinkId id = link_ids.at(link.name);
     report.link_stats.push_back(ScenarioReport::LinkStats{
-        link.name, net.utilization(id), net.link(id).packets_sent()});
+        link.name, to_string(link.kind), net.utilization(id),
+        net.link(id).packets_sent(), net.link(id).fault_drops(), 0});
+    report.fault_drops += net.link(id).fault_drops();
+  }
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& st = workloads[i]->stats();
+    ScenarioReport::FlowStats fs;
+    fs.route = scenario.flows[i].route;
+    fs.cls = scenario.flows[i].cls;
+    fs.users = workloads[i]->config().users;
+    fs.issued = st.issued;
+    fs.completed = st.completed;
+    fs.failed = st.failed;
+    fs.retries = st.retries;
+    fs.throttled = st.throttled;
+    if (!st.fct.empty()) {
+      fs.fct_mean = st.fct.mean();
+      const auto q = st.fct.percentiles({50.0, 95.0, 99.0});
+      fs.fct_p50 = q[0];
+      fs.fct_p95 = q[1];
+      fs.fct_p99 = q[2];
+    }
+    fs.slo_attainment = st.slo_attainment();
+    fs.deadline = scenario.flows[i].deadline;
+    report.flow_stats.push_back(std::move(fs));
+  }
+  if (injector) {
+    report.fault_episodes_scheduled = injector->scheduled_episodes();
+    report.fault_episodes = injector->episodes_completed();
   }
   return report;
+}
+
+ScenarioReport run_scenario(const std::string& text,
+                            const ScenarioOptions& options) {
+  return run_scenario(parse_scenario(text), options);
+}
+
+ScenarioReport run_scenario(const std::string& text,
+                            std::optional<std::uint64_t> seed_override) {
+  ScenarioOptions options;
+  options.seed = seed_override;
+  return run_scenario(text, options);
+}
+
+RunReport scenario_run_report(const Scenario& scenario,
+                              const ScenarioReport& report,
+                              std::uint64_t seed_used) {
+  RunReport doc("scenario");
+  doc.set_section("scenario",
+                  Json::object()
+                      .set("nodes", scenario.nodes.size())
+                      .set("links", scenario.links.size())
+                      .set("routes", scenario.routes.size())
+                      .set("sources", scenario.sources.size())
+                      .set("flows", scenario.flows.size())
+                      .set("until", scenario.run.until)
+                      .set("warmup", scenario.run.warmup)
+                      .set("seed", seed_used)
+                      .set("total_exits", report.total_exits));
+  Json routes = Json::array();
+  for (const auto& rs : report.route_stats) {
+    routes.push(Json::object()
+                    .set("route", rs.route)
+                    .set("class", paper_class_label(rs.cls))
+                    .set("packets", rs.packets)
+                    .set("mean_delay", rs.mean_delay)
+                    .set("p95_delay", rs.p95_delay));
+  }
+  doc.set_section("routes", std::move(routes));
+  Json links = Json::array();
+  for (const auto& ls : report.link_stats) {
+    links.push(Json::object()
+                   .set("link", ls.link)
+                   .set("sched", ls.sched)
+                   .set("utilization", ls.utilization)
+                   .set("packets_sent", ls.packets_sent)
+                   .set("fault_drops", ls.fault_drops)
+                   .set("burst_drops", ls.burst_drops));
+  }
+  doc.set_section("links", std::move(links));
+  Json flows = Json::array();
+  for (const auto& fs : report.flow_stats) {
+    flows.push(Json::object()
+                   .set("route", fs.route)
+                   .set("class", paper_class_label(fs.cls))
+                   .set("users", fs.users)
+                   .set("issued", fs.issued)
+                   .set("completed", fs.completed)
+                   .set("failed", fs.failed)
+                   .set("retries", fs.retries)
+                   .set("throttled", fs.throttled)
+                   .set("fct_mean", fs.fct_mean)
+                   .set("fct_p50", fs.fct_p50)
+                   .set("fct_p95", fs.fct_p95)
+                   .set("fct_p99", fs.fct_p99)
+                   .set("slo_attainment", fs.slo_attainment)
+                   .set("deadline", fs.deadline));
+  }
+  doc.set_section("flows", std::move(flows));
+  if (report.faulted) {
+    doc.set_section("faults",
+                    Json::object()
+                        .set("scheduled", report.fault_episodes_scheduled)
+                        .set("completed", report.fault_episodes)
+                        .set("drops", report.fault_drops));
+  }
+  return doc;
 }
 
 }  // namespace pds

@@ -1,21 +1,36 @@
-// General routed network of differentiated-services links.
+// Routed graph fabric of differentiated-services links.
 //
-// ChainNetwork covers the paper's Figure 6 exactly; this class is the
-// substrate a downstream user needs for anything else: an arbitrary set of
-// output links (each with its own scheduler instance and capacity) and
-// source-routed paths across them. A packet injected on a route traverses
-// its links in order, accumulating queueing delay in cum_queueing, and the
-// route's exit handler fires when it leaves the last link.
+// Network is a graph of named Nodes connected by directed edges, each edge
+// an output Link with its own scheduler instance and capacity. Routes are
+// either caller-supplied explicit link sequences (the original API, kept as
+// a thin adapter — ChainNetwork and Study B use it unchanged) or computed
+// by static shortest-path routing between two nodes (add_route_between).
 //
-// Per-hop class-based differentiation composes over any topology the same
-// way it does over the chain — the end-to-end consistency questions of
-// Section 6 can therefore be asked of merging, diverging and shared-link
-// paths (see the topology tests and the merging-paths bench).
+// Routing determinism rule: a computed route is the minimum-hop path; among
+// equal-hop paths the lexicographically smallest link-id sequence wins.
+// Implementation: BFS with each node's out-edges scanned in ascending link
+// id and the frontier drained FIFO, so every node's parent edge is fixed by
+// the first (smallest-path) discovery. The rule depends only on the graph,
+// never on memory layout or iteration order of hash containers, so routed
+// runs keep the repo-wide byte-identical determinism contract.
+//
+// A packet injected on a route traverses its links in order, accumulating
+// queueing delay in cum_queueing, and the route's exit handler fires when
+// it leaves the last link. Per-hop class-based differentiation composes
+// over any topology the same way it does over the chain — the end-to-end
+// consistency questions of Section 6 can therefore be asked of merging,
+// diverging and shared-link paths (see the topology tests and the
+// merging-paths bench).
+//
+// TopologySpec + the generators (line/ring/fat_tree/two_tier) describe
+// standard graph shapes by node-name pairs; build_topology instantiates a
+// spec onto a Network with one directed link per direction of every edge.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +41,23 @@
 namespace pds {
 
 using LinkId = std::uint32_t;
+using NodeId = std::uint32_t;
+
+// Directed edge labelled with the link that realizes it, for path
+// computation (shared by Network and the scenario parser's validation).
+struct GraphEdge {
+  std::uint32_t link = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+};
+
+// Minimum-hop path of link ids from `from` to `to` over directed `edges`,
+// ties broken by lexicographically smallest link-id sequence (see the
+// routing determinism rule above). Returns an empty vector when `to` is
+// unreachable or equals `from`.
+std::vector<std::uint32_t> shortest_path_links(NodeId num_nodes,
+                                               const std::vector<GraphEdge>& edges,
+                                               NodeId from, NodeId to);
 
 class Network {
  public:
@@ -38,8 +70,36 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  // Adds an output link with its own scheduler instance. Links may be
+  // --- Topology (graph) layer -------------------------------------------
+
+  // Adds a named node. Names must be unique and non-empty. Nodes may be
   // added only before the first injection.
+  NodeId add_node(std::string name);
+
+  // Adds a directed edge from `from` to `to`, realized by a fresh output
+  // link with its own scheduler instance. The returned LinkId doubles as
+  // the edge id for routing.
+  LinkId add_edge(NodeId from, NodeId to, SchedulerKind kind,
+                  const SchedulerConfig& sched_config, double capacity,
+                  std::string name = "");
+
+  // Shortest path (routing determinism rule above); empty if unreachable.
+  std::vector<LinkId> shortest_path(NodeId from, NodeId to) const;
+
+  // Registers the shortest path from `from` to `to` as a route. Throws
+  // std::invalid_argument when `to` is unreachable from `from`.
+  RouteId add_route_between(NodeId from, NodeId to, ExitHandler on_exit);
+
+  std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(node_names_.size());
+  }
+  const std::string& node_name(NodeId id) const;
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  // --- Link / explicit-route layer (the original API) -------------------
+
+  // Adds an output link with its own scheduler instance, not bound to any
+  // node pair. Links may be added only before the first injection.
   LinkId add_link(SchedulerKind kind, const SchedulerConfig& sched_config,
                   double capacity, std::string name = "");
 
@@ -58,6 +118,7 @@ class Network {
   }
   const Link& link(LinkId id) const;
   const std::string& link_name(LinkId id) const;
+  const std::vector<LinkId>& route_path(RouteId id) const;
 
   // Mutable access for fault injection (attach_network in src/fault/
   // registers every link with a FaultInjector under its name).
@@ -79,7 +140,39 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::string> names_;
   std::vector<RouteState> routes_;
+  std::vector<std::string> node_names_;
+  std::vector<GraphEdge> edges_;  // ascending link id (append-only)
   bool injected_ = false;
 };
+
+// A graph shape by node names: every listed edge is instantiated in BOTH
+// directions (two independent links) by build_topology; link names follow
+// "<from>><to>".
+struct TopologySpec {
+  std::vector<std::string> nodes;
+  std::vector<std::pair<std::string, std::string>> edges;  // undirected
+};
+
+// n nodes "<prefix>0".."<prefix>{n-1}" in a path (n >= 2).
+TopologySpec make_line_topology(std::uint32_t n,
+                                const std::string& prefix = "n");
+// Same, plus the wrap-around edge (n >= 3).
+TopologySpec make_ring_topology(std::uint32_t n,
+                                const std::string& prefix = "n");
+// k-ary fat tree (k even, >= 2): (k/2)^2 cores "core<i>", per pod p
+// (k pods) k/2 aggregation "p<p>agg<j>" and k/2 edge switches "p<p>edge<i>";
+// full bipartite edge<->agg inside a pod, agg j uplinks to cores
+// [j*k/2, (j+1)*k/2).
+TopologySpec make_fat_tree_topology(std::uint32_t k);
+// Small ISP-like two-tier graph: `cores` fully-meshed "core<i>", and `pops`
+// dual-homed PoPs "pop<i>" attached to core i%cores and core (i+1)%cores.
+TopologySpec make_two_tier_topology(std::uint32_t cores, std::uint32_t pops);
+
+// Instantiates `spec` onto `net`: one node per name, one directed link per
+// direction of every edge, all with the same scheduler kind/config and
+// capacity. `prefix` is prepended to every node (and derived link) name.
+void build_topology(Network& net, const TopologySpec& spec,
+                    SchedulerKind kind, const SchedulerConfig& sched_config,
+                    double capacity, const std::string& prefix = "");
 
 }  // namespace pds

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/scenario.hpp"
+#include "obs/report.hpp"
 
 namespace pds {
 namespace {
@@ -183,6 +184,127 @@ TEST(ScenarioErrors, MissingSectionsProduceTheThreeDefinesNoThrows) {
             std::string::npos);
 }
 
+// ------------------------------------------------------- graph-layer grammar
+
+const char* kGraph = R"(
+node a
+node b
+node c
+edge ab from=a to=b capacity=39.375 sched=wtp sdp=1,2
+edge ba from=b to=a capacity=39.375 sched=wtp sdp=1,2
+edge bc from=b to=c capacity=39.375 sched=wtp sdp=1,2
+edge cb from=c to=b capacity=39.375 sched=wtp sdp=1,2
+route fwd from=a to=c
+source renewal fwd class=0 gap=30 size=441 poisson
+flows fwd class=1 users=4 size=441 think=100 deadline=50
+run until=20000 warmup=2000 seed=9
+)";
+
+TEST(ScenarioGraph, ParsesNodesEdgesRoutedRoutesAndFlows) {
+  const auto s = parse_scenario(kGraph);
+  EXPECT_EQ(s.nodes, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(s.links.size(), 4u);
+  EXPECT_EQ(s.links[0].from, "a");
+  EXPECT_EQ(s.links[0].to, "b");
+  ASSERT_EQ(s.routes.size(), 1u);
+  EXPECT_TRUE(s.routes[0].links.empty());
+  EXPECT_EQ(s.routes[0].from, "a");
+  EXPECT_EQ(s.routes[0].to, "c");
+  ASSERT_EQ(s.flows.size(), 1u);
+  EXPECT_EQ(s.flows[0].route, "fwd");
+  EXPECT_EQ(s.flows[0].users, 4u);
+  EXPECT_DOUBLE_EQ(s.flows[0].deadline, 50.0);
+}
+
+TEST(ScenarioGraph, TopologyDirectiveExpandsToNodesAndDirectedLinks) {
+  const auto s = parse_scenario(
+      "topology ring n=4 capacity=10 sched=fcfs sdp=1\n"
+      "route r from=n0 to=n2\n"
+      "source renewal r class=0 gap=30 size=100 poisson\n"
+      "run until=1000\n");
+  EXPECT_EQ(s.nodes.size(), 4u);
+  EXPECT_EQ(s.links.size(), 8u);  // one per direction of 4 ring edges
+  EXPECT_EQ(s.links[0].name, "n0>n1");
+  EXPECT_EQ(s.links[1].name, "n1>n0");
+}
+
+TEST(ScenarioGraph, UnknownNodeNamesItsLine) {
+  EXPECT_NE(parse_error("node a\n"
+                        "edge e from=a to=ghost capacity=10 sched=fcfs "
+                        "sdp=1\n")
+                .find("scenario line 2: unknown node ghost"),
+            std::string::npos);
+  EXPECT_NE(parse_error("node a\nnode b\n"
+                        "edge e from=a to=b capacity=10 sched=fcfs sdp=1\n"
+                        "route r from=ghost to=b\n")
+                .find("scenario line 4: unknown node ghost"),
+            std::string::npos);
+}
+
+TEST(ScenarioGraph, UnreachablePairNamesItsLine) {
+  // a->b exists but nothing reaches c.
+  EXPECT_NE(parse_error("node a\nnode b\nnode c\n"
+                        "edge ab from=a to=b capacity=10 sched=fcfs sdp=1\n"
+                        "route r from=a to=c\n")
+                .find("scenario line 5: no path from a to c"),
+            std::string::npos);
+  // Directed: b->a is not implied by a->b.
+  EXPECT_NE(parse_error("node a\nnode b\n"
+                        "edge ab from=a to=b capacity=10 sched=fcfs sdp=1\n"
+                        "route r from=b to=a\n")
+                .find("scenario line 4: no path from b to a"),
+            std::string::npos);
+}
+
+TEST(ScenarioGraph, DuplicateNodeAndEdgeNamesNameTheirLine) {
+  EXPECT_NE(parse_error("node a\nnode a\n")
+                .find("scenario line 2: duplicate node name a"),
+            std::string::npos);
+  EXPECT_NE(parse_error("node a\nnode b\n"
+                        "edge e from=a to=b capacity=10 sched=fcfs sdp=1\n"
+                        "edge e from=b to=a capacity=10 sched=fcfs sdp=1\n")
+                .find("scenario line 4: duplicate link name e"),
+            std::string::npos);
+  // A generated topology name colliding with a manual one reports the
+  // topology line.
+  EXPECT_NE(parse_error("node n0\nnode n1\n"
+                        "edge n0>n1 from=n0 to=n1 capacity=10 sched=fcfs "
+                        "sdp=1\n"
+                        "topology line n=2 capacity=10 sched=fcfs sdp=1\n")
+                .find("scenario line 4: duplicate node name n0"),
+            std::string::npos);
+}
+
+TEST(ScenarioGraph, FlowsValidationNamesItsLine) {
+  const std::string prefix =
+      "node a\nnode b\n"
+      "edge ab from=a to=b capacity=10 sched=fcfs sdp=1\n"
+      "edge ba from=b to=a capacity=10 sched=fcfs sdp=1\n"
+      "route r from=a to=b\n";
+  EXPECT_NE(parse_error(prefix + "flows ghost class=0 users=1 size=100 "
+                                 "think=10\n")
+                .find("scenario line 6: unknown route ghost"),
+            std::string::npos);
+  EXPECT_NE(parse_error(prefix + "flows r class=0 users=1 size=100 think=10 "
+                                 "retries=2\n")
+                .find("scenario line 6: retries need a positive rto"),
+            std::string::npos);
+  // Flows over an explicit (link-list) route need an explicit reverse.
+  EXPECT_NE(parse_error("link l capacity=10 sched=fcfs sdp=1\n"
+                        "route r l\n"
+                        "flows r class=0 users=1 size=100 think=10\n")
+                .find("scenario line 3: flows over an explicit route need "
+                      "reverse="),
+            std::string::npos);
+  // Reverse direction must be reachable: a->b only.
+  EXPECT_NE(parse_error("node a\nnode b\n"
+                        "edge ab from=a to=b capacity=10 sched=fcfs sdp=1\n"
+                        "route r from=a to=b\n"
+                        "flows r class=0 users=1 size=100 think=10\n")
+                .find("scenario line 5: no path from b to a"),
+            std::string::npos);
+}
+
 // ----------------------------------------------------------------- running
 
 TEST(ScenarioRun, ExecutesAndReports) {
@@ -233,6 +355,105 @@ run until=400000 warmup=40000 seed=5
   ASSERT_GT(d0, 0.0);
   ASSERT_GT(d1, 0.0);
   EXPECT_NEAR(d0 / d1, 2.0, 0.4);
+}
+
+// ------------------------------------------------------------------ golden
+
+// Mirror of examples/scenarios/y_merge.pds. The expected numbers below were
+// captured on the pre-graph-refactor runner; they pin the legacy
+// (link/route/source) execution path to byte-identical behavior across the
+// topology-layer refactor.
+const char* kYMerge = R"(
+link accessA  capacity=39.375 sched=wtp sdp=1,2,4,8
+link accessB  capacity=39.375 sched=wtp sdp=1,2,4,8
+link backbone capacity=78.75  sched=wtp sdp=1,2,4,8
+
+route pathA accessA backbone
+route pathB accessB backbone
+
+source mix pathA fractions=40,30,20,10 gap=14 size=441 pareto=1.9
+source mix pathB fractions=40,30,20,10 gap=14 size=441 pareto=1.9
+
+source cbr pathA class=3 count=2000 size=200 interval=100 start=10000
+
+run until=300000 warmup=30000 seed=42
+)";
+
+TEST(ScenarioGolden, YMergeReproducesThePreRefactorRun) {
+  const auto report = run_scenario(kYMerge);
+  EXPECT_EQ(report.total_exits, 44766u);
+  struct Row { const char* route; ClassId cls; std::uint64_t packets; };
+  const Row expected[] = {
+      {"pathA", 0, 7801}, {"pathA", 1, 5773}, {"pathA", 2, 3811},
+      {"pathA", 3, 3753}, {"pathB", 0, 7578}, {"pathB", 1, 5913},
+      {"pathB", 2, 3790}, {"pathB", 3, 1882},
+  };
+  ASSERT_EQ(report.route_stats.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(report.route_stats[i].route, expected[i].route);
+    EXPECT_EQ(report.route_stats[i].cls, expected[i].cls);
+    EXPECT_EQ(report.route_stats[i].packets, expected[i].packets) << i;
+  }
+  ASSERT_EQ(report.link_stats.size(), 3u);
+  EXPECT_EQ(report.link_stats[0].packets_sent, 23457u);
+  EXPECT_EQ(report.link_stats[1].packets_sent, 21311u);
+  EXPECT_EQ(report.link_stats[2].packets_sent, 44767u);
+}
+
+TEST(ScenarioGolden, DefaultOptionsMatchTheLegacyOverload) {
+  ScenarioOptions options;
+  const auto a = run_scenario(kYMerge);
+  const auto b = run_scenario(kYMerge, options);
+  EXPECT_EQ(a.total_exits, b.total_exits);
+  ASSERT_EQ(a.route_stats.size(), b.route_stats.size());
+  for (std::size_t i = 0; i < a.route_stats.size(); ++i) {
+    EXPECT_EQ(a.route_stats[i].packets, b.route_stats[i].packets);
+    EXPECT_DOUBLE_EQ(a.route_stats[i].mean_delay,
+                     b.route_stats[i].mean_delay);
+  }
+}
+
+// ------------------------------------------------------------- new options
+
+TEST(ScenarioOptionsRun, HorizonScaleShortensTheRun) {
+  ScenarioOptions options;
+  options.horizon_scale = 0.1;
+  const auto quick = run_scenario(kValid, options);
+  const auto full = run_scenario(kValid);
+  EXPECT_GT(quick.total_exits, 0u);
+  EXPECT_LT(quick.total_exits, full.total_exits / 4);
+}
+
+TEST(ScenarioOptionsRun, FaultPlanDropsPacketsAndFillsLinkStats) {
+  ScenarioOptions options;
+  options.fault_plan = "down a at=20000 for=5000 mode=drop\n";
+  const auto report = run_scenario(kValid, options);
+  EXPECT_TRUE(report.faulted);
+  EXPECT_EQ(report.fault_episodes_scheduled, 1u);
+  EXPECT_EQ(report.fault_episodes, 1u);
+  EXPECT_GT(report.fault_drops, 0u);
+  ASSERT_EQ(report.link_stats.size(), 2u);
+  EXPECT_EQ(report.link_stats[0].sched, "wtp");
+  EXPECT_GT(report.link_stats[0].fault_drops, 0u);
+  EXPECT_EQ(report.link_stats[1].fault_drops, 0u);
+  EXPECT_EQ(report.link_stats[0].burst_drops, 0u);
+}
+
+TEST(ScenarioOptionsRun, RunReportCarriesFlowsAndFaultSections) {
+  const auto scenario = parse_scenario(kGraph);
+  ScenarioOptions options;
+  options.fault_plan = "down ab at=5000 for=500 mode=drop\n";
+  const auto report = run_scenario(scenario, options);
+  const auto doc = scenario_run_report(scenario, report, 9u);
+  const std::string json = doc.dump();
+  EXPECT_NE(json.find("\"schema\":\"pds.run_report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"scenario\""), std::string::npos);
+  EXPECT_NE(json.find("\"flows\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slo_attainment\":"), std::string::npos);
+  EXPECT_NE(json.find("\"faults\":"), std::string::npos);
+  // Deterministic: same run, same document.
+  const auto again = run_scenario(scenario, options);
+  EXPECT_EQ(json, scenario_run_report(scenario, again, 9u).dump());
 }
 
 }  // namespace

@@ -179,5 +179,118 @@ TEST(Network, HairpinRouteRevisitsALink) {
   EXPECT_EQ(net.link(l).packets_sent(), 3u);
 }
 
+// ------------------------------------------------------------- graph layer
+
+TEST(Graph, ShortestPathFollowsDeclarationOrderOnTies) {
+  // Diamond: a->b->d and a->c->d are both 2 hops. The tie goes to the
+  // lexicographically smallest link-id sequence, i.e. through the earlier
+  // declared a->b edge.
+  Simulator sim;
+  Network net(sim);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  const auto d = net.add_node("d");
+  const auto ab = net.add_edge(a, b, SchedulerKind::kWtp, wtp_config(), 100.0);
+  net.add_edge(a, c, SchedulerKind::kWtp, wtp_config(), 100.0);
+  const auto bd = net.add_edge(b, d, SchedulerKind::kWtp, wtp_config(), 100.0);
+  net.add_edge(c, d, SchedulerKind::kWtp, wtp_config(), 100.0);
+  EXPECT_EQ(net.shortest_path(a, d), (std::vector<LinkId>{ab, bd}));
+  // Direct edge beats any 2-hop path regardless of declaration order.
+  const auto ad = net.add_edge(a, d, SchedulerKind::kWtp, wtp_config(), 100.0);
+  EXPECT_EQ(net.shortest_path(a, d), (std::vector<LinkId>{ad}));
+}
+
+TEST(Graph, ShortestPathHandlesUnreachableAndTrivialPairs) {
+  Simulator sim;
+  Network net(sim);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_edge(a, b, SchedulerKind::kWtp, wtp_config(), 100.0);
+  EXPECT_TRUE(net.shortest_path(b, a).empty());  // directed: no way back
+  EXPECT_TRUE(net.shortest_path(a, a).empty());
+  EXPECT_THROW(net.add_route_between(b, a, [](const Packet&, SimTime) {}),
+               std::invalid_argument);
+}
+
+TEST(Graph, AddRouteBetweenDeliversOverTheComputedPath) {
+  Simulator sim;
+  Network net(sim);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  net.add_edge(a, b, SchedulerKind::kWtp, wtp_config(), 100.0);
+  net.add_edge(b, c, SchedulerKind::kWtp, wtp_config(), 100.0);
+  Exits exits;
+  const auto r = net.add_route_between(a, c, exits.handler());
+  EXPECT_EQ(net.route_path(r).size(), 2u);
+  sim.schedule_at(0.0, [&] { net.inject(make_packet(1, 0), r); });
+  sim.run();
+  ASSERT_EQ(exits.packets.size(), 1u);
+  EXPECT_EQ(exits.packets[0].hops_done, 2u);
+}
+
+TEST(Graph, NodeAndEdgeValidation) {
+  Simulator sim;
+  Network net(sim);
+  const auto a = net.add_node("a");
+  EXPECT_THROW(net.add_node("a"), std::invalid_argument);   // duplicate
+  EXPECT_THROW(net.add_node(""), std::invalid_argument);    // empty
+  EXPECT_THROW(net.add_edge(a, a, SchedulerKind::kWtp, wtp_config(), 100.0),
+               std::invalid_argument);                      // self loop
+  EXPECT_THROW(net.add_edge(a, 7, SchedulerKind::kWtp, wtp_config(), 100.0),
+               std::invalid_argument);                      // unknown node
+  const auto b = net.add_node("b");
+  const auto ab = net.add_edge(a, b, SchedulerKind::kWtp, wtp_config(),
+                               100.0);
+  EXPECT_EQ(net.link_name(ab), "a>b");  // default edge name
+  EXPECT_EQ(net.find_node("b"), std::optional<NodeId>(b));
+  EXPECT_FALSE(net.find_node("ghost").has_value());
+  EXPECT_EQ(net.num_nodes(), 2u);
+}
+
+// --------------------------------------------------------------- generators
+
+TEST(Generators, LineRingAndTwoTierCounts) {
+  const auto line = make_line_topology(5);
+  EXPECT_EQ(line.nodes.size(), 5u);
+  EXPECT_EQ(line.edges.size(), 4u);
+  const auto ring = make_ring_topology(6);
+  EXPECT_EQ(ring.nodes.size(), 6u);
+  EXPECT_EQ(ring.edges.size(), 6u);
+  // two_tier(2, 3): 1 core-mesh edge + 2 uplinks per pop.
+  const auto tt = make_two_tier_topology(2, 3);
+  EXPECT_EQ(tt.nodes.size(), 5u);
+  EXPECT_EQ(tt.edges.size(), 7u);
+  // Degenerate single-core variant: one uplink per pop, no mesh.
+  const auto single = make_two_tier_topology(1, 2);
+  EXPECT_EQ(single.edges.size(), 2u);
+}
+
+TEST(Generators, FatTreeK4HasCanonicalShape) {
+  const auto ft = make_fat_tree_topology(4);
+  // (k/2)^2 = 4 cores + k pods x (2 agg + 2 edge) = 20 nodes.
+  EXPECT_EQ(ft.nodes.size(), 20u);
+  // Per pod: 2x2 edge-agg bipartite + 2 agg x 2 core uplinks = 8.
+  EXPECT_EQ(ft.edges.size(), 32u);
+  EXPECT_EQ(ft.nodes[0], "core0");
+  EXPECT_EQ(ft.nodes[4], "p0agg0");
+  EXPECT_THROW(make_fat_tree_topology(3), std::invalid_argument);
+}
+
+TEST(Generators, BuildTopologyWiresBothDirections) {
+  Simulator sim;
+  Network net(sim);
+  build_topology(net, make_ring_topology(4), SchedulerKind::kWtp,
+                 wtp_config(), 100.0, "r.");
+  EXPECT_EQ(net.num_nodes(), 4u);
+  ASSERT_TRUE(net.find_node("r.n0").has_value());
+  const auto n0 = *net.find_node("r.n0");
+  const auto n2 = *net.find_node("r.n2");
+  // Both rotational directions exist and are 2 hops.
+  EXPECT_EQ(net.shortest_path(n0, n2).size(), 2u);
+  EXPECT_EQ(net.shortest_path(n2, n0).size(), 2u);
+}
+
 }  // namespace
 }  // namespace pds
