@@ -4,6 +4,7 @@
 // figures' qualitative content (smooth tracking vs sawtooth resets).
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 
@@ -13,6 +14,20 @@
 #include "util/table.hpp"
 
 namespace pds::bench {
+
+// Steady-state allocation guard for the packet-pipeline microbenches: with
+// the arena-backed packet plane (PacketArena behind every class ring) the
+// measured post-warmup region must be allocation-free — exactly 0.0
+// allocs/packet. Returns an empty string when the budget holds, otherwise a
+// diagnostic; google-benchmark callers feed it to State::SkipWithError so
+// the bench run fails visibly instead of silently reporting a regression.
+inline std::string check_zero_steady_allocs(std::uint64_t allocs,
+                                            std::uint64_t packets) {
+  if (packets == 0 || allocs == 0) return {};
+  return "steady-state packet plane allocated: " + std::to_string(allocs) +
+         " heap allocation(s) over " + std::to_string(packets) +
+         " packets (expected 0.0 allocs/packet with the arena)";
+}
 
 inline void run_micro_view(SchedulerKind kind, const std::string& csv_prefix,
                            double sim_time, std::uint64_t seed) {

@@ -3,12 +3,16 @@
 
     scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json
     scripts/bench_compare.py old.json new.json --threshold 10
+    scripts/bench_compare.py old.json new.json --metric items_per_second
 
-Prints a per-benchmark delta table for every metric the snapshots share.
-With --threshold PCT the script exits nonzero when any metric got worse by
+Prints a per-benchmark delta table for every metric the snapshots share;
+--metric SUBSTR restricts the table (and the gate) to metrics whose name
+contains SUBSTR. With --threshold PCT the script exits nonzero when any metric got worse by
 more than PCT percent — "worse" is metric-aware: throughput metrics
 (items_per_second) should not drop, cost metrics (ns_per_iter, ns_per_dequeue,
-allocs_per_*) should not rise. Stdlib only; no third-party imports.
+allocs_per_*) should not rise. A failing exit lists every regressed metric
+with its baseline value, candidate value and delta. Stdlib only; no
+third-party imports.
 
 Caveat for gating: snapshots taken on different machines (see the embedded
 "context" block) or from quick single-repetition runs are noisy — use a
@@ -58,6 +62,9 @@ def main():
     parser.add_argument(
         "--threshold", type=float, default=None, metavar="PCT",
         help="exit 1 if any metric regresses by more than PCT percent")
+    parser.add_argument(
+        "--metric", default=None, metavar="SUBSTR",
+        help="only consider metrics whose name contains SUBSTR")
     args = parser.parse_args()
 
     base_doc = load(args.baseline)
@@ -71,11 +78,14 @@ def main():
     if not shared:
         sys.exit("error: the snapshots share no benchmarks")
 
+
     rows = []
     regressions = []
     for key in shared:
         section, bench = key
         for metric in base[key]:
+            if args.metric is not None and args.metric not in metric:
+                continue
             old, new = base[key][metric], cand[key].get(metric)
             if not isinstance(old, (int, float)) or \
                     not isinstance(new, (int, float)):
@@ -88,6 +98,9 @@ def main():
             rows.append((section, bench, metric, old, new, delta_pct, worse))
             if args.threshold is not None and worse > args.threshold:
                 regressions.append(rows[-1])
+
+    if not rows:
+        sys.exit(f"error: no shared metric matches --metric {args.metric}")
 
     widths = [max(len(r[i]) for r in rows) for i in range(3)]
     header = (f"{'section':<{widths[0]}}  {'benchmark':<{widths[1]}}  "
@@ -113,7 +126,10 @@ def main():
     if args.threshold is not None:
         if regressions:
             print(f"\n{len(regressions)} metric(s) regressed past "
-                  f"{args.threshold:g}% — failing")
+                  f"{args.threshold:g}% — failing:")
+            for section, bench, metric, old, new, delta_pct, _ in regressions:
+                print(f"  {section}/{bench}/{metric}: "
+                      f"{fmt(old)} -> {fmt(new)} ({delta_pct:+.1f}%)")
             return 1
         print(f"\nno metric regressed past {args.threshold:g}%")
     return 0

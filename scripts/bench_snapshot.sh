@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
 # Snapshot the hot-path microbenchmarks into a reviewable JSON file.
 #
-#   scripts/bench_snapshot.sh                 # quick mode -> BENCH_pr6.json
-#   scripts/bench_snapshot.sh --out FILE      # alternate output path
-#   scripts/bench_snapshot.sh --preset bench  # use the Release+IPO tree
+#   scripts/bench_snapshot.sh                     # quick mode -> BENCH_pr8.json
+#   scripts/bench_snapshot.sh --out FILE          # alternate output path
+#   scripts/bench_snapshot.sh --preset bench      # use the Release+IPO tree
+#   scripts/bench_snapshot.sh --preset bench-pgo  # Release+IPO+PGO (two-phase)
 #
 # Quick mode keeps wall time small (~30 s): 0.25 s per benchmark, one
 # repetition. The JSON records events/s, ns per op, and the allocation
 # counters for the event-queue hold model, the end-to-end packet pipeline
 # (heap vs calendar), and the scheduler dequeue microbenches, so a PR diff
 # shows hot-path regressions without anyone re-running the suite.
+#
+# The bench-pgo preset runs profile-guided optimization in two phases:
+# configure with -DPDS_PGO=generate, build, run both microbench binaries as
+# the training workload, then reconfigure the SAME tree with -DPDS_PGO=use,
+# rebuild, and measure. The profile directory lives inside the build tree,
+# so a later plain build of the preset is unaffected.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-OUT="BENCH_pr6.json"
+OUT="BENCH_pr8.json"
 PRESET="default"
 MIN_TIME="0.25"
 REPS="1"
@@ -30,21 +37,49 @@ while [[ $# -gt 0 ]]; do
 done
 
 case "${PRESET}" in
-  default) BUILD_DIR="build" ;;
-  bench)   BUILD_DIR="build-bench" ;;
-  *) echo "unsupported preset: ${PRESET} (use default or bench)" >&2; exit 2 ;;
+  default)   BUILD_DIR="build" ;;
+  bench)     BUILD_DIR="build-bench" ;;
+  bench-pgo) BUILD_DIR="build-bench-pgo" ;;
+  *) echo "unsupported preset: ${PRESET} (use default, bench or bench-pgo)" >&2
+     exit 2 ;;
 esac
 
 # Reuse an already-configured tree as-is (its cached generator may differ
 # from the preset's, e.g. a Makefiles tree on a box where the preset says
 # Ninja); only a fresh tree goes through the preset.
-if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
-  cmake -B "${BUILD_DIR}" -S . >/dev/null
+configure() {
+  if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+    cmake -B "${BUILD_DIR}" -S . "$@" >/dev/null
+  else
+    cmake --preset "${PRESET}" "$@" >/dev/null
+  fi
+}
+
+build_benches() {
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+    --target micro_event_queue micro_schedulers >/dev/null
+}
+
+if [[ "${PRESET}" == "bench-pgo" ]]; then
+  PGO_DIR="$(pwd)/${BUILD_DIR}/pgo"
+  echo "bench-pgo phase 1/2: instrumented build + training run" >&2
+  configure -DPDS_PGO=generate "-DPDS_PGO_DIR=${PGO_DIR}"
+  build_benches
+  # Training workload: the exact benchmarks we measure, short iterations.
+  "./${BUILD_DIR}/bench/micro_event_queue" \
+    --benchmark_min_time=0.1 >/dev/null 2>&1
+  "./${BUILD_DIR}/bench/micro_schedulers" \
+    --benchmark_min_time=0.1 >/dev/null 2>&1
+  echo "bench-pgo phase 2/2: profile-guided rebuild" >&2
+  configure -DPDS_PGO=use "-DPDS_PGO_DIR=${PGO_DIR}"
+  # The flag change does not retrigger compilation by itself under every
+  # generator; force a clean rebuild of the object files.
+  cmake --build "${BUILD_DIR}" --target clean >/dev/null
+  build_benches
 else
-  cmake --preset "${PRESET}" >/dev/null
+  configure
+  build_benches
 fi
-cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target micro_event_queue micro_schedulers >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT

@@ -60,6 +60,22 @@ cmake --build build-obsoff -j "${JOBS}" \
 cmake --build build -j "${JOBS}" --target micro_obs_overhead
 ./build/bench/micro_obs_overhead --events=300000 --packets=80000 --reps=3
 
+echo "== batched packet plane: scalar fallback proof (-DPDS_SIMD=OFF) =="
+# The scalar scan path must stay a first-class citizen: a -DPDS_SIMD=OFF
+# tree has no vector kernels at all, and the dispatch-equivalence suite plus
+# the scan/burst/scheduler suites must produce the same golden traces the
+# SIMD build pins (bit-identical decisions are the contract, not a near
+# match). Built in its own tree so the primary build/ keeps SIMD on.
+cmake -B build-simdoff -S . -DPDS_SIMD=OFF >/dev/null
+cmake --build build-simdoff -j "${JOBS}" \
+  --target dispatch_equiv_test scan_test burst_test sched_basic_test \
+  sched_property_test
+./build-simdoff/tests/dispatch_equiv_test
+./build-simdoff/tests/scan_test
+./build-simdoff/tests/burst_test
+./build-simdoff/tests/sched_basic_test
+./build-simdoff/tests/sched_property_test
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fast mode: targeted ASan/UBSan over fault + supervisor + obs suites =="
   # Even the fast path sanitizes the robustness layer: fault injection and

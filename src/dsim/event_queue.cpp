@@ -22,7 +22,8 @@ constexpr std::size_t kWidthSample = 64;
 }  // namespace
 
 void CalendarEventQueue::resize(std::size_t new_days) {
-  std::vector<EventItem> all;
+  std::vector<EventItem>& all = scratch_;
+  all.clear();
   all.reserve(count_);
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
@@ -85,11 +86,20 @@ void CalendarEventQueue::resize(std::size_t new_days) {
     inv_width_ = 1.0 / width_;
   }
 
-  // clear+resize instead of assign: EventItem is move-only, and assign's
-  // fill path copy-assigns the prototype bucket.
-  days_.clear();
-  days_.resize(new_days);
+  // Plain resize (not clear+resize or assign): surviving buckets keep their
+  // item capacity, so a same-size width recalibration redistributes into
+  // already-sized vectors; assign's fill path would copy-assign the
+  // prototype bucket, and EventItem is move-only anyway. The buckets were
+  // emptied by the collection loop above.
+  if (new_days != days_.size()) days_.resize(new_days);
   day_mask_ = new_days - 1;
+  // Capacity floor: compaction (see insert_sorted) bounds every day's item
+  // count well under kDayReserve for a day count that fits the population,
+  // so pre-sizing here moves all bucket growth into this cold path and the
+  // steady-state push becomes allocation-free.
+  for (auto& day : days_) {
+    if (day.items.capacity() < kDayReserve) day.items.reserve(kDayReserve);
+  }
   for (auto& item : all) {
     insert_sorted(days_[day_of(item.time)], std::move(item));
   }

@@ -228,10 +228,16 @@ class CalendarEventQueue final {
   static constexpr std::size_t kRecalibrateAfter = 16;
   // Pop count at which the one-shot early width calibration runs.
   static constexpr std::uint64_t kEarlyCalibrateAt = 256;
-  // Reclaim a day's popped prefix during a non-append insert once it
-  // passes this length and outweighs the live tail; until then a pop is a
-  // cursor bump.
+  // Reclaim a day's popped prefix during an insert once it passes this
+  // length and outweighs the live tail; until then a pop is a cursor bump.
   static constexpr std::size_t kCompactThreshold = 32;
+  // Capacity floor resize() guarantees for every day bucket. Compaction
+  // bounds a day's size by kCompactThreshold + 1 dead items plus the live
+  // tail (≤ kGrowFactor * days while the day count fits the population), so
+  // this floor makes steady-state pushes allocation-free for any
+  // well-calibrated workload; a day crowding past it merely falls back to
+  // ordinary vector growth.
+  static constexpr std::size_t kDayReserve = 2 * kCompactThreshold;
   // Above 2^53 a double no longer represents the virtual-day integer
   // exactly; fall back to the fmod path (never reached by realistic sim
   // times).
@@ -271,18 +277,27 @@ class CalendarEventQueue final {
   }
 
   void insert_sorted(Day& day, EventItem item) {
+    // Reclaim the popped prefix on *every* insert path once it outweighs
+    // the live tail. Compacting only on the (rare) shift-insert path let an
+    // append-only day that interleaves pushes and pops without ever fully
+    // draining grow its vector without bound — a slow capacity ratchet that
+    // shows up as steady-state heap allocations. With this check on the
+    // append path too, a day's size is bounded by the prefix threshold plus
+    // the live population (itself capped at kGrowFactor * days by the grow
+    // trigger), so the kDayReserve capacity floor set in resize() makes the
+    // steady state allocation-free.
+    if (day.live > kCompactThreshold && 2 * day.live >= day.items.size()) {
+      day.items.erase(
+          day.items.begin(),
+          day.items.begin() + static_cast<std::ptrdiff_t>(day.live));
+      day.live = 0;
+    }
     // Append fast path: event times drift forward, so the common insert
     // lands at the tail of its day. seq breaks the tie, so an equal-time
     // arrival also appends.
     if (day.empty() || !earlier(item, day.items.back())) {
       day.items.push_back(std::move(item));
       return;
-    }
-    if (day.live > kCompactThreshold && 2 * day.live >= day.items.size()) {
-      day.items.erase(
-          day.items.begin(),
-          day.items.begin() + static_cast<std::ptrdiff_t>(day.live));
-      day.live = 0;
     }
     // Backward shift-insert: a day holds a handful of items, so the
     // linear scan beats upper_bound's branchy binary search, and the
@@ -348,6 +363,11 @@ class CalendarEventQueue final {
   }
 
   std::vector<Day> days_;         // size is always a power of two
+  // Resize-time staging buffer for the live events. A member (rather than a
+  // resize() local) so repeated width recalibrations on a steady population
+  // reuse its capacity instead of reallocating — the packet plane's
+  // steady-state zero-allocation budget includes the event queue.
+  std::vector<EventItem> scratch_;
   std::size_t day_mask_;          // days_.size() - 1
   // Day length in time units. Always a power of two, so inv_width_ is its
   // exact reciprocal and t * inv_width_ == t / width_ bit-for-bit (IEEE

@@ -13,13 +13,16 @@ ChainNetwork::ChainNetwork(Simulator& sim, std::uint32_t hops,
   PDS_CHECK(static_cast<bool>(on_user_exit_), "null exit handler");
   schedulers_.reserve(hops);
   links_.reserve(hops);
+  SchedulerConfig config = sched_config;
+  if (config.arena == nullptr) config.arena = &arena_;
   for (std::uint32_t h = 0; h < hops; ++h) {
-    schedulers_.push_back(make_scheduler(kind, sched_config));
+    schedulers_.push_back(make_scheduler(kind, config));
     links_.push_back(std::make_unique<Link>(
         sim, *schedulers_.back(), capacity,
         [this, h](Packet&& p, SimTime wait, SimTime) {
           on_departure(h, std::move(p), wait);
         }));
+    links_.back()->set_burst(config.burst);
   }
 }
 

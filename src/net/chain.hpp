@@ -70,6 +70,9 @@ class ChainNetwork {
   Simulator& sim_;
   ExitHandler on_user_exit_;
   HopObserver hop_observer_;
+  // Backs every hop's class rings; declared before the schedulers so their
+  // queues release into a still-live arena at destruction.
+  PacketArena arena_;
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t cross_sunk_ = 0;

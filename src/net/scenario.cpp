@@ -146,6 +146,18 @@ std::uint32_t integer(Options& opts, const std::string& key,
   return static_cast<std::uint32_t>(v);
 }
 
+// Optional burst=<k> option: packets drained per scheduler decision.
+// Defaults to 1 (classic single-packet service, byte-identical traces).
+std::uint32_t parse_burst(Options& opts, std::size_t line_no) {
+  const double v = opts.number_or("burst", 1.0);
+  if (v < 1.0 || v > static_cast<double>(kMaxBurst) ||
+      v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    fail(line_no,
+         "burst must be an integer in [1, " + std::to_string(kMaxBurst) + "]");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
 void add_scenario_node(Scenario& scenario, ParseGraph& graph,
                        const std::string& name, std::size_t line_no) {
   if (graph.node_index.count(name)) {
@@ -219,6 +231,7 @@ void expand_topology(Scenario& scenario, ParseGraph& graph,
   const SchedulerKind sched =
       scheduler_kind_from_string(opts.require("sched"));
   const std::vector<double> sdp = opts.list("sdp");
+  const std::uint32_t burst = parse_burst(opts, line_no);
   const std::string prefix = opts.take("prefix").value_or("");
   opts.finish();
 
@@ -234,6 +247,7 @@ void expand_topology(Scenario& scenario, ParseGraph& graph,
       link.capacity = capacity;
       link.kind = sched;
       link.sdp = sdp;
+      link.burst = burst;
       add_scenario_link(scenario, graph, std::move(link), line_no);
     }
   }
@@ -272,6 +286,7 @@ Scenario parse_scenario(const std::string& text) {
       link.capacity = opts.number("capacity");
       link.kind = scheduler_kind_from_string(opts.require("sched"));
       link.sdp = opts.list("sdp");
+      link.burst = parse_burst(opts, line_no);
       opts.finish();
       add_scenario_link(scenario, graph, std::move(link), line_no);
     } else if (kind == "topology") {
@@ -284,6 +299,7 @@ Scenario parse_scenario(const std::string& text) {
       link.capacity = opts.number("capacity");
       link.kind = scheduler_kind_from_string(opts.require("sched"));
       link.sdp = opts.list("sdp");
+      link.burst = parse_burst(opts, line_no);
       opts.finish();
       add_scenario_link(scenario, graph, std::move(link), line_no);
     } else if (kind == "route") {
@@ -466,6 +482,7 @@ ScenarioReport run_scenario(const Scenario& scenario,
     SchedulerConfig sc;
     sc.sdp = link.sdp;
     sc.link_capacity = link.capacity;
+    sc.burst = link.burst;
     const LinkId id =
         link.from.empty()
             ? net.add_link(link.kind, sc, link.capacity, link.name)

@@ -6,7 +6,7 @@
 //   # --- topology (graph) layer ---
 //   node  <name>
 //   edge  <name> from=<node> to=<node> capacity=<bytes/tu>
-//         sched=<wtp|bpr|...> sdp=<s1,s2,...>
+//         sched=<wtp|bpr|...> sdp=<s1,s2,...> [burst=<k>]
 //   topology line     n=<k>            capacity=.. sched=.. sdp=.. [prefix=<p>]
 //   topology ring     n=<k>            capacity=.. sched=.. sdp=.. [prefix=<p>]
 //   topology fat_tree k=<even k>       capacity=.. sched=.. sdp=.. [prefix=<p>]
@@ -14,6 +14,7 @@
 //
 //   # --- links and routes ---
 //   link  <name> capacity=<bytes/tu> sched=<wtp|bpr|...> sdp=<s1,s2,...>
+//         [burst=<k>]
 //   route <name> <link> [<link> ...]          # explicit link path
 //   route <name> from=<node> to=<node>        # static shortest-path routing
 //
@@ -72,6 +73,9 @@ struct ScenarioLink {
   double capacity = 0.0;
   SchedulerKind kind = SchedulerKind::kWtp;
   std::vector<double> sdp;
+  // Packets drained per scheduler decision (burst= option; 1 = classic
+  // single-packet service, which keeps traces byte-identical).
+  std::uint32_t burst = 1;
   // Node binding for graph links (edge/topology directives); both empty for
   // unbound `link` directives.
   std::string from;

@@ -108,10 +108,13 @@ LinkId Network::add_link(SchedulerKind kind,
                          std::string name) {
   PDS_CHECK(!injected_, "cannot add links after the first injection");
   const auto id = static_cast<LinkId>(links_.size());
-  schedulers_.push_back(make_scheduler(kind, sched_config));
+  SchedulerConfig config = sched_config;
+  if (config.arena == nullptr) config.arena = &arena_;
+  schedulers_.push_back(make_scheduler(kind, config));
   links_.push_back(std::make_unique<Link>(
       sim_, *schedulers_.back(), capacity,
       [this](Packet&& p, SimTime, SimTime) { forward(std::move(p)); }));
+  links_.back()->set_burst(config.burst);
   names_.push_back(name.empty() ? "link" + std::to_string(id)
                                 : std::move(name));
   return id;

@@ -136,6 +136,9 @@ class Network {
   void forward(Packet&& p);
 
   Simulator& sim_;
+  // Backs every edge's class rings; declared before the schedulers so their
+  // queues release into a still-live arena at destruction.
+  PacketArena arena_;
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::string> names_;

@@ -1,0 +1,67 @@
+#include "packet/arena.hpp"
+
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+PacketArena::PacketArena(std::size_t chunk_bytes)
+    : chunk_bytes_(block_size(chunk_bytes)) {
+  PDS_CHECK(chunk_bytes >= kMinBlockBytes,
+            "arena chunk must hold at least one block");
+}
+
+std::size_t PacketArena::block_size(std::size_t bytes) noexcept {
+  if (bytes <= kMinBlockBytes) return kMinBlockBytes;
+  return std::bit_ceil(bytes);
+}
+
+std::size_t PacketArena::class_index(std::size_t block) noexcept {
+  // block is a power of two >= kMinBlockBytes.
+  return static_cast<std::size_t>(std::countr_zero(block)) -
+         static_cast<std::size_t>(std::countr_zero(kMinBlockBytes));
+}
+
+void PacketArena::new_chunk(std::size_t at_least) {
+  const std::size_t size = at_least > chunk_bytes_ ? at_least : chunk_bytes_;
+  // The tail of the previous chunk is abandoned, not carved up: growth
+  // doubles, so the tail is at most one block of the size that no longer
+  // fits, and simplicity beats reclaiming it.
+  chunks_.push_back(std::make_unique<std::byte[]>(size));
+  bump_ = chunks_.back().get();
+  bump_left_ = size;
+  chunk_bytes_total_ += size;
+}
+
+void* PacketArena::acquire(std::size_t bytes) {
+  const std::size_t block = block_size(bytes);
+  const std::size_t idx = class_index(block);
+  PDS_REQUIRE(idx < kNumClasses);
+  ++acquired_;
+  if (FreeNode* node = free_[idx]) {
+    free_[idx] = node->next;
+    ++freelist_hits_;
+    return node;
+  }
+  if (bump_left_ < block) new_chunk(block);
+  void* out = bump_;
+  bump_ += block;
+  bump_left_ -= block;
+  return out;
+}
+
+void PacketArena::release(void* block, std::size_t bytes) noexcept {
+  const std::size_t idx = class_index(block_size(bytes));
+  auto* node = static_cast<FreeNode*>(block);
+  node->next = free_[idx];
+  free_[idx] = node;
+  ++released_;
+}
+
+void PacketArena::reserve(std::size_t bytes) {
+  const std::size_t need = block_size(bytes);
+  if (bump_left_ < need) new_chunk(need);
+}
+
+}  // namespace pds

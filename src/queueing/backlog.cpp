@@ -4,9 +4,39 @@
 
 namespace pds {
 
-MultiClassBacklog::MultiClassBacklog(std::uint32_t num_classes)
-    : queues_(num_classes), heads_(num_classes) {
+namespace {
+
+constexpr std::uint32_t padded(std::uint32_t n) noexcept {
+  return (n + (MultiClassBacklog::kLanePad - 1)) &
+         ~(MultiClassBacklog::kLanePad - 1);
+}
+
+}  // namespace
+
+MultiClassBacklog::MultiClassBacklog(std::uint32_t num_classes,
+                                     PacketArena* arena)
+    : queues_(num_classes),
+      heads_(num_classes),
+      soa_arrival_(padded(num_classes), 0.0),
+      soa_head_bytes_(padded(num_classes), 0.0),
+      soa_mask_(padded(num_classes), 0) {
   PDS_CHECK(num_classes >= 1, "need at least one class");
+  if (arena != nullptr) {
+    for (auto& q : queues_) q.set_arena(arena);
+  }
+}
+
+void MultiClassBacklog::refresh_soa_head(ClassId cls) {
+  const ClassHead& h = heads_[cls];
+  if (h.packets == 0) {
+    soa_arrival_[cls] = 0.0;
+    soa_head_bytes_[cls] = 0.0;
+    soa_mask_[cls] = 0;
+  } else {
+    soa_arrival_[cls] = h.arrival;
+    soa_head_bytes_[cls] = static_cast<double>(h.head_bytes);
+    soa_mask_[cls] = ~std::uint64_t{0};
+  }
 }
 
 void MultiClassBacklog::push(Packet p) {
@@ -19,6 +49,7 @@ void MultiClassBacklog::push(Packet p) {
     // The arrival becomes the head of an idle class.
     h.arrival = p.arrival;
     h.head_bytes = p.size_bytes;
+    refresh_soa_head(p.cls);
   }
   queues_[p.cls].push(std::move(p));
 }
@@ -35,7 +66,18 @@ Packet MultiClassBacklog::pop(ClassId cls) {
     h.arrival = next.arrival;
     h.head_bytes = next.size_bytes;
   }
+  refresh_soa_head(cls);
   return p;
+}
+
+std::uint32_t MultiClassBacklog::pop_burst(ClassId cls, std::uint32_t max_k,
+                                           Packet* out) {
+  PDS_CHECK(cls < queues_.size(), "class index out of range");
+  PDS_CHECK(out != nullptr, "null burst buffer");
+  const std::uint32_t k =
+      max_k < heads_[cls].packets ? max_k : heads_[cls].packets;
+  for (std::uint32_t i = 0; i < k; ++i) out[i] = pop(cls);
+  return k;
 }
 
 Packet MultiClassBacklog::pop_tail(ClassId cls) {
@@ -47,7 +89,7 @@ Packet MultiClassBacklog::pop_tail(ClassId cls) {
   h.bytes -= p.size_bytes;
   // A tail removal only changes the head fields when it empties the class,
   // and `packets == 0` already marks those fields stale.
-  --h.packets;
+  if (--h.packets == 0) refresh_soa_head(cls);
   return p;
 }
 

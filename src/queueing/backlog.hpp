@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "packet/arena.hpp"
 #include "packet/packet.hpp"
 #include "queueing/class_queue.hpp"
 
@@ -27,12 +28,24 @@ struct ClassHead {
 
 class MultiClassBacklog {
  public:
-  explicit MultiClassBacklog(std::uint32_t num_classes);
+  // Lane-padding granularity of the SoA mirror below; must equal
+  // scan::kLanes (static_asserted in sched/scheduler.cpp).
+  static constexpr std::uint32_t kLanePad = 4;
+
+  // `arena`, when non-null, backs every class ring (see ClassQueue) and
+  // must outlive the backlog.
+  explicit MultiClassBacklog(std::uint32_t num_classes,
+                             PacketArena* arena = nullptr);
 
   void push(Packet p);
   Packet pop(ClassId cls);
   // Removes the most recent arrival of a class (push-out for droppers).
   Packet pop_tail(ClassId cls);
+
+  // Drains up to `max_k` consecutive head packets of one class into `out`
+  // (capacity >= max_k) and returns how many were popped — the backlog half
+  // of a burst dequeue. Identical accounting to that many pop() calls.
+  std::uint32_t pop_burst(ClassId cls, std::uint32_t max_k, Packet* out);
 
   std::uint32_t num_classes() const noexcept {
     return static_cast<std::uint32_t>(queues_.size());
@@ -45,6 +58,21 @@ class MultiClassBacklog {
   const ClassHead* heads() const noexcept { return heads_.data(); }
   const ClassHead& head_of(ClassId cls) const noexcept { return heads_[cls]; }
 
+  // --- SoA mirror of the head snapshot, for the vectorized priority scan
+  // (sched/scan.hpp). All three arrays hold lane_count() entries: the first
+  // num_classes() lanes mirror the backlogged heads (idle and padding lanes
+  // read 0.0 / mask 0), maintained incrementally by push/pop/pop_tail.
+  const double* soa_head_arrival() const noexcept {
+    return soa_arrival_.data();
+  }
+  const double* soa_head_bytes() const noexcept {
+    return soa_head_bytes_.data();
+  }
+  const std::uint64_t* soa_mask() const noexcept { return soa_mask_.data(); }
+  std::uint32_t lane_count() const noexcept {
+    return static_cast<std::uint32_t>(soa_mask_.size());
+  }
+
   bool empty() const noexcept { return total_packets_ == 0; }
   std::uint64_t total_packets() const noexcept { return total_packets_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
@@ -53,8 +81,13 @@ class MultiClassBacklog {
   std::vector<ClassId> backlogged() const;
 
  private:
+  void refresh_soa_head(ClassId cls);
+
   std::vector<ClassQueue> queues_;
   std::vector<ClassHead> heads_;
+  std::vector<double> soa_arrival_;
+  std::vector<double> soa_head_bytes_;
+  std::vector<std::uint64_t> soa_mask_;
   std::uint64_t total_packets_ = 0;
   std::uint64_t total_bytes_ = 0;
 };

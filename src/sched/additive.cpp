@@ -1,31 +1,26 @@
 #include "sched/additive.hpp"
 
+#include "sched/scan.hpp"
 #include "util/contracts.hpp"
 
 namespace pds {
 
 std::optional<Packet> AdditiveWtpScheduler::dequeue(SimTime now) {
   if (backlog_.empty()) return std::nullopt;
-  // Single pass over the head-of-line snapshot (same shape as WTP).
-  const ClassHead* heads = backlog_.heads();
-  const double* s = sdp().data();
-  const ClassId n = backlog_.num_classes();
-  bool found = false;
-  ClassId best = 0;
-  double best_priority = 0.0;
-  for (ClassId c = 0; c < n; ++c) {
-    if (heads[c].packets == 0) continue;
-    const SimTime wait = now - heads[c].arrival;
-    PDS_REQUIRE(wait >= 0.0);
-    const double p = wait + s[c];
-    if (!found || p >= best_priority) {  // >=: tie goes to the higher class
-      found = true;
-      best = c;
-      best_priority = p;
-    }
-  }
-  PDS_REQUIRE(found);
+  // Head-start argmax (wait + s, ties to the higher class) over the SoA
+  // head mirror; kernels in sched/scan.cpp.
+  const ClassId best = scan::additive_select(heads_view(), sdp_lanes().data(),
+                                             now, scan_backend());
   return backlog_.pop(best);
+}
+
+std::uint32_t AdditiveWtpScheduler::dequeue_burst(SimTime now, Packet* out,
+                                                  std::uint32_t max_k) {
+  PDS_CHECK(out != nullptr && max_k >= 1, "bad burst buffer");
+  if (backlog_.empty()) return 0;
+  const ClassId best = scan::additive_select(heads_view(), sdp_lanes().data(),
+                                             now, scan_backend());
+  return backlog_.pop_burst(best, max_k, out);
 }
 
 }  // namespace pds

@@ -1,16 +1,17 @@
 #include "sched/bpr.hpp"
 
+#include "sched/scan.hpp"
 #include "util/contracts.hpp"
 
 namespace pds {
 
 BprScheduler::BprScheduler(const SchedulerConfig& config)
     : ClassBasedScheduler(config, /*needs_capacity=*/true),
-      rates_(config.num_classes(), 0.0),
-      virtual_service_(config.num_classes(), 0.0) {}
+      rates_(backlog_.lane_count(), 0.0),
+      virtual_service_(backlog_.lane_count(), 0.0) {}
 
 double BprScheduler::rate(ClassId cls) const {
-  PDS_CHECK(cls < rates_.size(), "class index out of range");
+  PDS_CHECK(cls < num_classes(), "class index out of range");
   return rates_[cls];
 }
 
@@ -32,46 +33,43 @@ void BprScheduler::recompute_rates() {
   }
 }
 
-std::optional<Packet> BprScheduler::dequeue(SimTime now) {
-  if (backlog_.empty()) return std::nullopt;
-
+ClassId BprScheduler::select(SimTime now) {
   const SimTime elapsed = any_departure_yet_ ? now - last_departure_ : 0.0;
   PDS_REQUIRE(elapsed >= 0.0);
+  // Updates virtual service for all backlogged queues and picks the head
+  // with the least *remaining* virtual work, L_i - v_i (Eq. 21). Ties
+  // favour the higher class. Kernels in sched/scan.cpp.
+  return scan::bpr_select(heads_view(), rates_.data(), virtual_service_.data(),
+                          elapsed, last_departure_, any_departure_yet_,
+                          scan_backend());
+}
 
-  // Update virtual service for all backlogged queues and pick the head with
-  // the least *remaining* virtual work, L_i - v_i. Ties favour the higher
-  // class (scan ascending with <= on the criterion).
-  const ClassHead* heads = backlog_.heads();
-  const ClassId n = backlog_.num_classes();
-  bool found = false;
-  ClassId best = 0;
-  double best_remaining = 0.0;
-  for (ClassId c = 0; c < n; ++c) {
-    if (heads[c].packets == 0) {
-      virtual_service_[c] = 0.0;
-      continue;
-    }
-    if (!any_departure_yet_ || heads[c].arrival > last_departure_) {
-      virtual_service_[c] = 0.0;  // head reached the front after t^{k-1}
-    } else {
-      virtual_service_[c] += rates_[c] * elapsed;
-    }
-    const double remaining =
-        static_cast<double>(heads[c].head_bytes) - virtual_service_[c];
-    if (!found || remaining <= best_remaining) {
-      found = true;
-      best = c;
-      best_remaining = remaining;
-    }
-  }
-  PDS_REQUIRE(found);
-
-  Packet p = backlog_.pop(best);
-  virtual_service_[best] = 0.0;  // the new head starts with no credit
+void BprScheduler::finish_departure(ClassId served, SimTime now) {
+  virtual_service_[served] = 0.0;  // the new head starts with no credit
   recompute_rates();
   last_departure_ = now;
   any_departure_yet_ = true;
+}
+
+std::optional<Packet> BprScheduler::dequeue(SimTime now) {
+  if (backlog_.empty()) return std::nullopt;
+  const ClassId best = select(now);
+  Packet p = backlog_.pop(best);
+  finish_departure(best, now);
   return p;
+}
+
+std::uint32_t BprScheduler::dequeue_burst(SimTime now, Packet* out,
+                                          std::uint32_t max_k) {
+  PDS_CHECK(out != nullptr && max_k >= 1, "bad burst buffer");
+  if (backlog_.empty()) return 0;
+  const ClassId best = select(now);
+  // One Eq. 21 decision serves up to max_k consecutive heads of the winner;
+  // the virtual-time bookkeeping treats the burst as a single departure at
+  // `now` (part of why k > 1 changes traces).
+  const std::uint32_t k = backlog_.pop_burst(best, max_k, out);
+  finish_departure(best, now);
+  return k;
 }
 
 }  // namespace pds

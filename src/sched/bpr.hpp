@@ -38,6 +38,8 @@ class BprScheduler final : public ClassBasedScheduler {
   explicit BprScheduler(const SchedulerConfig& config);
 
   std::optional<Packet> dequeue(SimTime now) override;
+  std::uint32_t dequeue_burst(SimTime now, Packet* out,
+                              std::uint32_t max_k) override;
 
   std::string_view name() const noexcept override { return "BPR"; }
 
@@ -46,8 +48,16 @@ class BprScheduler final : public ClassBasedScheduler {
   double rate(ClassId cls) const;
 
  private:
+  // Eq. 21 argmin via the scan kernels; updates virtual_service_ in place.
+  // Requires a non-empty backlog.
+  ClassId select(SimTime now);
+  // Post-departure bookkeeping shared by single and burst dequeue.
+  void finish_departure(ClassId served, SimTime now);
+
   void recompute_rates();
 
+  // Both vectors are lane-padded to backlog_.lane_count() (pad lanes stay
+  // 0.0) because the scan kernels read and write them a full lane at a time.
   std::vector<double> rates_;            // r_i(t^{k-1})
   std::vector<double> virtual_service_;  // v_i, in bytes
   SimTime last_departure_ = kTimeZero;

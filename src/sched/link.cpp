@@ -61,8 +61,22 @@ void Link::resume() {
   try_start_service();
 }
 
+void Link::set_burst(std::uint32_t k) {
+  PDS_CHECK(k >= 1 && k <= kMaxBurst, "burst must be in [1, kMaxBurst]");
+  PDS_CHECK(!busy_, "cannot change burst while transmitting");
+  burst_ = k;
+  if (k > 1) {
+    burst_buf_.resize(k);
+    burst_waits_.resize(k);
+  }
+}
+
 void Link::try_start_service() {
   if (busy_ || !service_enabled() || sched_.empty()) return;
+  if (burst_ > 1) {
+    start_burst();
+    return;
+  }
   auto next = sched_.dequeue(sim_.now());
   PDS_REQUIRE(next.has_value());  // work conservation: backlog => packet
   Packet& p = in_flight_;
@@ -98,6 +112,55 @@ void Link::complete_transmission() {
   PDS_OBS_NOTIFY(probe_, on_depart(done, probe_context(done.cls),
                                    sim_.now(), wait));
   on_departure_(std::move(done), wait, sim_.now());
+  try_start_service();
+}
+
+void Link::start_burst() {
+  const std::uint32_t k =
+      sched_.dequeue_burst(sim_.now(), burst_buf_.data(), burst_);
+  PDS_REQUIRE(k >= 1);  // work conservation: backlog => at least one packet
+  burst_count_ = k;
+  const double rate = capacity_ * capacity_factor_;
+  SimTime total_tx = 0.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Packet& p = burst_buf_[i];
+    // Each packet's transmission starts when its predecessors in the burst
+    // have finished; the queueing delay is measured against that staggered
+    // start, exactly as if the packets had been dequeued one by one.
+    const SimTime wait = (sim_.now() + total_tx) - p.arrival;
+    PDS_REQUIRE(wait >= 0.0);
+    p.cum_queueing += wait;
+    ++p.hops_done;
+    burst_waits_[i] = wait;
+    const SimTime tx = static_cast<double>(p.size_bytes) / rate;
+    busy_time_ += tx;
+    bytes_sent_ += p.size_bytes;
+    ++packets_sent_;
+    PDS_OBS_NOTIFY(probe_,
+                   on_dequeue(p, probe_context(p.cls), sim_.now(), wait));
+    total_tx += tx;
+  }
+  busy_ = true;
+  // One completion event for the whole burst; the packets ride in
+  // burst_buf_, so a burst costs one event no matter its length.
+  sim_.schedule_in(total_tx,
+                   SimEvent([this] { complete_burst(); }, "link.tx"));
+}
+
+void Link::complete_burst() {
+  // Delivery happens with busy_ still true: a departure handler may
+  // synchronously re-arrive into this link (routing loops), and a nested
+  // try_start_service must not start a new burst that overwrites the
+  // buffer being drained.
+  const std::uint32_t k = burst_count_;
+  burst_count_ = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Packet done = std::move(burst_buf_[i]);
+    PDS_OBS_NOTIFY(probe_, on_depart(done, probe_context(done.cls),
+                                     sim_.now(), burst_waits_[i]));
+    on_departure_(std::move(done), burst_waits_[i], sim_.now());
+  }
+  busy_ = false;
   try_start_service();
 }
 

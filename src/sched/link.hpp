@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "dsim/simulator.hpp"
 #include "sched/scheduler.hpp"
@@ -55,6 +56,17 @@ class Link {
 
   double capacity() const noexcept { return capacity_; }
   bool busy() const noexcept { return busy_; }
+
+  // Burst transmit: each scheduler decision drains up to `k` consecutive
+  // packets (of the winning class, for the proportional schedulers) and
+  // transmits them back to back as one busy period. k == 1 — the default —
+  // uses the single-packet path verbatim, so all existing traces stay
+  // byte-identical; k > 1 changes traces (per-packet waits are measured
+  // against staggered transmission starts, and departures fire together at
+  // burst end — see docs/architecture.md, "Batched packet plane"). May only
+  // be changed while the transmitter is idle; k <= kMaxBurst.
+  void set_burst(std::uint32_t k);
+  std::uint32_t burst() const noexcept { return burst_; }
 
   // --- Fault injection (driven by fault/FaultInjector) -------------------
   //
@@ -114,6 +126,10 @@ class Link {
   // lives in the in-flight slot, so starting a transmission performs no
   // heap allocation and no packet copy.
   void complete_transmission();
+  // Burst counterparts (burst_ > 1 only): one scheduler decision fills
+  // burst_buf_, one event completes the whole burst.
+  void start_burst();
+  void complete_burst();
 
   ProbeContext probe_context(ClassId cls) const;
 
@@ -136,6 +152,11 @@ class Link {
   std::uint64_t packets_sent_ = 0;
   Packet in_flight_;             // valid iff busy_
   SimTime in_flight_wait_ = 0.0;  // queueing delay of in_flight_ at this hop
+  std::uint32_t burst_ = 1;
+  // Staging for burst transmit (sized by set_burst, empty while burst_ == 1).
+  std::vector<Packet> burst_buf_;
+  std::vector<SimTime> burst_waits_;
+  std::uint32_t burst_count_ = 0;  // packets in the burst in flight
   PacketProbe* probe_ = nullptr;
   std::uint32_t hop_ = 0;
 };

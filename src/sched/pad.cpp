@@ -1,13 +1,15 @@
 #include "sched/pad.hpp"
 
+#include "sched/scan.hpp"
 #include "util/contracts.hpp"
 
 namespace pds {
 
 PadScheduler::PadScheduler(const SchedulerConfig& config)
     : ClassBasedScheduler(config),
-      cum_delay_(config.num_classes(), 0.0),
-      served_(config.num_classes(), 0) {}
+      cum_delay_(backlog_.lane_count(), 0.0),
+      served_(config.num_classes(), 0),
+      served_f64_(backlog_.lane_count(), 0.0) {}
 
 double PadScheduler::normalized_average_delay(ClassId cls, SimTime now) const {
   PDS_CHECK(cls < num_classes(), "class index out of range");
@@ -22,55 +24,42 @@ double PadScheduler::normalized_average_delay(ClassId cls, SimTime now) const {
   return (sum / static_cast<double>(n)) * sdp()[cls];
 }
 
-double PadScheduler::priority(ClassId cls, SimTime now) const {
-  return normalized_average_delay(cls, now);
-}
-
 void PadScheduler::note_served(const Packet& p, SimTime now) {
   cum_delay_[p.cls] += now - p.arrival;
   ++served_[p.cls];
+  served_f64_[p.cls] = static_cast<double>(served_[p.cls]);
 }
 
-std::optional<Packet> PadScheduler::pop_best(SimTime now) {
+ClassId PadScheduler::select(SimTime now) const {
+  return scan::pad_select(heads_view(), sdp_lanes().data(), cum_lanes(),
+                          served_lanes(), now, scan_backend());
+}
+
+std::optional<Packet> PadScheduler::dequeue(SimTime now) {
   if (backlog_.empty()) return std::nullopt;
-  const ClassHead* heads = backlog_.heads();
-  const ClassId n = backlog_.num_classes();
-  bool found = false;
-  ClassId best = 0;
-  double best_priority = 0.0;
-  for (ClassId c = 0; c < n; ++c) {
-    if (heads[c].packets == 0) continue;
-    const double p = priority(c, now);
-    if (!found || p >= best_priority) {  // >=: tie goes to the higher class
-      found = true;
-      best = c;
-      best_priority = p;
-    }
-  }
-  PDS_REQUIRE(found);
-  Packet p = backlog_.pop(best);
+  Packet p = backlog_.pop(select(now));
   note_served(p, now);
   return p;
 }
 
-std::optional<Packet> PadScheduler::dequeue(SimTime now) {
-  return pop_best(now);
+std::uint32_t PadScheduler::dequeue_burst(SimTime now, Packet* out,
+                                          std::uint32_t max_k) {
+  PDS_CHECK(out != nullptr && max_k >= 1, "bad burst buffer");
+  if (backlog_.empty()) return 0;
+  const std::uint32_t k = backlog_.pop_burst(select(now), max_k, out);
+  // Every burst packet is accounted at decision time: the scheduler does
+  // not know the link rate, so the per-packet transmission stagger is the
+  // Link's business (and part of why k > 1 changes traces).
+  for (std::uint32_t i = 0; i < k; ++i) note_served(out[i], now);
+  return k;
 }
 
 HpdScheduler::HpdScheduler(const SchedulerConfig& config)
     : PadScheduler(config), g_(config.hpd_g) {}
 
-double HpdScheduler::priority(ClassId cls, SimTime now) const {
-  const ClassHead& h = backlog_.head_of(cls);
-  PDS_REQUIRE(h.packets != 0);
-  const double head_wait = now - h.arrival;
-  const double wtp_part = head_wait * sdp()[cls];
-  const double pad_part = normalized_average_delay(cls, now);
-  return g_ * wtp_part + (1.0 - g_) * pad_part;
-}
-
-std::optional<Packet> HpdScheduler::dequeue(SimTime now) {
-  return pop_best(now);
+ClassId HpdScheduler::select(SimTime now) const {
+  return scan::hpd_select(heads_view(), sdp_lanes().data(), cum_lanes(),
+                          served_lanes(), now, g_, scan_backend());
 }
 
 }  // namespace pds

@@ -21,6 +21,11 @@
 // of class i served so far *plus* the current head's prospective delay if it
 // were served now — this keeps the metric defined before the first
 // departure and responsive to a waiting head.
+//
+// The per-dequeue argmax runs through the vectorized scan kernels
+// (sched/scan.hpp); the class keeps lane-padded double mirrors of the
+// cumulative-delay and served-count vectors as the kernels' inputs (served
+// counts are exact as doubles below 2^53).
 #pragma once
 
 #include "sched/scheduler.hpp"
@@ -32,6 +37,8 @@ class PadScheduler : public ClassBasedScheduler {
   explicit PadScheduler(const SchedulerConfig& config);
 
   std::optional<Packet> dequeue(SimTime now) override;
+  std::uint32_t dequeue_burst(SimTime now, Packet* out,
+                              std::uint32_t max_k) override;
 
   std::string_view name() const noexcept override { return "PAD"; }
 
@@ -40,29 +47,31 @@ class PadScheduler : public ClassBasedScheduler {
   double normalized_average_delay(ClassId cls, SimTime now) const;
 
  protected:
-  // Priority of a backlogged class; the highest-priority class is served.
-  // PAD uses the normalized average delay; HPD overrides with the blend.
-  virtual double priority(ClassId cls, SimTime now) const;
-
-  std::optional<Packet> pop_best(SimTime now);
+  // Winning class of one priority decision; requires a non-empty backlog.
+  // PAD argmaxes the normalized average delay; HPD overrides with the
+  // hybrid blend.
+  virtual ClassId select(SimTime now) const;
 
   void note_served(const Packet& p, SimTime now);
 
+  // Lane-padded kernel inputs, shared with the HPD override.
+  const double* cum_lanes() const noexcept { return cum_delay_.data(); }
+  const double* served_lanes() const noexcept { return served_f64_.data(); }
+
  private:
-  std::vector<double> cum_delay_;        // sum of delays of served packets
-  std::vector<std::uint64_t> served_;    // number of served packets
+  std::vector<double> cum_delay_;      // sum of delays of served packets
+  std::vector<std::uint64_t> served_;  // number of served packets (exact)
+  std::vector<double> served_f64_;     // double mirror of served_
 };
 
 class HpdScheduler final : public PadScheduler {
  public:
   explicit HpdScheduler(const SchedulerConfig& config);
 
-  std::optional<Packet> dequeue(SimTime now) override;
-
   std::string_view name() const noexcept override { return "HPD"; }
 
  protected:
-  double priority(ClassId cls, SimTime now) const override;
+  ClassId select(SimTime now) const override;
 
  private:
   double g_;

@@ -1,5 +1,7 @@
 #include "sched/scheduler.hpp"
 
+#include <string>
+
 #include "util/contracts.hpp"
 
 namespace pds {
@@ -20,14 +22,34 @@ void SchedulerConfig::validate(bool needs_capacity) const {
   // bookkeeping; callers who want PAD should instantiate PAD directly.
   PDS_CHECK(hpd_g > 0.0 && hpd_g <= 1.0, "hpd_g must be in (0,1]");
   PDS_CHECK(drr_quantum_bytes > 0.0, "DRR quantum must be positive");
+  PDS_CHECK(burst >= 1 && burst <= kMaxBurst,
+            "burst must be in [1, " + std::to_string(kMaxBurst) + "]");
+}
+
+static_assert(MultiClassBacklog::kLanePad == scan::kLanes,
+              "backlog SoA padding must match the scan kernels' lane width");
+
+std::uint32_t Scheduler::dequeue_burst(SimTime now, Packet* out,
+                                       std::uint32_t max_k) {
+  PDS_CHECK(out != nullptr && max_k >= 1, "bad burst buffer");
+  std::uint32_t k = 0;
+  while (k < max_k) {
+    auto p = dequeue(now);
+    if (!p.has_value()) break;
+    out[k++] = std::move(*p);
+  }
+  return k;
 }
 
 ClassBasedScheduler::ClassBasedScheduler(const SchedulerConfig& config,
                                          bool needs_capacity)
-    : backlog_(config.num_classes()),
+    : backlog_(config.num_classes(), config.arena),
       sdp_(config.sdp),
-      link_capacity_(config.link_capacity) {
+      sdp_lanes_(config.sdp),
+      link_capacity_(config.link_capacity),
+      burst_(config.burst) {
   config.validate(needs_capacity);
+  sdp_lanes_.resize(backlog_.lane_count(), 0.0);
 }
 
 void ClassBasedScheduler::enqueue(Packet p, SimTime now) {

@@ -21,10 +21,16 @@
 
 #include "dsim/time.hpp"
 #include "obs/probe.hpp"
+#include "packet/arena.hpp"
 #include "packet/packet.hpp"
 #include "queueing/backlog.hpp"
+#include "sched/scan.hpp"
 
 namespace pds {
+
+// Upper bound on the burst knob (packets drained per scheduler decision);
+// bounds the Link's burst staging buffer.
+inline constexpr std::uint32_t kMaxBurst = 64;
 
 struct SchedulerConfig {
   // Scheduler differentiation parameters, one per class, non-decreasing and
@@ -41,6 +47,16 @@ struct SchedulerConfig {
 
   // DRR only: quantum granted to a class with s = 1, in bytes.
   double drr_quantum_bytes = 1500.0;
+
+  // Packets drained per scheduler decision (Link burst transmit). 1 — the
+  // default — keeps every existing trace byte-identical; k > 1 serves up to
+  // k consecutive head packets of the winning class per decision (see
+  // docs/architecture.md, "Batched packet plane"). Bounded by kMaxBurst.
+  std::uint32_t burst = 1;
+
+  // Optional backing store for the per-class rings (see PacketArena). Not
+  // owned; must outlive the scheduler. nullptr == global allocator.
+  PacketArena* arena = nullptr;
 
   std::uint32_t num_classes() const {
     return static_cast<std::uint32_t>(sdp.size());
@@ -65,6 +81,17 @@ class Scheduler {
   // Selects, removes and returns the next packet to transmit, or nullopt if
   // no class is backlogged. `now` is the instant transmission would start.
   virtual std::optional<Packet> dequeue(SimTime now) = 0;
+
+  // Burst variant: removes up to `max_k` packets into `out` (capacity >=
+  // max_k) and returns how many were taken (0 iff nothing is backlogged).
+  // The base implementation loops dequeue() — max_k independent decisions.
+  // The proportional schedulers (WTP/BPR/additive/PAD/HPD) override it to
+  // make ONE priority decision and drain up to max_k consecutive head
+  // packets of the winning class, which is the paper-faithful reading of a
+  // burst: the decision cost is amortized, the winner is not re-elected
+  // mid-burst. With max_k == 1 both forms are identical to dequeue().
+  virtual std::uint32_t dequeue_burst(SimTime now, Packet* out,
+                                      std::uint32_t max_k);
 
   virtual std::string_view name() const noexcept = 0;
 
@@ -129,6 +156,16 @@ class ClassBasedScheduler : public Scheduler {
   void enqueue(Packet p, SimTime now) override;
   std::optional<Packet> drop_tail(ClassId cls) override;
 
+  // Burst size this scheduler was configured with (the Link reads it when
+  // wiring its transmit loop).
+  std::uint32_t configured_burst() const noexcept { return burst_; }
+
+  // Test hook: forces the priority-scan backend (kAuto picks the widest
+  // compiled-in backend the CPU supports). The differential tests drive the
+  // same scheduler with kScalar and kSimd and require identical decisions.
+  void set_scan_backend(scan::Backend backend) noexcept { backend_ = backend; }
+  scan::Backend scan_backend() const noexcept { return backend_; }
+
  protected:
   explicit ClassBasedScheduler(const SchedulerConfig& config,
                                bool needs_capacity = false);
@@ -136,11 +173,25 @@ class ClassBasedScheduler : public Scheduler {
   const std::vector<double>& sdp() const noexcept { return sdp_; }
   double link_capacity() const noexcept { return link_capacity_; }
 
+  // SDPs padded to backlog_.lane_count() entries (pad lanes 0.0), the form
+  // the scan kernels consume.
+  const std::vector<double>& sdp_lanes() const noexcept { return sdp_lanes_; }
+
+  // SoA view of the backlog heads for the scan kernels.
+  scan::Heads heads_view() const noexcept {
+    return scan::Heads{backlog_.soa_head_arrival(), backlog_.soa_head_bytes(),
+                       backlog_.soa_mask(), backlog_.num_classes(),
+                       backlog_.lane_count()};
+  }
+
   MultiClassBacklog backlog_;
 
  private:
   std::vector<double> sdp_;
+  std::vector<double> sdp_lanes_;
   double link_capacity_;
+  std::uint32_t burst_;
+  scan::Backend backend_ = scan::Backend::kAuto;
 };
 
 }  // namespace pds

@@ -1,5 +1,6 @@
 #include "sched/wtp.hpp"
 
+#include "sched/scan.hpp"
 #include "util/contracts.hpp"
 
 namespace pds {
@@ -15,31 +16,20 @@ double WtpScheduler::head_priority(ClassId cls, SimTime now) const {
 
 std::optional<Packet> WtpScheduler::dequeue(SimTime now) {
   if (backlog_.empty()) return std::nullopt;
-  // One pass over the head-of-line snapshot: emptiness, head arrival and
-  // the SDP product are all evaluated in place — no per-class queue fetch
-  // and no second emptiness test inside a helper.
-  const ClassHead* heads = backlog_.heads();
-  const double* s = sdp().data();
-  const ClassId n = backlog_.num_classes();
-  bool found = false;
-  ClassId best = 0;
-  double best_priority = -1.0;
-  for (ClassId c = 0; c < n; ++c) {
-    if (heads[c].packets == 0) continue;
-    const SimTime wait = now - heads[c].arrival;
-    PDS_REQUIRE(wait >= 0.0);
-    const double p = wait * s[c];
-    // `>=` implements the tie-break in favour of the higher class: classes
-    // are scanned in ascending order, so an equal priority at a higher
-    // index wins.
-    if (!found || p >= best_priority) {
-      found = true;
-      best = c;
-      best_priority = p;
-    }
-  }
-  PDS_REQUIRE(found);
+  // One branch-light pass over the head-of-line SoA mirror (Eq. 11 argmax,
+  // ties to the higher class); kernels in sched/scan.cpp.
+  const ClassId best =
+      scan::wtp_select(heads_view(), sdp_lanes().data(), now, scan_backend());
   return backlog_.pop(best);
+}
+
+std::uint32_t WtpScheduler::dequeue_burst(SimTime now, Packet* out,
+                                          std::uint32_t max_k) {
+  PDS_CHECK(out != nullptr && max_k >= 1, "bad burst buffer");
+  if (backlog_.empty()) return 0;
+  const ClassId best =
+      scan::wtp_select(heads_view(), sdp_lanes().data(), now, scan_backend());
+  return backlog_.pop_burst(best, max_k, out);
 }
 
 }  // namespace pds

@@ -30,6 +30,8 @@ class WtpScheduler final : public ClassBasedScheduler {
       : ClassBasedScheduler(config) {}
 
   std::optional<Packet> dequeue(SimTime now) override;
+  std::uint32_t dequeue_burst(SimTime now, Packet* out,
+                              std::uint32_t max_k) override;
 
   std::string_view name() const noexcept override { return "WTP"; }
 
