@@ -38,6 +38,8 @@ constexpr const char kUsage[] =
     "  [--quick] (run 10% of the horizon; smoke-test mode)\n"
     "  [--horizon-scale=S] (scale until/warmup by S)\n"
     "  [--fault-plan=FILE] (fault-plan grammar; targets are link names)\n"
+    "  [--control-plan=FILE] (control-plan grammar; targets are link"
+    " names)\n"
     "  [--max-events=N] [--max-wall-seconds=S] (watchdog; 0 = off)\n"
     "  [--metrics-out=FILE(.csv|.jsonl)] [--metrics-window=5000] (tu)\n"
     "  [--report-out=FILE.json] (pds.run_report/1 document)\n"
@@ -78,7 +80,8 @@ int main(int argc, char** argv) {
   try {
     const pds::ArgParser args(argc, argv);
     args.require_known({"file", "seed", "users", "quick", "horizon-scale",
-                        "fault-plan", "max-events", "max-wall-seconds",
+                        "fault-plan", "control-plan", "max-events",
+                        "max-wall-seconds",
                         "metrics-out", "metrics-window", "report-out",
                         "sweep-users", "jobs", "help"});
     if (args.has("help")) {
@@ -115,6 +118,10 @@ int main(int argc, char** argv) {
     const auto plan_path = args.get_string("fault-plan", "");
     if (!plan_path.empty()) {
       options.fault_plan = read_file(plan_path, "fault plan");
+    }
+    const auto control_path = args.get_string("control-plan", "");
+    if (!control_path.empty()) {
+      options.control_plan = read_file(control_path, "control plan");
     }
     options.max_events =
         static_cast<std::uint64_t>(args.get_int("max-events", 0));
@@ -199,6 +206,14 @@ int main(int argc, char** argv) {
       std::cout << "fault plan: " << report.fault_episodes
                 << " episode(s) completed, " << report.fault_drops
                 << " packet(s) dropped during outages\n";
+    }
+    if (report.controlled) {
+      std::cout << "control plan: " << report.control_episodes
+                << " episode(s) completed (" << report.control_retunes
+                << " retune, " << report.control_swaps << " swap, "
+                << report.control_class_changes << " class, "
+                << report.control_sheds << " shed); " << report.shed_drops
+                << " shed + " << report.drain_drops << " drain drop(s)\n";
     }
     if (!options.metrics_out.empty()) {
       std::cout << "metrics: " << report.metrics_snapshots

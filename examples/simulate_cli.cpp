@@ -13,6 +13,8 @@
 //   simulate_cli --scheduler=sp --rho=0.95 --save-trace=run.csv
 //   simulate_cli --metrics-out=metrics.csv --trace-out=trace.csv --profile
 //   simulate_cli --fault-plan=flap.plan --max-events=50000000
+//   simulate_cli --control-plan=retune.plan --conformance-tau=100
+//   simulate_cli --controller=weights --conformance-tau=100
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -40,6 +42,12 @@ constexpr const char kUsage[] =
     "  [--trace-out=FILE] [--trace-sample=0.01] [--profile]\n"
     "  [--fault-plan=FILE] (fault-plan grammar, target \"link\";"
     " see docs/robustness.md)\n"
+    "  [--control-plan=FILE] (control-plan grammar, target \"link\";"
+    " see docs/control_plane.md)\n"
+    "  [--controller=off|weights|hpd-g] [--controller-period=100]"
+    " (p-units)\n"
+    "  [--controller-slo=0.10] [--controller-eta=0.5]"
+    " [--controller-g-step=0.05]\n"
     "  [--max-events=N] [--max-wall-seconds=S] (watchdog; 0 = off)\n"
     "  [--spans-out=FILE.json] (Chrome trace-event timeline;"
     " open in Perfetto)\n"
@@ -52,7 +60,7 @@ constexpr const char kUsage[] =
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::invalid_argument("cannot open fault plan: " + path);
+    throw std::invalid_argument("cannot open plan file: " + path);
   }
   std::ostringstream text;
   text << in.rdbuf();
@@ -68,7 +76,9 @@ int main(int argc, char** argv) {
         {"scheduler", "rho", "sdp", "mix", "sim-time", "seed", "arrivals",
          "taus", "check-feasibility", "save-trace", "metrics-out",
          "metrics-window", "trace-out", "trace-sample", "profile",
-         "fault-plan", "max-events", "max-wall-seconds", "spans-out",
+         "fault-plan", "control-plan", "controller", "controller-period",
+         "controller-slo", "controller-eta", "controller-g-step",
+         "max-events", "max-wall-seconds", "spans-out",
          "conformance-tau", "conformance-tolerance", "conformance-min-samples",
          "conformance-out", "report-out", "report-volatile", "help"});
     if (args.has("help")) {
@@ -111,6 +121,15 @@ int main(int argc, char** argv) {
     config.profile = args.get_bool("profile", false);
     const auto plan_path = args.get_string("fault-plan", "");
     if (!plan_path.empty()) config.fault_plan = read_file(plan_path);
+    const auto control_path = args.get_string("control-plan", "");
+    if (!control_path.empty()) config.control_plan = read_file(control_path);
+    config.controller.mode = pds::controller_mode_from_string(
+        args.get_string("controller", "off"));
+    config.controller.period =
+        args.get_double("controller-period", 100.0) * pds::kPUnit;
+    config.controller.slo = args.get_double("controller-slo", 0.10);
+    config.controller.eta = args.get_double("controller-eta", 0.5);
+    config.controller.g_step = args.get_double("controller-g-step", 0.05);
     config.max_events =
         static_cast<std::uint64_t>(args.get_int("max-events", 0));
     config.max_wall_seconds = args.get_double("max-wall-seconds", 0.0);
@@ -202,6 +221,30 @@ int main(int argc, char** argv) {
       std::cout << "\nfault plan: " << result.fault_episodes
                 << " episode(s) completed, " << result.fault_drops
                 << " packet(s) dropped while the link was down\n";
+    }
+    if (!config.control_plan.empty()) {
+      std::cout << "\ncontrol plan: " << result.control_episodes
+                << " episode(s) completed (" << result.control_retunes
+                << " retune, " << result.control_swaps << " swap, "
+                << result.control_class_changes << " class, "
+                << result.control_sheds << " shed); " << result.shed_drops
+                << " shed + " << result.drain_drops
+                << " drain drop(s)\n";
+    }
+    if (config.controller.enabled()) {
+      std::cout << "\ncontroller (" << pds::to_string(config.controller.mode)
+                << "): " << result.controller_ticks << " tick(s), "
+                << result.controller_updates << " update(s)";
+      if (config.controller.mode == pds::ControllerMode::kWeights) {
+        std::cout << ", final weights";
+        for (const double w : result.controller_weights) {
+          std::cout << " " << pds::TablePrinter::num(w);
+        }
+      } else if (result.controller_updates > 0) {
+        std::cout << ", final g "
+                  << pds::TablePrinter::num(result.controller_g);
+      }
+      std::cout << "\n";
     }
     if (config.profile) {
       std::cout << "\nsimulator profile (wall time by event category):\n"

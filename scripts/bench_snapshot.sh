@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Snapshot the hot-path microbenchmarks into a reviewable JSON file.
 #
-#   scripts/bench_snapshot.sh                     # quick mode -> BENCH_pr8.json
+#   scripts/bench_snapshot.sh                     # quick mode -> BENCH_pr9.json
 #   scripts/bench_snapshot.sh --out FILE          # alternate output path
 #   scripts/bench_snapshot.sh --preset bench      # use the Release+IPO tree
 #   scripts/bench_snapshot.sh --preset bench-pgo  # Release+IPO+PGO (two-phase)
@@ -22,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-OUT="BENCH_pr8.json"
+OUT="BENCH_pr9.json"
 PRESET="default"
 MIN_TIME="0.25"
 REPS="1"

@@ -44,6 +44,30 @@ SWEEP_A="$(mktemp)"; SWEEP_B="$(mktemp)"
 diff "${SWEEP_A}" "${SWEEP_B}"
 rm -f "${SWEEP_A}" "${SWEEP_B}"
 
+echo "== control plane: reconfigured-run determinism + controller smoke =="
+# A controlled run must stay byte-identical for any --jobs: every
+# retune/swap/shed boundary is a plan-scripted simulator event
+# (docs/control_plane.md). The plan exercises a prefix wildcard fan-out, a
+# live scheduler swap and the overload shed guard on the fat-tree fabric;
+# the simulate_cli line closes the loop through the feedback controller.
+CTRL_PLAN="$(mktemp)"
+cat > "${CTRL_PLAN}" <<'EOF'
+retune p0* at=8000 w=1,3,9
+swap core0>p1agg0 at=12000 sched=hpd
+shed p0edge0>p0agg0 at=10000 for=10000 watermark=40 classes=1
+EOF
+CTRL_A="$(mktemp)"; CTRL_B="$(mktemp)"
+./build/examples/netsim_cli --file=examples/scenarios/fat_tree.pds \
+  --quick --control-plan="${CTRL_PLAN}" --sweep-users=4,8 --jobs=1 \
+  > "${CTRL_A}"
+./build/examples/netsim_cli --file=examples/scenarios/fat_tree.pds \
+  --quick --control-plan="${CTRL_PLAN}" --sweep-users=4,8 --jobs=4 \
+  > "${CTRL_B}"
+diff "${CTRL_A}" "${CTRL_B}"
+rm -f "${CTRL_PLAN}" "${CTRL_A}" "${CTRL_B}"
+./build/examples/simulate_cli --scheduler=wtp --rho=0.9 --sim-time=30000 \
+  --controller=weights --conformance-tau=50 >/dev/null
+
 echo "== observability: compile-out proof + disabled-path overhead guard =="
 # -DPDS_OBS=OFF must keep compiling everything that touches the telemetry
 # plane (the macros and #if gates are only honest if both sides build), and
@@ -77,17 +101,20 @@ cmake --build build-simdoff -j "${JOBS}" \
 ./build-simdoff/tests/sched_property_test
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== fast mode: targeted ASan/UBSan over fault + supervisor + obs suites =="
-  # Even the fast path sanitizes the robustness layer: fault injection and
+  echo "== fast mode: targeted ASan/UBSan over fault + ctrl + supervisor + obs suites =="
+  # Even the fast path sanitizes the robustness layer: fault injection,
+  # live reconfiguration (scheduler swaps hand raw backlogs across) and
   # run supervision exercise exception unwinding and teardown ordering, the
   # classic breeding ground for use-after-free. The obs suites join them
   # because atomic-file commit/discard and span-buffer teardown live on the
   # same unwind paths.
   cmake -B build-asan -S . -DPDS_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "${JOBS}" \
-    --target fault_test supervisor_test obs_test conformance_test \
-    telemetry_test
+    --target fault_test ctrl_test controller_test supervisor_test obs_test \
+    conformance_test telemetry_test
   ./build-asan/tests/fault_test
+  ./build-asan/tests/ctrl_test
+  ./build-asan/tests/controller_test
   ./build-asan/tests/supervisor_test
   ./build-asan/tests/obs_test
   ./build-asan/tests/conformance_test
@@ -104,12 +131,16 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 echo "== sanitizers: TSan build + threaded suites (experiment engine) =="
 # ASan and TSan cannot share a binary, so the TSan pass gets its own tree.
 # Only the suites that exercise threads are run: the experiment engine
-# (pool/steal/exception paths) and the kernel it drives concurrently.
+# (pool/steal/exception paths), the kernel it drives concurrently, and the
+# scenario suite (its controlled-sweep byte-identity test fans a
+# reconfigured run over the pool).
 cmake -B build-tsan -S . -DPDS_TSAN=ON -DPDS_BUILD_BENCH=OFF \
   -DPDS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target exp_test dsim_test supervisor_test
+cmake --build build-tsan -j "${JOBS}" \
+  --target exp_test dsim_test supervisor_test scenario_test
 ./build-tsan/tests/exp_test
 ./build-tsan/tests/dsim_test
 ./build-tsan/tests/supervisor_test
+./build-tsan/tests/scenario_test
 
 echo "== all checks passed =="

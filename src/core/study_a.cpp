@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "ctrl/control_injector.hpp"
+#include "ctrl/control_plan.hpp"
 #include "exp/supervisor.hpp"
 #include "exp/thread_pool.hpp"
 #include "fault/fault_injector.hpp"
@@ -54,6 +56,9 @@ void StudyAConfig::validate() const {
   }
   PDS_CHECK(conformance_out.empty() || conformance_tau > 0.0,
             "conformance output requires a conformance tau");
+  controller.validate();
+  PDS_CHECK(!controller.enabled() || conformance_tau > 0.0,
+            "controller requires conformance_tau > 0 (its error sensor)");
 }
 
 StudyAResult run_study_a(const StudyAConfig& config) {
@@ -236,10 +241,36 @@ StudyAResult run_study_a(const StudyAConfig& config) {
     injector->attach("link", link);
     injector->arm();
     if (spans) injector->set_span_buffer(&spans->buffer());
-    if (conformance) {
-      conformance->set_fault_context(
-          [inj = injector.get()] { return inj->active_summary(); });
-    }
+  }
+
+  std::unique_ptr<ControlInjector> control;
+  if (!config.control_plan.empty()) {
+    control = std::make_unique<ControlInjector>(
+        sim, parse_control_plan(config.control_plan));
+    control->attach("link", link, config.scheduler, sched_config);
+    control->arm();
+    if (spans) control->set_span_buffer(&spans->buffer());
+    if (registry) control->bind_metrics(*registry);
+  }
+
+  // Violation attribution: both planes contribute to the active-episode
+  // context string ("down link+shed link") the monitor stamps on windows.
+  if (conformance && (injector || control)) {
+    conformance->set_fault_context(
+        [inj = injector.get(), ctl = control.get()] {
+          std::string s = inj ? inj->active_summary() : std::string();
+          const std::string c = ctl ? ctl->active_summary() : std::string();
+          if (!c.empty()) s = s.empty() ? c : s + "+" + c;
+          return s;
+        });
+  }
+
+  std::unique_ptr<Controller> controller;
+  if (config.controller.enabled()) {
+    PDS_REQUIRE(conformance != nullptr);  // validate() enforced the tau
+    controller = std::make_unique<Controller>(
+        sim, link, *conformance, config.sdp, config.controller);
+    controller->arm(config.sim_time);
   }
 
   Watchdog watchdog(
@@ -295,6 +326,21 @@ StudyAResult run_study_a(const StudyAConfig& config) {
   result.measured_utilization = link.busy_time() / config.sim_time;
   if (injector) result.fault_episodes = injector->episodes_completed();
   result.fault_drops = link.fault_drops();
+  if (control) {
+    result.control_episodes = control->episodes_completed();
+    result.control_retunes = control->retunes_applied();
+    result.control_swaps = control->swaps_applied();
+    result.control_class_changes = control->class_changes_applied();
+    result.control_sheds = control->sheds_applied();
+    result.shed_drops = link.shed_drops();
+    result.drain_drops = link.drain_drops();
+  }
+  if (controller) {
+    result.controller_ticks = controller->ticks();
+    result.controller_updates = controller->updates();
+    result.controller_weights = controller->weights();
+    result.controller_g = controller->g();
+  }
   result.rd_per_tau.reserve(monitors.size());
   for (auto& m : monitors) result.rd_per_tau.push_back(m.rd_values());
   result.sawtooth_index.reserve(n);
@@ -320,7 +366,9 @@ StudyAResult run_study_a(const StudyAConfig& config) {
         .set("utilization", config.utilization)
         .set("sim_time", config.sim_time)
         .set("seed", config.seed)
-        .set("fault_plan", config.fault_plan);
+        .set("fault_plan", config.fault_plan)
+        .set("control_plan", config.control_plan)
+        .set("controller", to_string(config.controller.mode));
     report.set_section("run", std::move(run));
     Json res = Json::object();
     Json means = Json::array();
@@ -350,6 +398,32 @@ StudyAResult run_study_a(const StudyAConfig& config) {
                              .set("begun", injector->episodes_begun())
                              .set("completed", injector->episodes_completed())
                              .set("drops", result.fault_drops));
+    }
+    if (control || controller) {
+      Json ctrl = Json::object();
+      if (control) {
+        ctrl.set("scheduled", control->scheduled_episodes())
+            .set("applied", control->episodes_applied())
+            .set("completed", control->episodes_completed())
+            .set("retunes", control->retunes_applied())
+            .set("swaps", control->swaps_applied())
+            .set("class_changes", control->class_changes_applied())
+            .set("sheds", control->sheds_applied())
+            .set("shed_drops", result.shed_drops)
+            .set("drain_drops", result.drain_drops);
+      }
+      if (controller) {
+        Json weights = Json::array();
+        for (const double w : controller->weights()) weights.push(w);
+        ctrl.set("controller",
+                 Json::object()
+                     .set("mode", to_string(config.controller.mode))
+                     .set("ticks", controller->ticks())
+                     .set("updates", controller->updates())
+                     .set("weights", std::move(weights))
+                     .set("g", controller->g()));
+      }
+      report.set_section("control", std::move(ctrl));
     }
     if (spans) {
       report.set_section("spans",

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/trace.hpp"
+#include "ctrl/controller.hpp"
 #include "dsim/event_queue.hpp"
 #include "dsim/time.hpp"
 #include "obs/conformance.hpp"
@@ -119,6 +120,21 @@ struct StudyAConfig {
   // run keeps the byte-identical determinism contract.
   std::string fault_plan;
 
+  // --- Runtime control plane (src/ctrl) ---
+  // Control plan text (ctrl/control_plan.hpp grammar). When non-empty, a
+  // ControlInjector drives the scripted reconfigurations against the
+  // congested link, attached under the target name "link" (so plans say
+  // e.g. "retune link at=1000 w=1,2,4,8" or "swap link at=2000 sched=pad").
+  // Every episode boundary is an ordinary simulator event; a controlled run
+  // keeps the byte-identical determinism contract.
+  std::string control_plan;
+
+  // Adaptive differentiation (ctrl/controller.hpp): a feedback loop from
+  // the live Eq. 2 conformance errors to the scheduler's weights (or HPD's
+  // g). Requires conformance_tau > 0 when enabled — the monitor is the
+  // controller's sensor.
+  ControllerConfig controller;
+
   // Watchdog limits for the run (0 = unlimited). max_events trips
   // deterministically; max_wall_seconds is a hang backstop. A trip throws
   // WatchdogError carrying a diagnostic snapshot with per-class backlogs.
@@ -165,6 +181,25 @@ struct StudyAResult {
   // link is lossless apart from faults).
   std::uint64_t fault_episodes = 0;
   std::uint64_t fault_drops = 0;
+
+  // Control-plane accounting (iff config.control_plan): episode instances
+  // completed plus per-kind application counts, and arrivals dropped by
+  // class drains / the overload shed guard.
+  std::uint64_t control_episodes = 0;
+  std::uint64_t control_retunes = 0;
+  std::uint64_t control_swaps = 0;
+  std::uint64_t control_class_changes = 0;
+  std::uint64_t control_sheds = 0;
+  std::uint64_t shed_drops = 0;
+  std::uint64_t drain_drops = 0;
+
+  // Controller accounting (iff config.controller.enabled()): ticks taken,
+  // knob updates applied, and the final knob state (weights for kWeights,
+  // g for kHpdG; see ctrl/controller.hpp).
+  std::uint64_t controller_ticks = 0;
+  std::uint64_t controller_updates = 0;
+  std::vector<double> controller_weights;
+  double controller_g = 0.0;
 
   // Rendered SimProfiler tables (iff config.profile).
   std::string profile_report;

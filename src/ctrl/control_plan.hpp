@@ -1,0 +1,90 @@
+// Control plans: declarative, clock-driven reconfiguration scripts.
+//
+// The paper's Eq. 1/2 claim — delay ratios independent of class loads — is
+// tested hardest when the *operator* changes their mind mid-flight. A
+// ControlPlan scripts those changes against named targets (links) as a
+// line-oriented text format extending the FaultPlan idiom (src/fault/);
+// '#' starts a comment:
+//
+//   seed <n>                                            (optional, default 1)
+//   retune <target> at=<t> [w=<v0,v1,...>] [g=<v>]
+//   class  <target> at=<t> drain=<idx> | add=<idx>
+//   swap   <target> at=<t> sched=<sp|wtp|bpr|additive|pad|hpd|drr>
+//   shed   <target> at=<t> for=<dt> watermark=<pkts> [sojourn=<dt>]
+//                                                     [classes=<k>]
+//
+// `target` is the name a Link was attached under (control_injector.hpp),
+// `*` for every attached target, or a prefix wildcard (`core*`) — the same
+// target language as fault plans. Times are absolute simulation time units.
+//
+// `retune` replaces the scheduler's per-class weights (w=, one value per
+// class, positive non-decreasing) and/or HPD's blend parameter (g=, in
+// (0,1], only valid while the target runs HPD) without touching backlogs.
+// `class drain=<idx>` stops admitting arrivals of one class (its queued
+// packets serve out; drops counted per link); `class add=<idx>` re-admits
+// it. `swap` replaces the scheduler in place, handing the whole backlog —
+// class rings and SoA mirror — to the replacement; only the class-based
+// schedulers can give and take a backlog, so FCFS/SCFQ/VC are not
+// swappable. `shed` arms the overload guard (ShedPolicy in sched/link.hpp)
+// for the episode's duration.
+//
+// retune/class/swap are instantaneous (duration 0, applied at `at`); shed
+// is the only windowed episode. Same-kind episodes on one target may not
+// overlap — for instantaneous episodes that means not sharing the same
+// `at`. All application happens as ordinary SimEvents at plan-scripted
+// times, so a controlled run is exactly as replayable as a plain one.
+//
+// Example (a mid-run retune, then a swap under an armed overload guard):
+//
+//   retune link at=3e4 w=1,3,6,12
+//   shed   link at=5e4 for=2e4 watermark=2000 classes=2
+//   swap   link at=6e4 sched=bpr
+//
+// parse_control_plan validates structure and throws std::invalid_argument
+// ("control plan line N: ..."). Target existence, wildcard matches, class
+// counts, and overlap rules are enforced later, by ControlInjector::arm().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsim/time.hpp"
+#include "sched/factory.hpp"
+#include "sched/link.hpp"
+
+namespace pds {
+
+enum class ControlKind { kRetune, kClass, kSwap, kShed };
+
+// Short lowercase directive name ("retune", "class", "swap", "shed").
+std::string to_string(ControlKind kind);
+
+struct ControlEpisode {
+  ControlKind kind = ControlKind::kRetune;
+  std::string target;  // attach name, "*", or a prefix wildcard ("core*")
+  SimTime at = 0.0;
+  SimTime duration = 0.0;       // kShed only; the others are instantaneous
+  std::vector<double> weights;  // kRetune: empty == no w= given
+  double g = 0.0;               // kRetune: 0 == no g= given
+  ClassId cls = 0;              // kClass
+  bool drain = true;            // kClass: drain (true) or add (false)
+  SchedulerKind sched = SchedulerKind::kWtp;  // kSwap
+  ShedPolicy shed;                            // kShed
+  std::size_t line = 0;  // 1-based plan line, for arm()-time diagnostics
+
+  SimTime end() const noexcept { return at + duration; }
+};
+
+struct ControlPlan {
+  std::uint64_t seed = 1;
+  std::vector<ControlEpisode> episodes;
+
+  bool empty() const noexcept { return episodes.empty(); }
+};
+
+// Parses the grammar above. Throws std::invalid_argument ("control plan
+// line N: ...") on malformed input; an episode-free plan is legal (no-op).
+ControlPlan parse_control_plan(const std::string& text);
+
+}  // namespace pds

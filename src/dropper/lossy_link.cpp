@@ -9,7 +9,6 @@ LossyLink::LossyLink(Simulator& sim, Scheduler& sched, double capacity,
                      std::unique_ptr<PlrDropper> plr,
                      DepartureHandler on_departure, DropHandler on_drop)
     : sim_(sim),
-      sched_(sched),
       buffer_packets_(buffer_packets),
       policy_(policy),
       plr_(std::move(plr)),
@@ -29,19 +28,16 @@ LossyLink::LossyLink(Simulator& sim, Scheduler& sched, double capacity,
 }
 
 void LossyLink::notify_drop(const Packet& p) {
+  const Scheduler& sched = link_.scheduler();
   PDS_OBS_NOTIFY(probe_,
                  on_drop(p,
-                         ProbeContext{hop_, sched_.backlog_packets(p.cls),
-                                      sched_.backlog_bytes(p.cls)},
+                         ProbeContext{hop_, sched.backlog_packets(p.cls),
+                                      sched.backlog_bytes(p.cls)},
                          sim_.now()));
 }
 
 std::uint64_t LossyLink::queued_packets() const {
-  std::uint64_t total = 0;
-  for (ClassId c = 0; c < sched_.num_classes(); ++c) {
-    total += sched_.backlog_packets(c);
-  }
-  return total;
+  return link_.scheduler().total_backlog_packets();
 }
 
 void LossyLink::set_burst_loss(double rate, Rng rng) {
@@ -81,20 +77,21 @@ void LossyLink::arrive(Packet p) {
   // PLR: the arriving packet's class is a candidate victim even when it has
   // nothing queued (the arrival itself would be pushed out). The scratch
   // vector is a member so repeated overflows reuse its capacity.
-  backlogged_.assign(sched_.num_classes(), false);
-  for (ClassId c = 0; c < sched_.num_classes(); ++c) {
-    backlogged_[c] = sched_.backlog_packets(c) > 0;
+  Scheduler& sched = link_.scheduler_mut();
+  backlogged_.assign(sched.num_classes(), false);
+  for (ClassId c = 0; c < sched.num_classes(); ++c) {
+    backlogged_[c] = sched.backlog_packets(c) > 0;
   }
   backlogged_[cls] = true;
   const auto victim = plr_->pick_victim(backlogged_);
   PDS_REQUIRE(victim.has_value());
   ++drops_[*victim];
-  if (*victim == cls && sched_.backlog_packets(cls) == 0) {
+  if (*victim == cls && sched.backlog_packets(cls) == 0) {
     notify_drop(p);
     on_drop_(p, sim_.now());
     return;
   }
-  auto pushed_out = sched_.drop_tail(*victim);
+  auto pushed_out = sched.drop_tail(*victim);
   PDS_REQUIRE(pushed_out.has_value());
   notify_drop(*pushed_out);
   on_drop_(*pushed_out, sim_.now());

@@ -83,9 +83,11 @@ class LossyLink {
  private:
   std::uint64_t queued_packets() const;
   void notify_drop(const Packet& p);
+  // All scheduler reads go through the inner link (link_.scheduler()), so a
+  // live scheduler swap (src/ctrl/) keeps the drop policy and the service
+  // plane consistent — there is deliberately no cached Scheduler& here.
 
   Simulator& sim_;
-  Scheduler& sched_;
   std::uint64_t buffer_packets_;
   DropPolicy policy_;
   std::unique_ptr<PlrDropper> plr_;

@@ -39,7 +39,9 @@ void FaultInjector::attach(const std::string& name, Link& link) {
   PDS_CHECK(!name.empty() && name != "*", "invalid target name");
   PDS_CHECK(links_.find(name) == links_.end(),
             "duplicate fault target " + name);
+  PDS_CHECK(name.back() != '*', "target name may not end in *");
   links_[name] = &link;
+  attach_order_.push_back(name);
 }
 
 void FaultInjector::attach(const std::string& name, LossyLink& lossy) {
@@ -51,12 +53,23 @@ void FaultInjector::arm() {
   PDS_CHECK(!armed_, "fault injector armed twice");
   armed_ = true;
 
-  // Expand `*` over the attached targets (name order: deterministic).
+  // Expand wildcards over the attached targets. A bare `*` expands in name
+  // order (the historical contract: loss-episode seeds depend on instance
+  // order); prefix patterns expand in attach order (link-id order for
+  // attach_network), so topology plans follow the topology's numbering.
   for (const auto& ep : plan_.episodes) {
     std::vector<std::string> targets;
     if (ep.target == "*") {
       for (const auto& [name, link] : links_) targets.push_back(name);
       if (targets.empty()) bad_plan("episode targets *, nothing attached");
+    } else if (is_target_pattern(ep.target)) {
+      for (const auto& name : attach_order_) {
+        if (target_pattern_matches(ep.target, name)) targets.push_back(name);
+      }
+      if (targets.empty()) {
+        bad_plan("line " + std::to_string(ep.line) + ": pattern " +
+                 ep.target + " matches no attached target");
+      }
     } else {
       if (links_.find(ep.target) == links_.end()) {
         bad_plan("unknown target " + ep.target);
@@ -87,8 +100,12 @@ void FaultInjector::arm() {
       const auto& eb = instances_[b].episode;
       if (ea.kind != eb.kind || ea.target != eb.target) continue;
       if (ea.at < eb.end() && eb.at < ea.end()) {
+        // Name both offending plan lines: with wildcard expansion the pair
+        // may come from distant lines, and "one side" is useless to fix.
         bad_plan("overlapping " + to_string(ea.kind) + " episodes on " +
-                 ea.target);
+                 ea.target + " (lines " +
+                 std::to_string(std::min(ea.line, eb.line)) + " and " +
+                 std::to_string(std::max(ea.line, eb.line)) + ")");
       }
     }
   }
@@ -188,7 +205,11 @@ void attach_chain(FaultInjector& injector, ChainNetwork& chain) {
 
 void attach_network(FaultInjector& injector, Network& net) {
   for (LinkId id = 0; id < net.num_links(); ++id) {
-    injector.attach(net.link_name(id), net.link_mut(id));
+    if (LossyLink* lossy = net.lossy(id)) {
+      injector.attach(net.link_name(id), *lossy);  // enables loss episodes
+    } else {
+      injector.attach(net.link_name(id), net.link_mut(id));
+    }
   }
 }
 

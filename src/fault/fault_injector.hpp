@@ -7,11 +7,15 @@
 //   inj.arm();                          // validate + schedule episodes
 //   sim.run_until(t_end);
 //
-// arm() expands `*` targets over everything attached, validates that every
-// episode references a known target (and that loss episodes reference a
-// LossyLink), rejects overlapping episodes of the same kind on the same
-// target (their begin/end semantics would be ambiguous), and schedules one
-// begin and one end event per episode ("fault.begin"/"fault.end" labels).
+// arm() expands wildcard targets over everything attached, validates that
+// every episode references a known target (and that loss episodes reference
+// a LossyLink), rejects overlapping episodes of the same kind on the same
+// target (their begin/end semantics would be ambiguous, reported with both
+// plan line numbers), and schedules one begin and one end event per episode
+// ("fault.begin"/"fault.end" labels). A bare `*` expands in attach-name
+// order (the historical contract — loss episode seeds depend on instance
+// order); a prefix wildcard (`pod0*`) expands in attach order, which for
+// attach_network is link-id order.
 //
 // Determinism contract (docs/robustness.md): every fault boundary is an
 // ordinary simulator event at a plan-scripted time, and loss-burst
@@ -97,6 +101,7 @@ class FaultInjector {
   FaultPlan plan_;
   std::map<std::string, Link*> links_;
   std::map<std::string, LossyLink*> lossies_;
+  std::vector<std::string> attach_order_;  // prefix-wildcard expansion order
   std::vector<Instance> instances_;
   bool armed_ = false;
   std::uint64_t begun_ = 0;

@@ -17,6 +17,17 @@ std::string to_string(FaultKind kind) {
   return "?";
 }
 
+bool is_target_pattern(const std::string& pattern) {
+  return !pattern.empty() && pattern.back() == '*';
+}
+
+bool target_pattern_matches(const std::string& pattern,
+                            const std::string& name) {
+  if (!is_target_pattern(pattern)) return pattern == name;
+  const std::size_t prefix_len = pattern.size() - 1;
+  return name.compare(0, prefix_len, pattern, 0, prefix_len) == 0;
+}
+
 namespace {
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
@@ -128,6 +139,7 @@ FaultPlan parse_fault_plan(const std::string& text) {
       fail(line_no, kind + " needs a target name (or *)");
     }
     ep.target = tokens[1];
+    ep.line = line_no;
 
     Options opts(tokens, 2, line_no);
     ep.at = opts.number("at");

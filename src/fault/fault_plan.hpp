@@ -12,7 +12,11 @@
 //   loss    <target> at=<t> for=<dt> rate=<p>
 //
 // `target` is the name a Link/LossyLink was attached under (see
-// fault_injector.hpp) or `*` for every attached target. Times are absolute
+// fault_injector.hpp), `*` for every attached target, or a prefix wildcard
+// (`pod0*`) matching every attached name that starts with the prefix —
+// topology-aware plans fail whole pods/tiers by naming convention. A prefix
+// pattern that matches nothing is a plan error, reported with its line
+// number. Times are absolute
 // simulation time units; `for` is the episode duration. `down` takes the
 // link out of service: `mode=drop` (default) discards arrivals during the
 // outage, `mode=hold` queues them and releases the backlog on recovery.
@@ -49,15 +53,25 @@ std::string to_string(FaultKind kind);
 
 struct FaultEpisode {
   FaultKind kind = FaultKind::kDown;
-  std::string target;  // attach name, or "*" for every attached target
+  std::string target;  // attach name, "*", or a prefix wildcard ("pod0*")
   SimTime at = 0.0;
   SimTime duration = 0.0;
   OutageMode mode = OutageMode::kDropArrivals;  // kDown only
   double factor = 1.0;                          // kDegrade only
   double rate = 0.0;                            // kLoss only
+  std::size_t line = 0;  // 1-based plan line, for arm()-time diagnostics
 
   SimTime end() const noexcept { return at + duration; }
 };
+
+// True when `pattern` is a prefix wildcard ("pod0*", or the bare "*"):
+// a trailing '*' after zero or more literal characters.
+bool is_target_pattern(const std::string& pattern);
+
+// True when `pattern` names `name` exactly or is a prefix wildcard whose
+// prefix starts `name`. Shared by the fault and control injectors.
+bool target_pattern_matches(const std::string& pattern,
+                            const std::string& name);
 
 struct FaultPlan {
   std::uint64_t seed = 1;

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "ctrl/control_injector.hpp"
+#include "ctrl/control_plan.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/flows.hpp"
@@ -158,6 +160,16 @@ std::uint32_t parse_burst(Options& opts, std::size_t line_no) {
   return static_cast<std::uint32_t>(v);
 }
 
+// Optional buffer=<pkts> option: finite drop-tail buffer. Defaults to 0
+// (the paper's lossless link).
+std::uint64_t parse_buffer(Options& opts, std::size_t line_no) {
+  const double v = opts.number_or("buffer", 0.0);
+  if (v < 0.0 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    fail(line_no, "buffer must be a non-negative packet count");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 void add_scenario_node(Scenario& scenario, ParseGraph& graph,
                        const std::string& name, std::size_t line_no) {
   if (graph.node_index.count(name)) {
@@ -232,6 +244,7 @@ void expand_topology(Scenario& scenario, ParseGraph& graph,
       scheduler_kind_from_string(opts.require("sched"));
   const std::vector<double> sdp = opts.list("sdp");
   const std::uint32_t burst = parse_burst(opts, line_no);
+  const std::uint64_t buffer = parse_buffer(opts, line_no);
   const std::string prefix = opts.take("prefix").value_or("");
   opts.finish();
 
@@ -248,6 +261,7 @@ void expand_topology(Scenario& scenario, ParseGraph& graph,
       link.kind = sched;
       link.sdp = sdp;
       link.burst = burst;
+      link.buffer = buffer;
       add_scenario_link(scenario, graph, std::move(link), line_no);
     }
   }
@@ -287,6 +301,7 @@ Scenario parse_scenario(const std::string& text) {
       link.kind = scheduler_kind_from_string(opts.require("sched"));
       link.sdp = opts.list("sdp");
       link.burst = parse_burst(opts, line_no);
+      link.buffer = parse_buffer(opts, line_no);
       opts.finish();
       add_scenario_link(scenario, graph, std::move(link), line_no);
     } else if (kind == "topology") {
@@ -300,6 +315,7 @@ Scenario parse_scenario(const std::string& text) {
       link.kind = scheduler_kind_from_string(opts.require("sched"));
       link.sdp = opts.list("sdp");
       link.burst = parse_burst(opts, line_no);
+      link.buffer = parse_buffer(opts, line_no);
       opts.finish();
       add_scenario_link(scenario, graph, std::move(link), line_no);
     } else if (kind == "route") {
@@ -488,6 +504,7 @@ ScenarioReport run_scenario(const Scenario& scenario,
             ? net.add_link(link.kind, sc, link.capacity, link.name)
             : net.add_edge(node_ids.at(link.from), node_ids.at(link.to),
                            link.kind, sc, link.capacity, link.name);
+    if (link.buffer > 0) net.make_lossy(id, link.buffer);
     link_ids[link.name] = id;
     max_classes = std::max(
         max_classes, static_cast<std::uint32_t>(link.sdp.size()));
@@ -634,6 +651,15 @@ ScenarioReport run_scenario(const Scenario& scenario,
     report.faulted = true;
   }
 
+  std::unique_ptr<ControlInjector> control;
+  if (!options.control_plan.empty()) {
+    control = std::make_unique<ControlInjector>(
+        sim, parse_control_plan(options.control_plan));
+    attach_network(*control, net);
+    control->arm();
+    report.controlled = true;
+  }
+
   MetricsRegistry registry;
   std::unique_ptr<MetricsSnapshotWriter> metrics;
   if (!options.metrics_out.empty()) {
@@ -686,10 +712,23 @@ ScenarioReport run_scenario(const Scenario& scenario,
   }
   for (const auto& link : scenario.links) {
     const LinkId id = link_ids.at(link.name);
-    report.link_stats.push_back(ScenarioReport::LinkStats{
-        link.name, to_string(link.kind), net.utilization(id),
-        net.link(id).packets_sent(), net.link(id).fault_drops(), 0});
-    report.fault_drops += net.link(id).fault_drops();
+    ScenarioReport::LinkStats ls;
+    ls.link = link.name;
+    ls.sched = to_string(link.kind);
+    ls.utilization = net.utilization(id);
+    ls.packets_sent = net.link(id).packets_sent();
+    ls.fault_drops = net.link(id).fault_drops();
+    if (const LossyLink* lossy = net.lossy(id)) {
+      ls.burst_drops = lossy->burst_drops();
+      for (ClassId c = 0; c < net.link(id).scheduler().num_classes(); ++c) {
+        ls.buffer_drops += lossy->drops(c);
+      }
+    }
+    ls.control_drops = net.link(id).drain_drops() + net.link(id).shed_drops();
+    report.fault_drops += ls.fault_drops;
+    report.shed_drops += net.link(id).shed_drops();
+    report.drain_drops += net.link(id).drain_drops();
+    report.link_stats.push_back(std::move(ls));
   }
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const auto& st = workloads[i]->stats();
@@ -716,6 +755,14 @@ ScenarioReport run_scenario(const Scenario& scenario,
   if (injector) {
     report.fault_episodes_scheduled = injector->scheduled_episodes();
     report.fault_episodes = injector->episodes_completed();
+  }
+  if (control) {
+    report.control_episodes_scheduled = control->scheduled_episodes();
+    report.control_episodes = control->episodes_completed();
+    report.control_retunes = control->retunes_applied();
+    report.control_swaps = control->swaps_applied();
+    report.control_class_changes = control->class_changes_applied();
+    report.control_sheds = control->sheds_applied();
   }
   return report;
 }
@@ -765,7 +812,9 @@ RunReport scenario_run_report(const Scenario& scenario,
                    .set("utilization", ls.utilization)
                    .set("packets_sent", ls.packets_sent)
                    .set("fault_drops", ls.fault_drops)
-                   .set("burst_drops", ls.burst_drops));
+                   .set("burst_drops", ls.burst_drops)
+                   .set("buffer_drops", ls.buffer_drops)
+                   .set("control_drops", ls.control_drops));
   }
   doc.set_section("links", std::move(links));
   Json flows = Json::array();
@@ -793,6 +842,18 @@ RunReport scenario_run_report(const Scenario& scenario,
                         .set("scheduled", report.fault_episodes_scheduled)
                         .set("completed", report.fault_episodes)
                         .set("drops", report.fault_drops));
+  }
+  if (report.controlled) {
+    doc.set_section("control",
+                    Json::object()
+                        .set("scheduled", report.control_episodes_scheduled)
+                        .set("completed", report.control_episodes)
+                        .set("retunes", report.control_retunes)
+                        .set("swaps", report.control_swaps)
+                        .set("class_changes", report.control_class_changes)
+                        .set("sheds", report.control_sheds)
+                        .set("shed_drops", report.shed_drops)
+                        .set("drain_drops", report.drain_drops));
   }
   return doc;
 }

@@ -6,7 +6,7 @@
 //   # --- topology (graph) layer ---
 //   node  <name>
 //   edge  <name> from=<node> to=<node> capacity=<bytes/tu>
-//         sched=<wtp|bpr|...> sdp=<s1,s2,...> [burst=<k>]
+//         sched=<wtp|bpr|...> sdp=<s1,s2,...> [burst=<k>] [buffer=<pkts>]
 //   topology line     n=<k>            capacity=.. sched=.. sdp=.. [prefix=<p>]
 //   topology ring     n=<k>            capacity=.. sched=.. sdp=.. [prefix=<p>]
 //   topology fat_tree k=<even k>       capacity=.. sched=.. sdp=.. [prefix=<p>]
@@ -14,7 +14,7 @@
 //
 //   # --- links and routes ---
 //   link  <name> capacity=<bytes/tu> sched=<wtp|bpr|...> sdp=<s1,s2,...>
-//         [burst=<k>]
+//         [burst=<k>] [buffer=<pkts>]
 //   route <name> <link> [<link> ...]          # explicit link path
 //   route <name> from=<node> to=<node>        # static shortest-path routing
 //
@@ -76,6 +76,10 @@ struct ScenarioLink {
   // Packets drained per scheduler decision (burst= option; 1 = classic
   // single-packet service, which keeps traces byte-identical).
   std::uint32_t burst = 1;
+  // Finite shared packet buffer (buffer= option). 0 — the default — keeps
+  // the paper's lossless link; > 0 wraps the link in a drop-tail LossyLink
+  // (Network::make_lossy), which also lets fault `loss` episodes target it.
+  std::uint64_t buffer = 0;
   // Node binding for graph links (edge/topology directives); both empty for
   // unbound `link` directives.
   std::string from;
@@ -154,8 +158,9 @@ struct ScenarioReport {
     double utilization = 0.0;
     std::uint64_t packets_sent = 0;
     std::uint64_t fault_drops = 0;   // arrivals dropped during outages
-    std::uint64_t burst_drops = 0;   // lossy-link burst loss; 0 (Network
-                                     // links carry no loss stage yet)
+    std::uint64_t burst_drops = 0;   // lossy-link burst loss episodes
+    std::uint64_t buffer_drops = 0;  // drop-tail overflow (buffer= links)
+    std::uint64_t control_drops = 0; // class drains + overload sheds
   };
   // One row per `flows` directive, in file order.
   struct FlowStats {
@@ -183,12 +188,22 @@ struct ScenarioReport {
   std::uint64_t fault_episodes = 0;          // completed
   std::uint64_t fault_drops = 0;             // summed over links
   std::uint64_t metrics_snapshots = 0;
+  bool controlled = false;                   // a control plan was armed
+  std::uint64_t control_episodes_scheduled = 0;
+  std::uint64_t control_episodes = 0;        // completed
+  std::uint64_t control_retunes = 0;
+  std::uint64_t control_swaps = 0;
+  std::uint64_t control_class_changes = 0;
+  std::uint64_t control_sheds = 0;
+  std::uint64_t shed_drops = 0;              // summed over links
+  std::uint64_t drain_drops = 0;             // summed over links
 };
 
 // Execution knobs beyond the file itself (all optional).
 struct ScenarioOptions {
   std::optional<std::uint64_t> seed;   // replaces the file's seed
   std::string fault_plan;              // fault-plan grammar text; "" = none
+  std::string control_plan;            // control-plan grammar; "" = none
   std::optional<std::uint32_t> users;  // override users= of every flows
   double horizon_scale = 1.0;          // scales until/warmup (smoke runs)
   std::uint64_t max_events = 0;        // Simulator event budget; 0 = off
@@ -207,8 +222,9 @@ ScenarioReport run_scenario(const Scenario& scenario,
                             const ScenarioOptions& options);
 
 // Unified run-report document (pds.run_report/1, kind "scenario") with
-// scenario/routes/links/flows sections plus faults when a plan was armed.
-// Deterministic: derived from simulation state only.
+// scenario/routes/links/flows sections plus faults/control when the
+// corresponding plan was armed. Deterministic: derived from simulation
+// state only.
 RunReport scenario_run_report(const Scenario& scenario,
                               const ScenarioReport& report,
                               std::uint64_t seed_used);

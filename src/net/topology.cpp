@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "ctrl/control_injector.hpp"
 #include "util/contracts.hpp"
 
 namespace pds {
@@ -115,9 +116,51 @@ LinkId Network::add_link(SchedulerKind kind,
       sim_, *schedulers_.back(), capacity,
       [this](Packet&& p, SimTime, SimTime) { forward(std::move(p)); }));
   links_.back()->set_burst(config.burst);
+  lossies_.emplace_back();
+  kinds_.push_back(kind);
+  configs_.push_back(std::move(config));
+  capacities_.push_back(capacity);
   names_.push_back(name.empty() ? "link" + std::to_string(id)
                                 : std::move(name));
   return id;
+}
+
+void Network::make_lossy(LinkId id, std::uint64_t buffer_packets) {
+  PDS_CHECK(!injected_, "cannot convert links after the first injection");
+  PDS_CHECK(id < links_.size(), "unknown link");
+  PDS_CHECK(links_[id] != nullptr, "link is already lossy");
+  lossies_[id] = std::make_unique<LossyLink>(
+      sim_, *schedulers_[id], capacities_[id], buffer_packets,
+      DropPolicy::kDropIncoming, nullptr,
+      [this](Packet&& p, SimTime, SimTime) { forward(std::move(p)); },
+      [](const Packet&, SimTime) {});
+  lossies_[id]->link_mut().set_burst(configs_[id].burst);
+  links_[id].reset();
+}
+
+LossyLink* Network::lossy(LinkId id) {
+  PDS_CHECK(id < links_.size(), "unknown link");
+  return lossies_[id].get();
+}
+
+const LossyLink* Network::lossy(LinkId id) const {
+  PDS_CHECK(id < links_.size(), "unknown link");
+  return lossies_[id].get();
+}
+
+SchedulerKind Network::link_kind(LinkId id) const {
+  PDS_CHECK(id < kinds_.size(), "unknown link");
+  return kinds_[id];
+}
+
+const SchedulerConfig& Network::link_config(LinkId id) const {
+  PDS_CHECK(id < configs_.size(), "unknown link");
+  return configs_[id];
+}
+
+double Network::link_capacity(LinkId id) const {
+  PDS_CHECK(id < capacities_.size(), "unknown link");
+  return capacities_[id];
 }
 
 RouteId Network::add_route(std::vector<LinkId> path, ExitHandler on_exit) {
@@ -135,7 +178,15 @@ void Network::inject(Packet p, RouteId route) {
   PDS_CHECK(p.hops_done == 0, "packet already travelled; reset hops_done");
   injected_ = true;
   p.route = route;
-  links_[routes_[route].path.front()]->arrive(std::move(p));
+  deliver(std::move(p), routes_[route].path.front());
+}
+
+void Network::deliver(Packet&& p, LinkId id) {
+  if (links_[id] != nullptr) {
+    links_[id]->arrive(std::move(p));
+  } else {
+    lossies_[id]->arrive(std::move(p));
+  }
 }
 
 void Network::forward(Packet&& p) {
@@ -143,7 +194,7 @@ void Network::forward(Packet&& p) {
   const RouteState& route = routes_[p.route];
   PDS_REQUIRE(p.hops_done <= route.path.size());
   if (p.hops_done < route.path.size()) {
-    links_[route.path[p.hops_done]]->arrive(std::move(p));
+    deliver(std::move(p), route.path[p.hops_done]);
   } else {
     route.on_exit(p, sim_.now());
   }
@@ -151,12 +202,12 @@ void Network::forward(Packet&& p) {
 
 const Link& Network::link(LinkId id) const {
   PDS_CHECK(id < links_.size(), "unknown link");
-  return *links_[id];
+  return links_[id] != nullptr ? *links_[id] : lossies_[id]->link();
 }
 
 Link& Network::link_mut(LinkId id) {
   PDS_CHECK(id < links_.size(), "unknown link");
-  return *links_[id];
+  return links_[id] != nullptr ? *links_[id] : lossies_[id]->link_mut();
 }
 
 const std::string& Network::link_name(LinkId id) const {
@@ -172,7 +223,7 @@ const std::vector<LinkId>& Network::route_path(RouteId id) const {
 double Network::utilization(LinkId id) const {
   PDS_CHECK(id < links_.size(), "unknown link");
   if (sim_.now() <= 0.0) return 0.0;
-  return links_[id]->busy_time() / sim_.now();
+  return link(id).busy_time() / sim_.now();
 }
 
 // --------------------------------------------------------------- generators
@@ -266,6 +317,13 @@ void build_topology(Network& net, const TopologySpec& spec,
     const NodeId na = find(a), nb = find(b);
     net.add_edge(na, nb, kind, sched_config, capacity);
     net.add_edge(nb, na, kind, sched_config, capacity);
+  }
+}
+
+void attach_network(ControlInjector& injector, Network& net) {
+  for (LinkId id = 0; id < net.num_links(); ++id) {
+    injector.attach(net.link_name(id), net.link_mut(id), net.link_kind(id),
+                    net.link_config(id));
   }
 }
 

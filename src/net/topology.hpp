@@ -34,11 +34,14 @@
 #include <string>
 #include <vector>
 
+#include "dropper/lossy_link.hpp"
 #include "dsim/simulator.hpp"
 #include "sched/factory.hpp"
 #include "sched/link.hpp"
 
 namespace pds {
+
+class ControlInjector;
 
 using LinkId = std::uint32_t;
 using NodeId = std::uint32_t;
@@ -124,6 +127,23 @@ class Network {
   // registers every link with a FaultInjector under its name).
   Link& link_mut(LinkId id);
 
+  // Construction metadata, kept per link so the control plane can attach
+  // every link with the kind/config swap replacements are built from.
+  SchedulerKind link_kind(LinkId id) const;
+  const SchedulerConfig& link_config(LinkId id) const;
+  double link_capacity(LinkId id) const;
+
+  // Wraps link `id` in a finite drop-tail buffer (LossyLink, kDropIncoming):
+  // arrivals that would exceed `buffer_packets` queued packets are dropped
+  // and counted by the LossyLink (drops()/burst_drops()). Call before the
+  // first injection; converting a link twice is an error. The inner Link is
+  // rebuilt, so convert before attaching probes or injectors.
+  void make_lossy(LinkId id, std::uint64_t buffer_packets);
+
+  // The loss stage of a converted link; nullptr for lossless links.
+  LossyLink* lossy(LinkId id);
+  const LossyLink* lossy(LinkId id) const;
+
   // Utilization of a link measured from time 0 to `now`.
   double utilization(LinkId id) const;
 
@@ -134,13 +154,22 @@ class Network {
   };
 
   void forward(Packet&& p);
+  // Arrival entry point for link `id`: the loss stage when the link has
+  // one, the plain Link otherwise.
+  void deliver(Packet&& p, LinkId id);
 
   Simulator& sim_;
   // Backs every edge's class rings; declared before the schedulers so their
   // queues release into a still-live arena at destruction.
   PacketArena arena_;
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  // Exactly one of links_[id] / lossies_[id] is non-null per link: make_lossy
+  // moves a link's service plane inside a LossyLink (which owns its Link).
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<LossyLink>> lossies_;
+  std::vector<SchedulerKind> kinds_;
+  std::vector<SchedulerConfig> configs_;  // arena pointer already defaulted
+  std::vector<double> capacities_;
   std::vector<std::string> names_;
   std::vector<RouteState> routes_;
   std::vector<std::string> node_names_;
@@ -177,5 +206,11 @@ TopologySpec make_two_tier_topology(std::uint32_t cores, std::uint32_t pops);
 void build_topology(Network& net, const TopologySpec& spec,
                     SchedulerKind kind, const SchedulerConfig& sched_config,
                     double capacity, const std::string& prefix = "");
+
+// Registers every link of `net` with a ControlInjector under its
+// link_name(), carrying the stored kind/config so retune/swap episodes can
+// validate and build replacements (the control-plane sibling of the fault
+// attach_network in fault/fault_injector.hpp).
+void attach_network(ControlInjector& injector, Network& net);
 
 }  // namespace pds

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -44,6 +45,8 @@ ConformanceMonitor::ConformanceMonitor(const std::vector<double>& sdp,
   sum_.assign(sdp.size(), 0.0);
   count_.assign(sdp.size(), 0);
   per_pair_violations_.assign(sdp.size() - 1, 0);
+  last_signed_.assign(sdp.size() - 1,
+                      std::numeric_limits<double>::quiet_NaN());
   bucket_start_ = options_.start;
 }
 
@@ -94,6 +97,9 @@ void ConformanceMonitor::advance_to(SimTime now) {
         windows_ += skip;
         undefined_ += skip * target_.size();
         bucket_start_ += static_cast<double>(skip) * options_.tau;
+        for (double& e : last_signed_) {
+          e = std::numeric_limits<double>::quiet_NaN();
+        }
       }
     }
   }
@@ -118,6 +124,7 @@ void ConformanceMonitor::close_window() {
                          sum_[c + 1] > 0.0;
     if (!defined) {
       ++undefined_;
+      last_signed_[c] = std::numeric_limits<double>::quiet_NaN();
       continue;
     }
     ++checked_;
@@ -126,6 +133,7 @@ void ConformanceMonitor::close_window() {
     const double observed = mean_lo / mean_hi;
     const double target = target_[c];
     const double error = std::fabs(observed / target - 1.0);
+    last_signed_[c] = observed / target - 1.0;
     err_sum_ += error;
     if (error > err_max_) err_max_ = error;
     if (metrics_ != nullptr) {

@@ -103,6 +103,15 @@ class ConformanceMonitor {
 
   std::uint64_t windows_closed() const noexcept { return windows_; }
 
+  // Signed per-pair ratio errors (observed/target - 1) of the most recently
+  // closed window, NaN where the pair was undefined; size classes-1 (empty
+  // while disabled). This is the feedback signal the ctrl/ Controller
+  // samples: the sign says which way the observed ratio missed (positive ==
+  // the lower class waited proportionally too long).
+  const std::vector<double>& last_window_errors() const noexcept {
+    return last_signed_;
+  }
+
  private:
   void advance_to(SimTime now);
   void close_window();
@@ -127,6 +136,7 @@ class ConformanceMonitor {
   double err_sum_ = 0.0;
   double err_max_ = 0.0;
   std::vector<std::uint64_t> per_pair_violations_;
+  std::vector<double> last_signed_;  // see last_window_errors()
   std::vector<ConformanceViolation> violations_;
 };
 

@@ -49,6 +49,7 @@ namespace pds {
 inline constexpr std::uint32_t kSpanSimPid = 0;
 inline constexpr std::uint32_t kSpanKernelTid = 0;
 inline constexpr std::uint32_t kSpanFaultTid = 1;
+inline constexpr std::uint32_t kSpanCtrlTid = 2;  // control episodes (ctrl/)
 
 struct Span {
   double ts = 0.0;   // microseconds

@@ -15,7 +15,8 @@ constexpr std::uint32_t padded(std::uint32_t n) noexcept {
 
 MultiClassBacklog::MultiClassBacklog(std::uint32_t num_classes,
                                      PacketArena* arena)
-    : queues_(num_classes),
+    : arena_(arena),
+      queues_(num_classes),
       heads_(num_classes),
       soa_arrival_(padded(num_classes), 0.0),
       soa_head_bytes_(padded(num_classes), 0.0),

@@ -37,6 +37,14 @@ class MultiClassBacklog {
   explicit MultiClassBacklog(std::uint32_t num_classes,
                              PacketArena* arena = nullptr);
 
+  // Movable so a live scheduler swap (ctrl/) can hand the whole backlog —
+  // class rings and SoA mirror intact — to a replacement scheduler. The
+  // moved-from backlog must be reassigned before further use.
+  MultiClassBacklog(MultiClassBacklog&&) = default;
+  MultiClassBacklog& operator=(MultiClassBacklog&&) = default;
+  MultiClassBacklog(const MultiClassBacklog&) = delete;
+  MultiClassBacklog& operator=(const MultiClassBacklog&) = delete;
+
   void push(Packet p);
   Packet pop(ClassId cls);
   // Removes the most recent arrival of a class (push-out for droppers).
@@ -73,6 +81,9 @@ class MultiClassBacklog {
     return static_cast<std::uint32_t>(soa_mask_.size());
   }
 
+  // Backing arena shared by every class ring (nullptr == global allocator).
+  PacketArena* arena() const noexcept { return arena_; }
+
   bool empty() const noexcept { return total_packets_ == 0; }
   std::uint64_t total_packets() const noexcept { return total_packets_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
@@ -83,6 +94,7 @@ class MultiClassBacklog {
  private:
   void refresh_soa_head(ClassId cls);
 
+  PacketArena* arena_ = nullptr;
   std::vector<ClassQueue> queues_;
   std::vector<ClassHead> heads_;
   std::vector<double> soa_arrival_;

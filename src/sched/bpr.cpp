@@ -10,6 +10,18 @@ BprScheduler::BprScheduler(const SchedulerConfig& config)
       rates_(backlog_.lane_count(), 0.0),
       virtual_service_(backlog_.lane_count(), 0.0) {}
 
+void BprScheduler::set_weights(const std::vector<double>& sdp) {
+  ClassBasedScheduler::set_weights(sdp);
+  recompute_rates();
+}
+
+void BprScheduler::on_backlog_adopted(SimTime) {
+  for (double& v : virtual_service_) v = 0.0;
+  any_departure_yet_ = false;
+  last_departure_ = kTimeZero;
+  recompute_rates();
+}
+
 double BprScheduler::rate(ClassId cls) const {
   PDS_CHECK(cls < num_classes(), "class index out of range");
   return rates_[cls];

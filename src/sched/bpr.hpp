@@ -43,9 +43,19 @@ class BprScheduler final : public ClassBasedScheduler {
 
   std::string_view name() const noexcept override { return "BPR"; }
 
+  // Live retune: Eq. 8 rates are refreshed immediately from the new SDPs
+  // over the current (untouched) byte backlogs.
+  void set_weights(const std::vector<double>& sdp) override;
+
   // Current rate assigned to a class (bytes per time unit) as of the last
   // departure; exposed for tests.
   double rate(ClassId cls) const;
+
+ protected:
+  // Live swap-in: the adopted heads carry no fluid-service history, so the
+  // virtual service restarts from zero and rates are recomputed from the
+  // adopted backlogs (deterministic, documented in docs/control_plane.md).
+  void on_backlog_adopted(SimTime now) override;
 
  private:
   // Eq. 21 argmin via the scan kernels; updates virtual_service_ in place.

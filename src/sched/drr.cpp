@@ -6,11 +6,29 @@ namespace pds {
 
 DrrScheduler::DrrScheduler(const SchedulerConfig& config)
     : ClassBasedScheduler(config),
+      quantum_bytes_(config.drr_quantum_bytes),
       in_ring_(config.num_classes(), false),
       deficit_(config.num_classes(), 0.0),
       quantum_(config.num_classes(), 0.0) {
   for (ClassId c = 0; c < num_classes(); ++c) {
     quantum_[c] = config.drr_quantum_bytes * sdp()[c];
+  }
+}
+
+void DrrScheduler::set_weights(const std::vector<double>& sdp) {
+  ClassBasedScheduler::set_weights(sdp);
+  for (ClassId c = 0; c < num_classes(); ++c) {
+    quantum_[c] = quantum_bytes_ * this->sdp()[c];
+  }
+}
+
+void DrrScheduler::on_backlog_adopted(SimTime) {
+  active_.clear();
+  visit_started_ = false;
+  for (ClassId c = 0; c < num_classes(); ++c) {
+    deficit_[c] = 0.0;
+    in_ring_[c] = backlog_.head_of(c).packets != 0;
+    if (in_ring_[c]) active_.push_back(c);
   }
 }
 

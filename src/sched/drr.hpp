@@ -23,9 +23,19 @@ class DrrScheduler final : public ClassBasedScheduler {
 
   std::string_view name() const noexcept override { return "DRR"; }
 
+  // Live retune: per-class quanta are recomputed from the new SDPs; deficits
+  // and the active ring are untouched.
+  void set_weights(const std::vector<double>& sdp) override;
+
   double deficit(ClassId cls) const;
 
+ protected:
+  // Live swap-in: rebuilds the active ring from the adopted backlog in class
+  // order with zero deficits (every backlogged class starts a fresh visit).
+  void on_backlog_adopted(SimTime now) override;
+
  private:
+  double quantum_bytes_;
   // Classes currently in the active ring, in visit order. A class enters at
   // the back when it becomes backlogged and leaves when its queue empties.
   std::deque<ClassId> active_;

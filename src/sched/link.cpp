@@ -7,7 +7,7 @@ namespace pds {
 Link::Link(Simulator& sim, Scheduler& sched, double capacity,
            DepartureHandler on_departure)
     : sim_(sim),
-      sched_(sched),
+      sched_(&sched),
       capacity_(capacity),
       on_departure_(std::move(on_departure)) {
   PDS_CHECK(capacity > 0.0, "link capacity must be positive");
@@ -15,8 +15,8 @@ Link::Link(Simulator& sim, Scheduler& sched, double capacity,
 }
 
 ProbeContext Link::probe_context(ClassId cls) const {
-  return ProbeContext{hop_, sched_.backlog_packets(cls),
-                      sched_.backlog_bytes(cls)};
+  return ProbeContext{hop_, sched_->backlog_packets(cls),
+                      sched_->backlog_bytes(cls)};
 }
 
 void Link::arrive(Packet p) {
@@ -28,8 +28,75 @@ void Link::arrive(Packet p) {
     if (on_fault_drop_) on_fault_drop_(p, sim_.now());
     return;
   }
-  sched_.enqueue(std::move(p), sim_.now());
+  if (ctrl_gate_ && !admit(p)) return;
+  sched_->enqueue(std::move(p), sim_.now());
   try_start_service();
+}
+
+bool Link::admit(const Packet& p) {
+  if (!class_admit_.empty() && p.cls < class_admit_.size() &&
+      class_admit_[p.cls] == 0) {
+    ++drain_drops_;
+    PDS_OBS_NOTIFY(probe_, on_drop(p, probe_context(p.cls), sim_.now()));
+    if (on_control_drop_) {
+      on_control_drop_(p, ControlDropKind::kDrain, sim_.now());
+    }
+    return false;
+  }
+  if (shed_.watermark_packets != 0 && p.cls < shed_.classes) {
+    bool over = sched_->total_backlog_packets() >= shed_.watermark_packets;
+    if (!over && shed_.sojourn > 0.0) {
+      over = sched_->max_head_wait(sim_.now()) >= shed_.sojourn;
+    }
+    if (over) {
+      ++shed_drops_;
+      PDS_OBS_NOTIFY(probe_, on_drop(p, probe_context(p.cls), sim_.now()));
+      if (on_control_drop_) {
+        on_control_drop_(p, ControlDropKind::kShed, sim_.now());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void Link::set_scheduler(Scheduler& sched) {
+  PDS_CHECK(sched.num_classes() == sched_->num_classes(),
+            "scheduler swap across different class counts");
+  sched_ = &sched;
+  sched_->set_probe(probe_, hop_);
+}
+
+void Link::set_class_admission(ClassId cls, bool admit) {
+  PDS_CHECK(cls < sched_->num_classes(), "class index out of range");
+  if (class_admit_.empty()) {
+    class_admit_.assign(sched_->num_classes(), 1);
+  }
+  class_admit_[cls] = admit ? 1 : 0;
+  bool any_drained = false;
+  for (std::uint8_t a : class_admit_) any_drained |= (a == 0);
+  ctrl_gate_ = any_drained || shedding();
+}
+
+bool Link::class_admitted(ClassId cls) const {
+  PDS_CHECK(cls < sched_->num_classes(), "class index out of range");
+  return class_admit_.empty() || class_admit_[cls] != 0;
+}
+
+void Link::set_shed(const ShedPolicy& policy) {
+  PDS_CHECK(policy.watermark_packets >= 1, "shed watermark must be >= 1");
+  PDS_CHECK(policy.sojourn >= 0.0, "shed sojourn must be non-negative");
+  PDS_CHECK(policy.classes >= 1 && policy.classes <= sched_->num_classes(),
+            "shed class count out of range");
+  shed_ = policy;
+  ctrl_gate_ = true;
+}
+
+void Link::clear_shed() {
+  shed_ = ShedPolicy{};
+  bool any_drained = false;
+  for (std::uint8_t a : class_admit_) any_drained |= (a == 0);
+  ctrl_gate_ = any_drained;
 }
 
 void Link::set_capacity_factor(double factor) {
@@ -72,12 +139,12 @@ void Link::set_burst(std::uint32_t k) {
 }
 
 void Link::try_start_service() {
-  if (busy_ || !service_enabled() || sched_.empty()) return;
+  if (busy_ || !service_enabled() || sched_->empty()) return;
   if (burst_ > 1) {
     start_burst();
     return;
   }
-  auto next = sched_.dequeue(sim_.now());
+  auto next = sched_->dequeue(sim_.now());
   PDS_REQUIRE(next.has_value());  // work conservation: backlog => packet
   Packet& p = in_flight_;
   p = std::move(*next);
@@ -117,7 +184,7 @@ void Link::complete_transmission() {
 
 void Link::start_burst() {
   const std::uint32_t k =
-      sched_.dequeue_burst(sim_.now(), burst_buf_.data(), burst_);
+      sched_->dequeue_burst(sim_.now(), burst_buf_.data(), burst_);
   PDS_REQUIRE(k >= 1);  // work conservation: backlog => at least one packet
   burst_count_ = k;
   const double rate = capacity_ * capacity_factor_;

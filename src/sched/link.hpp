@@ -9,8 +9,10 @@
 //
 // The link is lossless (unbounded buffers), matching the paper's Section 3
 // operating assumption of ECN-regulated sources in the stable region. The
-// only exception is scripted fault injection (src/fault/): an outage in
-// drop-on-down mode discards arrivals, counted separately in fault_drops().
+// exceptions are scripted: fault injection (src/fault/ — an outage in
+// drop-on-down mode discards arrivals, counted in fault_drops()) and the
+// control plane (src/ctrl/ — class drains and the overload shed guard
+// discard arrivals, counted in drain_drops()/shed_drops()).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +31,24 @@ namespace pds {
 enum class OutageMode {
   kDropArrivals,  // arrivals during the outage are dropped and counted
   kHoldArrivals,  // arrivals queue up normally and drain on recovery
+};
+
+// Why a control-plane drop happened (see Link::set_control_drop_handler).
+enum class ControlDropKind {
+  kDrain,  // the packet's class is drained (stopped admitting)
+  kShed,   // the overload guard shed a low-class arrival
+};
+
+// Overload guard configuration (Link::set_shed). While set, arrivals of the
+// `classes` lowest classes are dropped whenever the aggregate packet backlog
+// is at or above `watermark_packets`, or — when `sojourn > 0` — the longest
+// head-of-line wait is at or above `sojourn`. Higher classes are never shed:
+// the guard degrades the cheapest service levels first, which is the
+// proportional model's own notion of graceful degradation.
+struct ShedPolicy {
+  std::uint64_t watermark_packets = 0;  // aggregate-backlog watermark; >= 1
+  SimTime sojourn = 0.0;                // optional sojourn watermark (0 = off)
+  std::uint32_t classes = 1;            // how many lowest classes to shed
 };
 
 class Link {
@@ -100,12 +120,44 @@ class Link {
     on_fault_drop_ = std::move(handler);
   }
 
+  // --- Control plane (driven by ctrl/ControlInjector) --------------------
+
+  // Called for every arrival dropped by a class drain or the shed guard.
+  using ControlDropHandler =
+      std::function<void(const Packet&, ControlDropKind, SimTime now)>;
+
+  // Live scheduler swap: replaces the scheduler serving this link. The
+  // caller must have handed the old scheduler's backlog to `sched` first
+  // (ClassBasedScheduler::release_backlog/adopt_backlog); the class counts
+  // must match. Safe mid-burst — the staged burst rides in the Link, not
+  // the scheduler. The probe is re-attached so enqueue events keep the hop.
+  void set_scheduler(Scheduler& sched);
+  Scheduler& scheduler_mut() noexcept { return *sched_; }
+
+  // Class drain: a non-admitted class drops its arrivals (counted in
+  // drain_drops()) while its queued packets serve out normally. Classes
+  // default to admitted; `class add` re-admits a drained class.
+  void set_class_admission(ClassId cls, bool admit);
+  bool class_admitted(ClassId cls) const;
+
+  // Overload guard (see ShedPolicy). Requires watermark_packets >= 1 and
+  // 1 <= classes <= num_classes; clear_shed() disarms it.
+  void set_shed(const ShedPolicy& policy);
+  void clear_shed();
+  bool shedding() const noexcept { return shed_.watermark_packets != 0; }
+
+  std::uint64_t drain_drops() const noexcept { return drain_drops_; }
+  std::uint64_t shed_drops() const noexcept { return shed_drops_; }
+  void set_control_drop_handler(ControlDropHandler handler) {
+    on_control_drop_ = std::move(handler);
+  }
+
   // Lifetime counters for work-conservation checks.
   double busy_time() const noexcept { return busy_time_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
 
-  const Scheduler& scheduler() const noexcept { return sched_; }
+  const Scheduler& scheduler() const noexcept { return *sched_; }
 
   // Observability: attaches a lifecycle probe (nullptr detaches) stamped
   // with `hop` for multi-hop attribution. The link emits, per transmitted
@@ -116,7 +168,7 @@ class Link {
   void set_probe(PacketProbe* probe, std::uint32_t hop = 0) noexcept {
     probe_ = probe;
     hop_ = hop;
-    sched_.set_probe(probe, hop);
+    sched_->set_probe(probe, hop);
   }
 
  private:
@@ -133,19 +185,32 @@ class Link {
 
   ProbeContext probe_context(ClassId cls) const;
 
+  // Control-plane admission check for one arrival; counts and reports the
+  // drop when it fails. Only called while ctrl_gate_ is set, keeping the
+  // plain (no control plan) arrival path one predictable branch.
+  bool admit(const Packet& p);
+
   // True when the transmitter may start a new packet.
   bool service_enabled() const noexcept { return !down_ && !stalled_; }
 
   Simulator& sim_;
-  Scheduler& sched_;
+  Scheduler* sched_;
   double capacity_;
   DepartureHandler on_departure_;
   FaultDropHandler on_fault_drop_;
+  ControlDropHandler on_control_drop_;
   double capacity_factor_ = 1.0;
   bool down_ = false;
   bool stalled_ = false;
   OutageMode outage_mode_ = OutageMode::kDropArrivals;
   std::uint64_t fault_drops_ = 0;
+  // Control-plane state: ctrl_gate_ is true iff any class is drained or a
+  // shed policy is set (one-branch fast path for the common case).
+  bool ctrl_gate_ = false;
+  std::vector<std::uint8_t> class_admit_;  // empty == all classes admitted
+  ShedPolicy shed_;
+  std::uint64_t drain_drops_ = 0;
+  std::uint64_t shed_drops_ = 0;
   bool busy_ = false;
   double busy_time_ = 0.0;
   std::uint64_t bytes_sent_ = 0;

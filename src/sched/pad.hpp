@@ -70,6 +70,14 @@ class HpdScheduler final : public PadScheduler {
 
   std::string_view name() const noexcept override { return "HPD"; }
 
+  // Live retune of the WTP/PAD blend (ctrl/): takes effect on the next
+  // priority decision, backlogs and delay history untouched.
+  void set_g(double g) {
+    PDS_CHECK(g > 0.0 && g <= 1.0, "hpd g must be in (0,1]");
+    g_ = g;
+  }
+  double g() const noexcept { return g_; }
+
  protected:
   ClassId select(SimTime now) const override;
 

@@ -14,6 +14,11 @@ ScfqScheduler::ScfqScheduler(const SchedulerConfig& config)
   config.validate();
 }
 
+void ScfqScheduler::set_weights(const std::vector<double>& sdp) {
+  check_weights(sdp, num_classes());
+  std::copy(sdp.begin(), sdp.end(), weight_.begin());
+}
+
 void ScfqScheduler::enqueue(Packet p, SimTime now) {
   PDS_CHECK(p.arrival <= now, "packet arrival stamped in the future");
   const ClassId c = p.cls;

@@ -39,6 +39,10 @@ class ScfqScheduler final : public Scheduler {
     return backlog_.head_of(cls).bytes;
   }
 
+  // Live retune: new weights shape the finish tags of *future* arrivals;
+  // tags already queued keep the rates they were admitted under.
+  void set_weights(const std::vector<double>& sdp) override;
+
   double virtual_time() const noexcept { return vtime_; }
 
  private:

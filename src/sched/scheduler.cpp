@@ -1,6 +1,8 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -59,6 +61,69 @@ void ClassBasedScheduler::enqueue(Packet p, SimTime now) {
 }
 
 std::optional<Packet> Scheduler::drop_tail(ClassId) { return std::nullopt; }
+
+void Scheduler::check_weights(const std::vector<double>& sdp,
+                              std::uint32_t num_classes) {
+  PDS_CHECK(sdp.size() == num_classes,
+            "weight count must match the class count");
+  for (std::size_t i = 0; i < sdp.size(); ++i) {
+    PDS_CHECK(sdp[i] > 0.0, "weights must be positive");
+    if (i > 0) {
+      PDS_CHECK(sdp[i] >= sdp[i - 1],
+                "weights must be non-decreasing (higher class = larger s)");
+    }
+  }
+}
+
+void Scheduler::set_weights(const std::vector<double>&) {
+  PDS_CHECK(false,
+            std::string(name()) + " does not support live weight retune");
+}
+
+std::uint64_t Scheduler::total_backlog_packets() const {
+  std::uint64_t total = 0;
+  for (ClassId c = 0; c < num_classes(); ++c) total += backlog_packets(c);
+  return total;
+}
+
+SimTime Scheduler::max_head_wait(SimTime) const { return kTimeZero; }
+
+void ClassBasedScheduler::set_weights(const std::vector<double>& sdp) {
+  check_weights(sdp, num_classes());
+  // In-place rewrite: same length, no reallocation, backlogs untouched.
+  std::copy(sdp.begin(), sdp.end(), sdp_.begin());
+  std::copy(sdp.begin(), sdp.end(), sdp_lanes_.begin());
+}
+
+SimTime ClassBasedScheduler::max_head_wait(SimTime now) const {
+  SimTime worst = kTimeZero;
+  const ClassHead* heads = backlog_.heads();
+  for (ClassId c = 0; c < num_classes(); ++c) {
+    if (heads[c].packets != 0 && now - heads[c].arrival > worst) {
+      worst = now - heads[c].arrival;
+    }
+  }
+  return worst;
+}
+
+MultiClassBacklog ClassBasedScheduler::release_backlog() {
+  MultiClassBacklog released = std::move(backlog_);
+  // Leave the retired scheduler with a valid empty backlog: it may still be
+  // destroyed, inspected, or swapped back in later.
+  backlog_ = MultiClassBacklog(released.num_classes(), released.arena());
+  return released;
+}
+
+void ClassBasedScheduler::adopt_backlog(MultiClassBacklog&& backlog,
+                                        SimTime now) {
+  PDS_CHECK(backlog.num_classes() == num_classes(),
+            "backlog handoff across different class counts");
+  PDS_CHECK(backlog_.empty(), "adopting scheduler must start empty");
+  backlog_ = std::move(backlog);
+  on_backlog_adopted(now);
+}
+
+void ClassBasedScheduler::on_backlog_adopted(SimTime) {}
 
 std::optional<Packet> ClassBasedScheduler::drop_tail(ClassId cls) {
   PDS_CHECK(cls < num_classes(), "class index out of range");

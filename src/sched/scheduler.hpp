@@ -106,6 +106,21 @@ class Scheduler {
   virtual std::uint64_t backlog_packets(ClassId cls) const = 0;
   virtual std::uint64_t backlog_bytes(ClassId cls) const = 0;
 
+  // --- Live reconfiguration hooks (driven by ctrl/) ----------------------
+
+  // Replaces the per-class weights (SDPs) in place without touching any
+  // backlog: one entry per class, strictly positive, non-decreasing. The
+  // default rejects; schedulers whose weights are retunable override (all
+  // class-based schedulers plus SCFQ/VC — FCFS has no weights).
+  virtual void set_weights(const std::vector<double>& sdp);
+
+  // Aggregate packet backlog across all classes (overload-guard input).
+  virtual std::uint64_t total_backlog_packets() const;
+
+  // Longest head-of-line wait across backlogged classes at `now`; zero when
+  // idle. Schedulers without head timestamps report zero.
+  virtual SimTime max_head_wait(SimTime now) const;
+
   // Observability: attaches a lifecycle probe (nullptr detaches). The
   // scheduler emits exactly one on_enqueue per accepted packet, stamped with
   // `hop` and the packet's post-insert class backlog. The probe must outlive
@@ -118,6 +133,10 @@ class Scheduler {
 
  protected:
   Scheduler() = default;
+
+  // Shared validation for set_weights overrides.
+  static void check_weights(const std::vector<double>& sdp,
+                            std::uint32_t num_classes);
 
   // Fires the probe for a completed enqueue. Every enqueue() implementation
   // must call this exactly once, after the packet is in its queue. (Packet
@@ -156,6 +175,22 @@ class ClassBasedScheduler : public Scheduler {
   void enqueue(Packet p, SimTime now) override;
   std::optional<Packet> drop_tail(ClassId cls) override;
 
+  void set_weights(const std::vector<double>& sdp) override;
+  std::uint64_t total_backlog_packets() const override {
+    return backlog_.total_packets();
+  }
+  SimTime max_head_wait(SimTime now) const override;
+
+  // --- Live scheduler swap (ctrl/) ---------------------------------------
+  // Hands this scheduler's backlog — class rings, head snapshot and SoA
+  // mirror intact — to a replacement during a live swap, leaving this
+  // scheduler with a fresh empty backlog so it stays safe to destroy or
+  // reuse. The counterpart adopt_backlog() installs the released backlog
+  // and lets subclasses rebuild derived state (DRR active ring, BPR rates)
+  // via on_backlog_adopted().
+  MultiClassBacklog release_backlog();
+  void adopt_backlog(MultiClassBacklog&& backlog, SimTime now);
+
   // Burst size this scheduler was configured with (the Link reads it when
   // wiring its transmit loop).
   std::uint32_t configured_burst() const noexcept { return burst_; }
@@ -169,6 +204,11 @@ class ClassBasedScheduler : public Scheduler {
  protected:
   explicit ClassBasedScheduler(const SchedulerConfig& config,
                                bool needs_capacity = false);
+
+  // Called by adopt_backlog() after backlog_ is installed; subclasses that
+  // derive state from backlog occupancy (DRR) or per-packet history (BPR)
+  // override to rebuild it deterministically.
+  virtual void on_backlog_adopted(SimTime now);
 
   const std::vector<double>& sdp() const noexcept { return sdp_; }
   double link_capacity() const noexcept { return link_capacity_; }

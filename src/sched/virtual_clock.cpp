@@ -14,6 +14,11 @@ VirtualClockScheduler::VirtualClockScheduler(const SchedulerConfig& config)
   config.validate();
 }
 
+void VirtualClockScheduler::set_weights(const std::vector<double>& sdp) {
+  check_weights(sdp, num_classes());
+  std::copy(sdp.begin(), sdp.end(), weight_.begin());
+}
+
 double VirtualClockScheduler::clock(ClassId cls) const {
   PDS_CHECK(cls < vclock_.size(), "class index out of range");
   return vclock_[cls];

@@ -41,6 +41,10 @@ class VirtualClockScheduler final : public Scheduler {
     return backlog_.head_of(cls).bytes;
   }
 
+  // Live retune: new weights advance the virtual clocks of *future*
+  // arrivals; tags already queued keep the rates they were admitted under.
+  void set_weights(const std::vector<double>& sdp) override;
+
   double clock(ClassId cls) const;
 
  private:

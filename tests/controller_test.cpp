@@ -1,0 +1,203 @@
+// Adaptive differentiation: the ctrl/ Controller feedback loop from the
+// live Eq. 2 conformance errors to the scheduler's weights / HPD's g.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ctrl/controller.hpp"
+#include "obs/conformance.hpp"
+#include "sched/factory.hpp"
+#include "sched/link.hpp"
+#include "sched/pad.hpp"
+#include "sched/wtp.hpp"
+
+namespace pds {
+namespace {
+
+// Two-class harness with a synthetic error signal: the monitor is fed one
+// departure per class per time unit with fixed delays, so every closed
+// window reports observed ratio delay0/delay1 against the operator target
+// sdp[1]/sdp[0] = 2. The link carries no traffic — the controller only
+// reads the monitor and pushes knobs into the link's scheduler.
+struct FeedbackRun {
+  std::uint64_t ticks = 0;
+  std::uint64_t updates = 0;
+  std::vector<double> weights;
+  double g = 0.0;
+  double sched_g = 0.0;  // HPD's live g after the run (0 for WTP)
+};
+
+FeedbackRun run_feedback(ControllerMode mode, SchedulerKind kind,
+                         double delay0, double delay1) {
+  Simulator sim;
+  SchedulerConfig config;
+  config.sdp = {1.0, 2.0};
+  config.hpd_g = 0.5;
+  WtpScheduler wtp(config);
+  HpdScheduler hpd(config);
+  Scheduler& sched =
+      kind == SchedulerKind::kHpd ? static_cast<Scheduler&>(hpd) : wtp;
+  Link link(sim, sched, 100.0, [](Packet&&, SimTime, SimTime) {});
+
+  ConformanceOptions opts;
+  opts.tau = 10.0;
+  opts.min_samples = 1;
+  ConformanceMonitor monitor(config.sdp, opts);
+  // One sample per class per time unit; the record at 10.5, 20.5, ...
+  // closes the preceding window, so every tick (period 12 > tau) sees a
+  // freshly closed window.
+  for (std::uint64_t k = 0; k < 60; ++k) {
+    const SimTime t = 0.5 + static_cast<double>(k);
+    sim.schedule_at(t, [&monitor, delay0, delay1, t] {
+      monitor.record(0, delay0, t);
+      monitor.record(1, delay1, t);
+    });
+  }
+
+  ControllerConfig cc;
+  cc.mode = mode;
+  cc.period = 12.0;
+  Controller controller(sim, link, monitor, config.sdp, cc);
+  controller.arm(60.0);
+  sim.run();
+
+  FeedbackRun out;
+  out.ticks = controller.ticks();
+  out.updates = controller.updates();
+  out.weights = controller.weights();
+  out.g = controller.g();
+  if (kind == SchedulerKind::kHpd) out.sched_g = hpd.g();
+  return out;
+}
+
+TEST(Controller, ValidateRejectsMalformedConfigs) {
+  ControllerConfig c;
+  c.mode = ControllerMode::kWeights;
+  c.period = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.period = 10.0;
+  c.slo = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.slo = 0.1;
+  c.eta = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.eta = 0.5;
+  c.g_min = 0.8;
+  c.g_max = 0.2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.g_min = 0.05;
+  c.g_max = 1.0;
+  EXPECT_NO_THROW(c.validate());
+  // Disabled configs skip validation entirely.
+  ControllerConfig off;
+  off.period = -1.0;
+  EXPECT_NO_THROW(off.validate());
+}
+
+TEST(Controller, ModeNamesRoundTrip) {
+  for (const auto mode : {ControllerMode::kOff, ControllerMode::kWeights,
+                          ControllerMode::kHpdG}) {
+    EXPECT_EQ(controller_mode_from_string(to_string(mode)), mode);
+  }
+  EXPECT_THROW(controller_mode_from_string("pid"), std::invalid_argument);
+}
+
+TEST(Controller, WeightsModeWidensUnderDifferentiatedRatios) {
+  // Equal delays => observed ratio 1 against target 2 (e = -0.5): the loop
+  // must widen the weight ratio to push the pair apart.
+  const auto run = run_feedback(ControllerMode::kWeights,
+                                SchedulerKind::kWtp, 1.0, 1.0);
+  EXPECT_GE(run.ticks, 4u);
+  EXPECT_GE(run.updates, 3u);
+  ASSERT_EQ(run.weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(run.weights[0], 1.0);  // anchored at the operator w_0
+  EXPECT_GT(run.weights[1], 2.0);
+}
+
+TEST(Controller, WeightsModeHoldsWhenConformant) {
+  // Delays exactly on target (2:1) => zero error => no updates, and the
+  // pushed weights stay the operator SDP.
+  const auto run = run_feedback(ControllerMode::kWeights,
+                                SchedulerKind::kWtp, 2.0, 1.0);
+  EXPECT_GE(run.ticks, 4u);
+  EXPECT_EQ(run.updates, 0u);
+  EXPECT_EQ(run.weights, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Controller, TicksWithoutAFreshWindowDoNotAct) {
+  Simulator sim;
+  SchedulerConfig config;
+  config.sdp = {1.0, 2.0};
+  WtpScheduler sched(config);
+  Link link(sim, sched, 100.0, [](Packet&&, SimTime, SimTime) {});
+  ConformanceOptions opts;
+  opts.tau = 10.0;
+  ConformanceMonitor monitor(config.sdp, opts);  // never fed: no windows
+  ControllerConfig cc;
+  cc.mode = ControllerMode::kWeights;
+  cc.period = 12.0;
+  Controller controller(sim, link, monitor, config.sdp, cc);
+  controller.arm(60.0);
+  sim.run();
+  EXPECT_GE(controller.ticks(), 4u);
+  EXPECT_EQ(controller.updates(), 0u);
+}
+
+TEST(Controller, HpdGModeStepsUpWhenOutOfBand) {
+  // Worst |e| = 0.5 > slo: every update steps g toward pure WTP, and the
+  // live scheduler sees each step.
+  const auto run = run_feedback(ControllerMode::kHpdG,
+                                SchedulerKind::kHpd, 1.0, 1.0);
+  EXPECT_GE(run.updates, 3u);
+  EXPECT_GT(run.g, 0.5);
+  EXPECT_DOUBLE_EQ(run.sched_g, run.g);
+}
+
+TEST(Controller, HpdGModeRelaxesWhenWellInsideTheBand) {
+  // Worst |e| = 0 < slo/2: g relaxes toward PAD, bounded below by g_min.
+  const auto run = run_feedback(ControllerMode::kHpdG,
+                                SchedulerKind::kHpd, 2.0, 1.0);
+  EXPECT_GE(run.updates, 3u);
+  EXPECT_LT(run.g, 0.5);
+  EXPECT_GE(run.g, 0.05);
+  EXPECT_DOUBLE_EQ(run.sched_g, run.g);
+}
+
+TEST(Controller, HpdGModeSkipsNonHpdSchedulers) {
+  // After a swap away from HPD there is nothing to steer; the tick is a
+  // deterministic no-op rather than an error.
+  const auto run = run_feedback(ControllerMode::kHpdG,
+                                SchedulerKind::kWtp, 1.0, 1.0);
+  EXPECT_GE(run.ticks, 4u);
+  EXPECT_EQ(run.updates, 0u);
+  EXPECT_DOUBLE_EQ(run.g, 0.0);
+}
+
+TEST(Controller, FeedbackLoopIsDeterministic) {
+  const auto a = run_feedback(ControllerMode::kWeights,
+                              SchedulerKind::kWtp, 1.0, 1.0);
+  const auto b = run_feedback(ControllerMode::kWeights,
+                              SchedulerKind::kWtp, 1.0, 1.0);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(Controller, RequiresAnEnabledMonitor) {
+  Simulator sim;
+  SchedulerConfig config;
+  config.sdp = {1.0, 2.0};
+  WtpScheduler sched(config);
+  Link link(sim, sched, 100.0, [](Packet&&, SimTime, SimTime) {});
+  ConformanceMonitor disabled(config.sdp, ConformanceOptions{});
+  ControllerConfig cc;
+  cc.mode = ControllerMode::kWeights;
+  cc.period = 10.0;
+  EXPECT_THROW(Controller(sim, link, disabled, config.sdp, cc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pds

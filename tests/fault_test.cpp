@@ -330,6 +330,66 @@ TEST(FaultInjector, ValidatesTargetsAndOverlaps) {
   EXPECT_EQ(inj.episodes_completed(), 2u);
 }
 
+TEST(FaultInjector, OverlapErrorNamesBothPlanLines) {
+  // With wildcard expansion the conflicting pair may come from distant
+  // lines, so the message pins both (and the kind and target).
+  Simulator sim;
+  FcfsScheduler sched{1};
+  Link link{sim, sched, 100.0, [](Packet&&, SimTime, SimTime) {}};
+  FaultInjector inj(sim, parse_fault_plan("stall l at=1 for=10\n"
+                                          "# a comment shifts the lines\n"
+                                          "stall * at=5 for=10\n"));
+  inj.attach("l", link);
+  try {
+    inj.arm();
+    FAIL() << "overlap not rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("overlapping stall episodes on l (lines 1 and 3)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultInjector, PrefixPatternsExpandInAttachOrder) {
+  Simulator sim;
+  FcfsScheduler s1{1}, s2{1}, s3{1};
+  Link l1{sim, s1, 100.0, [](Packet&&, SimTime, SimTime) {}};
+  Link l2{sim, s2, 100.0, [](Packet&&, SimTime, SimTime) {}};
+  Link l3{sim, s3, 100.0, [](Packet&&, SimTime, SimTime) {}};
+  FaultInjector inj(sim, parse_fault_plan("stall pod0* at=5 for=2\n"));
+  inj.attach("pod0>a", l1);
+  inj.attach("pod1>b", l2);
+  inj.attach("pod0>c", l3);
+  inj.arm();
+  EXPECT_EQ(inj.scheduled_episodes(), 2u);
+  sim.schedule_at(6.0, [&] {
+    EXPECT_TRUE(l1.stalled());
+    EXPECT_FALSE(l2.stalled());
+    EXPECT_TRUE(l3.stalled());
+  });
+  sim.run();
+  EXPECT_EQ(inj.episodes_completed(), 2u);
+}
+
+TEST(FaultInjector, UnmatchedPatternsFailWithTheirPlanLine) {
+  Simulator sim;
+  FcfsScheduler sched{1};
+  Link link{sim, sched, 100.0, [](Packet&&, SimTime, SimTime) {}};
+  FaultInjector inj(sim, parse_fault_plan("seed 1\n"
+                                          "stall rack9* at=5 for=2\n"));
+  inj.attach("pod0", link);
+  try {
+    inj.arm();
+    FAIL() << "unmatched pattern not rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("line 2: pattern rack9* matches no attached target"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FaultInjector, AttachChainNamesEveryHop) {
   Simulator sim;
   SchedulerConfig sc;

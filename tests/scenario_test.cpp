@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "exp/thread_pool.hpp"
 #include "net/scenario.hpp"
 #include "obs/report.hpp"
 
@@ -437,6 +438,126 @@ TEST(ScenarioOptionsRun, FaultPlanDropsPacketsAndFillsLinkStats) {
   EXPECT_GT(report.link_stats[0].fault_drops, 0u);
   EXPECT_EQ(report.link_stats[1].fault_drops, 0u);
   EXPECT_EQ(report.link_stats[0].burst_drops, 0u);
+}
+
+TEST(ScenarioParse, BufferOptionDeclaresADropTailLink) {
+  const auto s = parse_scenario(
+      "link a capacity=10 sched=wtp sdp=1,2 buffer=50\n"
+      "link b capacity=10 sched=wtp sdp=1,2\n"
+      "route r a b\n"
+      "source renewal r class=0 gap=5 size=100\n"
+      "run until=100\n");
+  EXPECT_EQ(s.links[0].buffer, 50u);
+  EXPECT_EQ(s.links[1].buffer, 0u);  // default stays lossless
+  EXPECT_THROW(parse_scenario("link a capacity=10 sched=wtp sdp=1,2 "
+                              "buffer=-1\nroute r a\n"
+                              "source renewal r class=0 gap=5 size=100\n"
+                              "run until=100\n"),
+               std::invalid_argument);
+}
+
+const char* kBuffered = R"(
+link a capacity=39.375 sched=wtp sdp=1,2,4,8 buffer=100
+link b capacity=39.375 sched=wtp sdp=1,2,4,8
+route chain a b
+source renewal chain class=0 gap=30 size=441 pareto=1.9
+source cbr chain class=3 count=50 size=441 interval=20 start=10000
+run until=50000 warmup=5000 seed=3
+)";
+
+TEST(ScenarioOptionsRun, LossFaultsOnBufferedLinksReportBurstDrops) {
+  // buffer= wraps the link in a LossyLink, which is what lets fault `loss`
+  // episodes target it; the episode's drops surface as burst_drops.
+  ScenarioOptions options;
+  options.fault_plan = "loss a at=10000 for=20000 rate=0.5\n";
+  const auto report = run_scenario(kBuffered, options);
+  ASSERT_EQ(report.link_stats.size(), 2u);
+  EXPECT_GT(report.link_stats[0].burst_drops, 0u);
+  EXPECT_EQ(report.link_stats[1].burst_drops, 0u);
+  const auto scenario = parse_scenario(kBuffered);
+  const std::string json = scenario_run_report(scenario, report, 3u).dump();
+  EXPECT_NE(json.find("\"burst_drops\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buffer_drops\":"), std::string::npos);
+}
+
+TEST(ScenarioOptionsRun, LossFaultsOnLosslessLinksAreRejected) {
+  ScenarioOptions options;
+  options.fault_plan = "loss a at=10000 for=2000 rate=0.5\n";
+  EXPECT_THROW(run_scenario(kValid, options), std::invalid_argument);
+}
+
+TEST(ScenarioOptionsRun, ControlPlanReconfiguresAndFillsTheReport) {
+  ScenarioOptions options;
+  options.control_plan =
+      "retune a at=15000 w=1,1,1,1\n"
+      "class a at=20000 drain=0\n"
+      "class a at=30000 add=0\n"
+      "swap b at=25000 sched=pad\n"
+      "shed a at=35000 for=5000 watermark=1 classes=1\n";
+  const auto report = run_scenario(kValid, options);
+  EXPECT_TRUE(report.controlled);
+  EXPECT_EQ(report.control_episodes_scheduled, 5u);
+  EXPECT_EQ(report.control_episodes, 5u);
+  EXPECT_EQ(report.control_retunes, 1u);
+  EXPECT_EQ(report.control_swaps, 1u);
+  EXPECT_EQ(report.control_class_changes, 2u);
+  EXPECT_EQ(report.control_sheds, 1u);
+  // The drain window spans ~333 class-0 renewal arrivals on link a.
+  EXPECT_GT(report.drain_drops, 0u);
+  ASSERT_EQ(report.link_stats.size(), 2u);
+  EXPECT_EQ(report.link_stats[0].control_drops,
+            report.drain_drops + report.shed_drops);
+  EXPECT_EQ(report.link_stats[1].control_drops, 0u);
+  // A controlled run still delivers traffic end to end.
+  EXPECT_GT(report.total_exits, 0u);
+}
+
+TEST(ScenarioOptionsRun, UncontrolledReportHasNoControlSection) {
+  const auto scenario = parse_scenario(kValid);
+  const auto report = run_scenario(scenario, ScenarioOptions{});
+  EXPECT_FALSE(report.controlled);
+  const std::string json = scenario_run_report(scenario, report, 3u).dump();
+  EXPECT_EQ(json.find("\"control\":"), std::string::npos);
+}
+
+TEST(ScenarioOptionsRun, RunReportCarriesAControlSection) {
+  const auto scenario = parse_scenario(kValid);
+  ScenarioOptions options;
+  options.control_plan =
+      "retune a at=15000 w=1,1,1,1\n"
+      "swap b at=25000 sched=pad\n";
+  const auto report = run_scenario(scenario, options);
+  const std::string json = scenario_run_report(scenario, report, 3u).dump();
+  EXPECT_NE(json.find("\"control\":"), std::string::npos);
+  EXPECT_NE(json.find("\"scheduled\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"retunes\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"swaps\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"class_changes\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"sheds\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"shed_drops\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"drain_drops\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"control_drops\":"), std::string::npos);
+}
+
+TEST(ScenarioJobs, ControlledRunsAreByteIdenticalAcrossJobs) {
+  // The control plane's determinism contract: every control boundary is a
+  // scripted simulator event, so a controlled run must not depend on the
+  // worker count.
+  const auto scenario = parse_scenario(kValid);
+  ScenarioOptions options;
+  options.control_plan =
+      "retune a at=15000 w=1,2,3,4\n"
+      "swap a at=25000 sched=hpd\n"
+      "shed b at=30000 for=5000 watermark=2 classes=2\n";
+  ThreadPool::set_global_workers(1);
+  const auto one = run_scenario(scenario, options);
+  const std::string json_one = scenario_run_report(scenario, one, 3u).dump();
+  ThreadPool::set_global_workers(4);
+  const auto four = run_scenario(scenario, options);
+  const std::string json_four = scenario_run_report(scenario, four, 3u).dump();
+  ThreadPool::set_global_workers(0);  // restore auto for other suites
+  EXPECT_EQ(json_one, json_four);
 }
 
 TEST(ScenarioOptionsRun, RunReportCarriesFlowsAndFaultSections) {
