@@ -1,0 +1,189 @@
+// Microbenchmark — sharded conservative-PDES kernel scaling.
+//
+// Runs ONE large fat-tree scenario (k=4 and k=8, open-loop mix traffic on
+// cross-pod routes plus a closed-loop RPC service) through the sharded
+// kernel at 1, 2, 4 and 8 shards and reports wall-clock, speedup over the
+// serial run, parallel efficiency, and the clock-protocol counters (rounds,
+// cross-shard messages, messages per round).
+//
+// The rendered run report of every shard count is byte-compared against the
+// --shards=1 rendering — the kernel's determinism contract says the
+// partition must not change a single output byte. A mismatch is the only
+// nonzero exit; slow or single-core hardware never fails the bench (the
+// conservative windows cost barriers, so speedup needs real cores).
+//
+// Knobs: --sim-time (time units), --shards (comma ladder), --quick,
+// --json=FILE (snapshot section for scripts/bench_snapshot.sh).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dsim/shard.hpp"
+#include "exp/thread_pool.hpp"
+#include "net/scenario.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// A loaded fat-tree: every pod's edge0 talks to the next pod (open-loop mix
+// riding the full edge->agg->core->agg->edge path), edge1 pairs run a
+// closed-loop RPC service, so both the packet plane and the workload plane
+// cross shard cuts.
+std::string scenario_text(std::uint32_t k, double sim_time) {
+  std::ostringstream os;
+  os << "topology fat_tree k=" << k << " capacity=39.375 sched=wtp sdp=1,2,4\n";
+  for (std::uint32_t p = 0; p < k; ++p) {
+    const std::uint32_t q = (p + 1) % k;
+    os << "route ring" << p << " from=p" << p << "edge0 to=p" << q
+       << "edge0\n"
+       << "source mix ring" << p
+       << " fractions=60,30,10 gap=26 size=441 pareto=1.9\n";
+  }
+  for (std::uint32_t p = 0; p + 1 < k; p += 2) {
+    os << "route rpc" << p << " from=p" << p << "edge1 to=p" << (p + 1)
+       << "edge1\n"
+       << "flows rpc" << p << " class=2 users=12 size=441 think=1500"
+       << " request=2 response=2 deadline=450\n";
+  }
+  os << "run until=" << sim_time << " warmup=" << 0.1 * sim_time
+     << " seed=33\n";
+  return os.str();
+}
+
+struct LadderPoint {
+  std::uint32_t shards = 1;
+  double wall = 0.0;
+  pds::PdesStats stats;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const pds::ArgParser args(argc, argv);
+    args.require_known({"sim-time", "shards", "quick", "json", "jobs"});
+    const bool quick = args.get_bool("quick", false);
+    const double sim_time = args.get_double("sim-time", quick ? 4.0e4 : 2.0e5);
+    std::vector<std::uint32_t> ladder;
+    for (const double s : args.get_double_list("shards", {1, 2, 4, 8})) {
+      ladder.push_back(std::max(1u, static_cast<std::uint32_t>(s)));
+    }
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+    if (ladder.front() != 1) ladder.insert(ladder.begin(), 1);  // reference
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    pds::ThreadPool::set_global_workers(
+        pds::ThreadPool::plan_workers(args.get_jobs(), ladder.back()));
+
+    std::cout << "=== sharded PDES scaling: fat-tree scenarios, sim-time "
+              << sim_time << " tu ===\nhardware_concurrency = " << hw
+              << "\n";
+
+    bool mismatch = false;
+    std::ostringstream json;
+    json << "{\n";
+    bool first_entry = true;
+    for (const std::uint32_t k : std::vector<std::uint32_t>{4, 8}) {
+      const auto scenario = pds::parse_scenario(scenario_text(k, sim_time));
+      std::string reference;
+      double reference_wall = 0.0;
+      std::vector<LadderPoint> points;
+      for (const std::uint32_t shards : ladder) {
+        pds::ScenarioOptions options;
+        options.shards = shards;
+        LadderPoint pt;
+        pt.shards = shards;
+        options.pdes_stats = &pt.stats;
+        if (shards > 1) {
+          options.shard_executor =
+              [](std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+                pds::parallel_for(count, body);
+              };
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto report = pds::run_scenario(scenario, options);
+        const auto t1 = std::chrono::steady_clock::now();
+        pt.wall = std::chrono::duration<double>(t1 - t0).count();
+        const std::string out =
+            pds::scenario_run_report(scenario, report, scenario.run.seed)
+                .dump();
+        if (reference.empty()) {
+          reference = out;
+          reference_wall = pt.wall;
+        } else if (out != reference) {
+          pt.identical = false;
+          mismatch = true;
+        }
+        points.push_back(pt);
+      }
+
+      std::cout << "\n--- fat-tree k=" << k << " (" << scenario.links.size()
+                << " links) ---\n";
+      pds::TablePrinter table({"shards", "wall (s)", "speedup", "efficiency",
+                               "rounds", "messages", "msgs/round", "report"});
+      for (const auto& pt : points) {
+        const double speedup = reference_wall / pt.wall;
+        const double rounds = static_cast<double>(pt.stats.rounds);
+        table.add_row(
+            {std::to_string(pt.shards), pds::TablePrinter::num(pt.wall, 3),
+             pds::TablePrinter::num(speedup),
+             pds::TablePrinter::num(speedup / pt.shards),
+             std::to_string(pt.stats.rounds),
+             std::to_string(pt.stats.messages),
+             pds::TablePrinter::num(
+                 rounds > 0.0 ? static_cast<double>(pt.stats.messages) / rounds
+                              : 0.0),
+             pt.identical ? "identical" : "DIFFERENT"});
+        if (!first_entry) json << ",\n";
+        first_entry = false;
+        json << "  \"fat_tree_k" << k << "/shards=" << pt.shards
+             << "\": {\"wall_s\": " << pt.wall
+             << ", \"items_per_second\": "
+             << (pt.wall > 0.0
+                     ? static_cast<double>(pt.stats.rounds) / pt.wall
+                     : 0.0)
+             << ", \"pdes_rounds\": " << pt.stats.rounds
+             << ", \"pdes_messages\": " << pt.stats.messages << "}";
+      }
+      table.print(std::cout);
+    }
+    json << "\n}\n";
+
+    std::cout << "\ndeterminism: every shard count produced "
+              << (mismatch ? "DIFFERENT run reports (BUG)"
+                           : "byte-identical run reports")
+              << " vs --shards=1.\n";
+    if (hw == 1) {
+      std::cout << "note: single-core host — speedups <= 1.0 are expected"
+                   " here (the barrier\nprotocol only pays off with real"
+                   " cores); the byte-compare is the contract.\n";
+    }
+
+    const auto json_path = args.get_string("json", "");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+      }
+      out << json.str();
+      std::cout << "snapshot section written to " << json_path << "\n";
+    }
+    return mismatch ? 1 : 0;
+  } catch (const pds::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

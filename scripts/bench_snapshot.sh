@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Snapshot the hot-path microbenchmarks into a reviewable JSON file.
 #
-#   scripts/bench_snapshot.sh                     # quick mode -> BENCH_pr9.json
+#   scripts/bench_snapshot.sh                     # quick mode -> BENCH_pr10.json
 #   scripts/bench_snapshot.sh --out FILE          # alternate output path
 #   scripts/bench_snapshot.sh --preset bench      # use the Release+IPO tree
 #   scripts/bench_snapshot.sh --preset bench-pgo  # Release+IPO+PGO (two-phase)
@@ -9,8 +9,10 @@
 # Quick mode keeps wall time small (~30 s): 0.25 s per benchmark, one
 # repetition. The JSON records events/s, ns per op, and the allocation
 # counters for the event-queue hold model, the end-to-end packet pipeline
-# (heap vs calendar), and the scheduler dequeue microbenches, so a PR diff
-# shows hot-path regressions without anyone re-running the suite.
+# (heap vs calendar), and the scheduler dequeue microbenches, plus the
+# sharded-PDES scaling ladder (wall/speedup/protocol counters; the bench's
+# byte-identity check gates the snapshot), so a PR diff shows hot-path
+# regressions without anyone re-running the suite.
 #
 # The bench-pgo preset runs profile-guided optimization in two phases:
 # configure with -DPDS_PGO=generate, build, run both microbench binaries as
@@ -22,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-OUT="BENCH_pr9.json"
+OUT="BENCH_pr10.json"
 PRESET="default"
 MIN_TIME="0.25"
 REPS="1"
@@ -57,7 +59,7 @@ configure() {
 
 build_benches() {
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-    --target micro_event_queue micro_schedulers >/dev/null
+    --target micro_event_queue micro_schedulers micro_pdes_scaling >/dev/null
 }
 
 if [[ "${PRESET}" == "bench-pgo" ]]; then
@@ -95,6 +97,11 @@ trap 'rm -rf "${TMP}"' EXIT
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_repetitions="${REPS}" \
   --benchmark_format=json >"${TMP}/schedulers.json" 2>/dev/null
+# Sharded-kernel scaling: byte-identity is the contract (a mismatch exits
+# nonzero and kills the snapshot); the wall/speedup numbers are recorded
+# for the PR diff but never gated across machines.
+"./${BUILD_DIR}/bench/micro_pdes_scaling" --quick \
+  --json="${TMP}/pdes_scaling.json" >/dev/null
 
 python3 - "${TMP}" "${OUT}" "${PRESET}" "${REPS}" <<'PY'
 import json
@@ -133,6 +140,7 @@ def rows(doc):
 
 eq = load(f"{tmp}/event_queue.json")
 sched = load(f"{tmp}/schedulers.json")
+pdes = load(f"{tmp}/pdes_scaling.json")
 
 git_rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"],
@@ -148,6 +156,7 @@ snapshot = {
     },
     "event_queue": rows(eq),
     "schedulers": rows(sched),
+    "pdes_scaling": pdes,
 }
 
 pipeline = snapshot["event_queue"]

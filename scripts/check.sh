@@ -44,6 +44,22 @@ SWEEP_A="$(mktemp)"; SWEEP_B="$(mktemp)"
 diff "${SWEEP_A}" "${SWEEP_B}"
 rm -f "${SWEEP_A}" "${SWEEP_B}"
 
+echo "== sharded kernel: --shards byte-identity on every shipped scenario =="
+# The conservative-PDES kernel's contract: any --shards=N produces the exact
+# stdout of the serial run — graph scenarios (ring, fat_tree) exercise real
+# cross-shard channels, bare-link scenarios collapse onto shard 0.
+SHARD_A="$(mktemp)"; SHARD_B="$(mktemp)"
+for pds in examples/scenarios/*.pds; do
+  ./build/examples/netsim_cli --file="${pds}" --quick > "${SHARD_A}"
+  for n in 2 4; do
+    echo "   ${pds} --shards=${n}"
+    ./build/examples/netsim_cli --file="${pds}" --quick --shards="${n}" \
+      > "${SHARD_B}"
+    diff "${SHARD_A}" "${SHARD_B}"
+  done
+done
+rm -f "${SHARD_A}" "${SHARD_B}"
+
 echo "== control plane: reconfigured-run determinism + controller smoke =="
 # A controlled run must stay byte-identical for any --jobs: every
 # retune/swap/shed boundary is a plan-scripted simulator event
@@ -131,16 +147,18 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 echo "== sanitizers: TSan build + threaded suites (experiment engine) =="
 # ASan and TSan cannot share a binary, so the TSan pass gets its own tree.
 # Only the suites that exercise threads are run: the experiment engine
-# (pool/steal/exception paths), the kernel it drives concurrently, and the
+# (pool/steal/exception paths), the kernel it drives concurrently, the
 # scenario suite (its controlled-sweep byte-identity test fans a
-# reconfigured run over the pool).
+# reconfigured run over the pool), and the sharded-PDES suite (its window
+# rounds run shard replicas on pool workers with SPSC channel handoffs).
 cmake -B build-tsan -S . -DPDS_TSAN=ON -DPDS_BUILD_BENCH=OFF \
   -DPDS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
-  --target exp_test dsim_test supervisor_test scenario_test
+  --target exp_test dsim_test supervisor_test scenario_test pdes_test
 ./build-tsan/tests/exp_test
 ./build-tsan/tests/dsim_test
 ./build-tsan/tests/supervisor_test
 ./build-tsan/tests/scenario_test
+./build-tsan/tests/pdes_test
 
 echo "== all checks passed =="

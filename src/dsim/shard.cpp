@@ -1,0 +1,168 @@
+#include "dsim/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+
+// A horizon-time message cascade alternates finish() and splice(); each
+// sweep needs at least one moved message to continue and every hop of the
+// cascade either crosses a positive-transmission link (timestamp moves past
+// the horizon, message discarded) or consumes one zero-lookahead injection
+// edge, so real cascades are bounded by the longest route. The cap only
+// exists to turn a protocol bug into a loud failure.
+constexpr std::uint64_t kMaxFinalSweeps = 4096;
+
+}  // namespace
+
+ShardEngine::ShardEngine(std::vector<Shard> shards,
+                         std::vector<SimTime> lookahead, SimTime horizon)
+    : shards_(std::move(shards)),
+      lookahead_(std::move(lookahead)),
+      horizon_(horizon) {
+  const std::size_t n = shards_.size();
+  PDS_CHECK(n >= 1, "ShardEngine needs at least one shard");
+  PDS_CHECK(lookahead_.size() == n * n,
+            "lookahead matrix must be shards x shards");
+  PDS_CHECK(horizon_ >= 0.0, "horizon must be non-negative");
+  for (const Shard& s : shards_) {
+    PDS_CHECK(static_cast<bool>(s.next_time) &&
+                  static_cast<bool>(s.run_window) &&
+                  static_cast<bool>(s.finish),
+              "every shard needs next_time/run_window/finish hooks");
+  }
+  exec_ = [](std::size_t count, const std::function<void(std::size_t)>& body) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+  };
+}
+
+void ShardEngine::set_splice(std::function<SpliceResult()> splice) {
+  splice_ = std::move(splice);
+}
+
+void ShardEngine::set_executor(Executor exec) {
+  PDS_CHECK(static_cast<bool>(exec), "null executor");
+  exec_ = std::move(exec);
+}
+
+void ShardEngine::set_round_hook(RoundHook hook) {
+  round_hook_ = std::move(hook);
+}
+
+void ShardEngine::solve_windows(const std::vector<SimTime>& next,
+                                const std::vector<SimTime>& lookahead,
+                                std::vector<SimTime>& earliest,
+                                std::vector<SimTime>& safe) {
+  const std::size_t n = next.size();
+  PDS_CHECK(lookahead.size() == n * n, "lookahead matrix size mismatch");
+  earliest.assign(next.begin(), next.end());
+  safe.assign(n, kSimTimeInfinity);
+  // E only ever decreases and each pass propagates bounds one edge further,
+  // so n passes reach the fixpoint even through zero-lookahead chains.
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      SimTime s = kSimTimeInfinity;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const SimTime la = lookahead[j * n + i];
+        if (la == kSimTimeInfinity) continue;
+        s = std::min(s, earliest[j] + la);
+      }
+      const SimTime e = std::min(next[i], s);
+      if (e < earliest[i]) {
+        earliest[i] = e;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    SimTime s = kSimTimeInfinity;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const SimTime la = lookahead[j * n + i];
+      if (la == kSimTimeInfinity) continue;
+      s = std::min(s, earliest[j] + la);
+    }
+    safe[i] = s;
+  }
+}
+
+PdesStats ShardEngine::run() {
+  PDS_CHECK(static_cast<bool>(splice_), "set_splice before run");
+  using WallClock = std::chrono::steady_clock;
+  const std::size_t n = shards_.size();
+  PdesStats stats;
+
+  std::vector<SimTime> next(n), earliest(n), safe(n), bounds(n);
+  std::vector<std::uint64_t> processed(n, 0);
+  SimTime prev_min_earliest = -kSimTimeInfinity;
+
+  while (true) {
+    const SpliceResult spliced = splice_();
+    stats.messages += spliced.moved;
+    stats.max_channel_depth =
+        std::max(stats.max_channel_depth, spliced.max_batch);
+
+    for (std::size_t i = 0; i < n; ++i) next[i] = shards_[i].next_time();
+    solve_windows(next, lookahead_, earliest, safe);
+    const SimTime min_earliest =
+        *std::min_element(earliest.begin(), earliest.end());
+    if (min_earliest >= horizon_) break;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      bounds[i] = std::min(safe[i], horizon_);
+    }
+
+    const WallClock::time_point window_start = WallClock::now();
+    exec_(n, [&](std::size_t i) {
+      processed[i] = shards_[i].run_window(bounds[i]);
+    });
+    stats.barrier_seconds +=
+        std::chrono::duration<double>(WallClock::now() - window_start)
+            .count();
+
+    ++stats.rounds;
+    std::uint64_t total = 0;
+    for (std::uint64_t p : processed) total += p;
+    if (total == 0) {
+      ++stats.null_rounds;
+      if (spliced.moved == 0 && min_earliest <= prev_min_earliest) {
+        throw std::logic_error(
+            "pdes: no progress — zero-lookahead cycle or stuck channel");
+      }
+    }
+    prev_min_earliest = min_earliest;
+    if (round_hook_) round_hook_(stats.rounds - 1, bounds, processed);
+  }
+
+  // Final phase: drain every shard through the horizon (inclusive), then
+  // keep applying the horizon-time message cascade until the channels are
+  // quiet. Messages stamped beyond the horizon are discarded by finish():
+  // their serial counterparts (completion events past the horizon) never
+  // executed either.
+  const WallClock::time_point final_start = WallClock::now();
+  exec_(n, [&](std::size_t i) { shards_[i].finish(horizon_); });
+  for (std::uint64_t sweep = 0;; ++sweep) {
+    PDS_CHECK(sweep < kMaxFinalSweeps, "pdes: horizon cascade did not settle");
+    const SpliceResult spliced = splice_();
+    stats.messages += spliced.moved;
+    stats.max_channel_depth =
+        std::max(stats.max_channel_depth, spliced.max_batch);
+    if (spliced.moved == 0) break;
+    ++stats.final_sweeps;
+    exec_(n, [&](std::size_t i) { shards_[i].finish(horizon_); });
+  }
+  stats.barrier_seconds +=
+      std::chrono::duration<double>(WallClock::now() - final_start).count();
+  return stats;
+}
+
+}  // namespace pds

@@ -1,0 +1,178 @@
+// Conservative sharded kernel: the Chandy–Misra–Bryant-style clock protocol
+// that lets one large simulation run as N space-partitioned Simulators.
+//
+// The topology graph is partitioned into shards (net/partition.hpp); each
+// shard owns a full Simulator plus a staged inbox of timestamped cross-shard
+// messages. The engine advances everything in barrier-synchronous lookahead
+// windows:
+//
+//   1. Between barriers the (serial) coordinator splices every channel's
+//      published batch into the destination shard's inbox, reads each
+//      shard's earliest pending work `next_i`, and solves the conservative
+//      fixpoint
+//          E_i = min(next_i, min_j(E_j + la[j][i]))
+//      where la[j][i] is the lookahead of the j->i cut edges (the minimum
+//      delay any message sent by j can impose on i). E_i is a lower bound on
+//      the timestamp of anything shard i will ever process or emit.
+//   2. Each shard's safe bound is S_i = min_j(E_j + la[j][i]): no message
+//      with timestamp below S_i can still be produced. A parallel window
+//      then lets every shard process all local events and staged messages
+//      with timestamp *strictly* below min(S_i, horizon).
+//   3. Messages published during a window become visible at the next splice
+//      (double buffering). This is safe: anything shard j emits during its
+//      window carries timestamp >= E_j + la[j][i] >= S_i, so it cannot land
+//      inside the window shard i just executed.
+//
+// Determinism: window bounds are a pure function of queue states and the
+// lookahead matrix — never of thread scheduling — and each inbox is applied
+// in (timestamp, source shard, channel sequence) order, so the execution is
+// byte-identical for any worker count, including the 1-worker (fully
+// inline) pool. Deadlock freedom relies on every cycle of lookahead edges
+// having positive total lookahead; the engine additionally throws if a
+// round makes no progress at all.
+//
+// Layering: dsim sits below the experiment engine, so the parallel executor
+// is injected (`set_executor`); the net-layer runner passes
+// pds::parallel_for, tests may leave the default serial loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "dsim/time.hpp"
+
+namespace pds {
+
+inline constexpr SimTime kSimTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+// Deterministic counters of the clock protocol plus wall-clock telemetry.
+// Everything except `barrier_seconds` is a pure function of the simulation
+// inputs; `barrier_seconds` (time spent inside the parallel sections and
+// barriers) is volatile and must never reach byte-compared output.
+struct PdesStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t null_rounds = 0;  // rounds where no shard processed work
+  std::uint64_t messages = 0;     // cross-shard messages spliced
+  std::uint64_t max_channel_depth = 0;  // largest single-splice batch
+  std::uint64_t final_sweeps = 0;  // horizon-time message cascades
+  double barrier_seconds = 0.0;
+};
+
+// One timestamped cross-shard message. `seq` is assigned per channel in
+// publish order; together with the source shard id it makes the merge order
+// (ts, src_shard, seq) a deterministic total order.
+template <typename T>
+struct ShardMessage {
+  SimTime ts;
+  std::uint64_t seq;
+  T payload;
+};
+
+// Single-producer/single-consumer double-buffered channel. The producing
+// shard appends during its window (inside the parallel section); only the
+// coordinator, between barriers, moves the batch out. The pool barrier is
+// the synchronization point — no atomics on the publish path, and the
+// buffers keep their capacity, so a warm channel publishes without
+// allocating (the SimEvent discipline applied to messages).
+template <typename T>
+class ShardChannel {
+ public:
+  void publish(SimTime ts, T payload) {
+    back_.push_back(ShardMessage<T>{ts, next_seq_++, std::move(payload)});
+  }
+
+  // Coordinator-only: appends the published batch to `inbox` (clearing the
+  // back buffer) and returns the batch size.
+  std::size_t splice_into(std::vector<ShardMessage<T>>& inbox) {
+    const std::size_t moved = back_.size();
+    for (auto& m : back_) inbox.push_back(std::move(m));
+    back_.clear();
+    return moved;
+  }
+
+  std::size_t pending() const noexcept { return back_.size(); }
+
+ private:
+  std::vector<ShardMessage<T>> back_;
+  std::uint64_t next_seq_ = 0;
+};
+
+class ShardEngine {
+ public:
+  // The engine is payload-agnostic: shards expose their queue state and
+  // window execution through hooks, and the owner (net/scenario layer)
+  // keeps the channels/inboxes.
+  struct Shard {
+    // Earliest pending local work: min over the simulator's next event time
+    // and every staged inbound message timestamp; kSimTimeInfinity if idle.
+    std::function<SimTime()> next_time;
+    // Processes all local events and staged messages with timestamp
+    // strictly below `bound`; returns how many work items ran.
+    std::function<std::uint64_t(SimTime bound)> run_window;
+    // Final phase: applies staged messages with timestamp <= horizon
+    // (discarding later ones — their serial counterparts never executed)
+    // and drains events through the horizon inclusively, leaving the clock
+    // at the horizon. Returns how many work items ran. Called repeatedly
+    // while horizon-time messages keep cascading.
+    std::function<std::uint64_t(SimTime horizon)> finish;
+  };
+
+  struct SpliceResult {
+    std::uint64_t moved = 0;      // messages moved into inboxes
+    std::uint64_t max_batch = 0;  // largest single channel batch
+  };
+
+  // `lookahead` is a flattened shards x shards matrix, la[src * n + dst]:
+  // the minimum timestamp increment of any src->dst message relative to
+  // src's earliest pending work. kSimTimeInfinity where no edge exists;
+  // the diagonal is ignored. Zero entries are legal as long as no cycle
+  // has zero total lookahead.
+  ShardEngine(std::vector<Shard> shards, std::vector<SimTime> lookahead,
+              SimTime horizon);
+
+  // Coordinator-side channel flip, called between barriers. Required.
+  void set_splice(std::function<SpliceResult()> splice);
+
+  // Parallel executor: exec(count, body) must invoke body(i) for every
+  // i in [0, count) and return only when all are done. Defaults to a serial
+  // loop; the scenario runner injects pds::parallel_for.
+  using Executor =
+      std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+  void set_executor(Executor exec);
+
+  // Observation hook, fired by the coordinator after every round with the
+  // per-shard window bounds and processed-work counts (deterministic).
+  // The net-layer runner turns these into pdes.* counters and per-shard
+  // window spans.
+  using RoundHook = std::function<void(
+      std::uint64_t round, const std::vector<SimTime>& bounds,
+      const std::vector<std::uint64_t>& processed)>;
+  void set_round_hook(RoundHook hook);
+
+  // Runs the protocol to the horizon. Throws std::logic_error if a round
+  // moves no messages, processes no work, and fails to advance any bound
+  // (a zero-lookahead cycle).
+  PdesStats run();
+
+  // The window fixpoint, exposed for unit tests: given each shard's
+  // earliest pending work and the lookahead matrix, fills E (earliest
+  // possible execution per shard) and S (safe inbound bound per shard,
+  // kSimTimeInfinity when the shard has no in-edges).
+  static void solve_windows(const std::vector<SimTime>& next,
+                            const std::vector<SimTime>& lookahead,
+                            std::vector<SimTime>& earliest,
+                            std::vector<SimTime>& safe);
+
+ private:
+  std::vector<Shard> shards_;
+  std::vector<SimTime> lookahead_;
+  SimTime horizon_;
+  std::function<SpliceResult()> splice_;
+  Executor exec_;
+  RoundHook round_hook_;
+};
+
+}  // namespace pds

@@ -25,20 +25,32 @@ void Simulator::schedule_in(SimTime dt, Action action, const char* label) {
 }
 
 void Simulator::run() {
-  drain(std::numeric_limits<SimTime>::infinity(), /*bounded=*/false);
+  drain(std::numeric_limits<SimTime>::infinity(), DrainBound::kNone);
 }
 
 void Simulator::run_until(SimTime t_end) {
   PDS_CHECK(t_end >= now_, "horizon is in the past");
-  drain(t_end, /*bounded=*/true);
+  drain(t_end, DrainBound::kInclusive);
 }
 
-void Simulator::drain(SimTime horizon, bool bounded) {
-  events_.visit([&](auto& queue) { drain_impl(queue, horizon, bounded); });
+void Simulator::run_before(SimTime bound) {
+  PDS_CHECK(bound >= now_, "bound is in the past");
+  drain(bound, DrainBound::kStrict);
+}
+
+void Simulator::advance_to(SimTime t) {
+  PDS_CHECK(t >= now_, "cannot advance the clock backwards");
+  PDS_CHECK(events_.empty() || events_.next_time() >= t,
+            "advance_to would skip a pending event");
+  now_ = t;
+}
+
+void Simulator::drain(SimTime horizon, DrainBound bound) {
+  events_.visit([&](auto& queue) { drain_impl(queue, horizon, bound); });
 }
 
 template <typename Queue>
-void Simulator::drain_impl(Queue& queue, SimTime horizon, bool bounded) {
+void Simulator::drain_impl(Queue& queue, SimTime horizon, DrainBound bound) {
   // The wall-clock half of the budget is only sampled every
   // kWallCheckPeriod events: the check never influences which events run
   // (it aborts, it does not reorder), and amortized it costs nothing.
@@ -51,7 +63,8 @@ void Simulator::drain_impl(Queue& queue, SimTime horizon, bool bounded) {
 
   stopped_ = false;
   while (!queue.empty() && !stopped_) {
-    if (bounded && queue.next_time() > horizon) break;
+    if (bound == DrainBound::kInclusive && queue.next_time() > horizon) break;
+    if (bound == DrainBound::kStrict && queue.next_time() >= horizon) break;
     if (budgeted) {
       if (budget_events_ > 0 && run_executed >= budget_events_) {
         throw SimBudgetExceeded(
@@ -86,10 +99,14 @@ void Simulator::drain_impl(Queue& queue, SimTime horizon, bool bounded) {
       ev.action();
     }
   }
-  // Advance to the horizon only on a normal bounded exit. After stop() the
+  // Advance to the horizon only on a normal run_until exit. After stop() the
   // queue may still hold events before the horizon; jumping the clock past
-  // them would make them "past" events and break a subsequent run.
-  if (bounded && !stopped_ && now_ < horizon) now_ = horizon;
+  // them would make them "past" events and break a subsequent run. A strict
+  // drain (run_before) never touches the clock: events at exactly the bound
+  // are still pending.
+  if (bound == DrainBound::kInclusive && !stopped_ && now_ < horizon) {
+    now_ = horizon;
+  }
 }
 
 struct PeriodicProcess::State {

@@ -1,5 +1,6 @@
 #include "exp/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -102,6 +103,15 @@ std::uint32_t ThreadPool::resolve_workers(std::uint32_t requested) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+std::uint32_t ThreadPool::plan_workers(std::uint32_t jobs,
+                                       std::uint32_t shards) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::uint32_t hw = hw_raw > 0 ? hw_raw : 1;
+  const std::uint32_t want =
+      std::max(resolve_workers(jobs), shards > 0 ? shards : 1u);
+  return std::min(want, hw);
 }
 
 ThreadPool& ThreadPool::global() {

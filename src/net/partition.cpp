@@ -1,0 +1,161 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+
+#include "dsim/shard.hpp"
+#include "util/contracts.hpp"
+
+namespace pds {
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = ~std::uint32_t{0};
+
+std::vector<std::uint32_t> greedy_node_shards(
+    std::uint32_t num_nodes, const std::vector<GraphEdge>& edges,
+    const std::vector<double>& link_capacity, std::uint32_t shards) {
+  // Symmetric node-pair weights: the capacity crossing between two nodes in
+  // either direction (a fat-tree edge is two directed links).
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(num_nodes);
+  for (const GraphEdge& e : edges) {
+    const double w = link_capacity[e.link];
+    adj[e.from].emplace_back(e.to, w);
+    adj[e.to].emplace_back(e.from, w);
+  }
+
+  std::vector<std::uint32_t> assigned(num_nodes, kUnassigned);
+  // Total weight from each unassigned node into the shard being grown;
+  // rebuilt per shard, updated incrementally per absorbed node.
+  std::vector<double> attraction(num_nodes, 0.0);
+  std::uint32_t remaining = num_nodes;
+  for (std::uint32_t s = 0; s < shards && remaining > 0; ++s) {
+    const std::uint32_t remaining_shards = shards - s;
+    const std::uint32_t target =
+        (remaining + remaining_shards - 1) / remaining_shards;
+    std::fill(attraction.begin(), attraction.end(), 0.0);
+    std::uint32_t size = 0;
+    while (size < target && remaining > 0) {
+      std::uint32_t pick = kUnassigned;
+      if (size == 0) {
+        // Fresh seed: lowest unassigned id.
+        for (std::uint32_t v = 0; v < num_nodes; ++v) {
+          if (assigned[v] == kUnassigned) {
+            pick = v;
+            break;
+          }
+        }
+      } else {
+        // Strongest attachment to the growing shard, ties to the lowest id;
+        // falls back to a fresh seed when nothing unassigned touches it.
+        double best = 0.0;
+        for (std::uint32_t v = 0; v < num_nodes; ++v) {
+          if (assigned[v] != kUnassigned) continue;
+          if (attraction[v] > best) {
+            best = attraction[v];
+            pick = v;
+          }
+        }
+        if (pick == kUnassigned) {
+          for (std::uint32_t v = 0; v < num_nodes; ++v) {
+            if (assigned[v] == kUnassigned) {
+              pick = v;
+              break;
+            }
+          }
+        }
+      }
+      PDS_REQUIRE(pick != kUnassigned);
+      assigned[pick] = s;
+      --remaining;
+      ++size;
+      for (const auto& [peer, w] : adj[pick]) {
+        if (assigned[peer] == kUnassigned) attraction[peer] += w;
+      }
+    }
+  }
+  PDS_REQUIRE(remaining == 0);
+  return assigned;
+}
+
+}  // namespace
+
+Partition partition_topology(std::uint32_t num_nodes, std::uint32_t num_links,
+                             const std::vector<GraphEdge>& edges,
+                             const std::vector<double>& link_capacity,
+                             std::uint32_t shards, PartitionMethod method) {
+  PDS_CHECK(shards >= 1, "partition needs at least one shard");
+  PDS_CHECK(link_capacity.size() == num_links,
+            "one capacity entry per link required");
+  Partition part;
+  part.shards = shards;
+  if (method == PartitionMethod::kRoundRobin || shards == 1) {
+    part.node_shard.resize(num_nodes);
+    for (std::uint32_t v = 0; v < num_nodes; ++v) {
+      part.node_shard[v] = v % shards;
+    }
+  } else {
+    part.node_shard =
+        greedy_node_shards(num_nodes, edges, link_capacity, shards);
+  }
+  // A directed link is the output port of its upstream node; unbound links
+  // (never listed as an edge) belong to shard 0.
+  part.link_owner.assign(num_links, 0);
+  for (const GraphEdge& e : edges) {
+    PDS_CHECK(e.link < num_links && e.from < num_nodes,
+              "edge references unknown link or node");
+    part.link_owner[e.link] = part.node_shard[e.from];
+  }
+  return part;
+}
+
+std::vector<SimTime> make_lookahead(std::uint32_t shards) {
+  PDS_CHECK(shards >= 1, "lookahead matrix needs at least one shard");
+  return std::vector<SimTime>(static_cast<std::size_t>(shards) * shards,
+                              kSimTimeInfinity);
+}
+
+void add_lookahead_edge(std::vector<SimTime>& lookahead, std::uint32_t shards,
+                        std::uint32_t src, std::uint32_t dst, SimTime value) {
+  PDS_CHECK(lookahead.size() ==
+                static_cast<std::size_t>(shards) * shards,
+            "lookahead matrix size mismatch");
+  PDS_CHECK(src < shards && dst < shards && src != dst,
+            "lookahead edge endpoints out of range");
+  PDS_CHECK(value >= 0.0, "lookahead must be non-negative");
+  SimTime& slot = lookahead[static_cast<std::size_t>(src) * shards + dst];
+  slot = std::min(slot, value);
+}
+
+void add_route_lookahead(std::vector<SimTime>& lookahead,
+                         const Partition& part,
+                         const std::vector<std::vector<LinkId>>& route_paths,
+                         const std::vector<std::uint32_t>& route_exit_shard,
+                         const std::vector<double>& link_capacity,
+                         double min_packet_bytes) {
+  PDS_CHECK(route_exit_shard.size() == route_paths.size(),
+            "one exit shard per route required");
+  PDS_CHECK(min_packet_bytes > 0.0, "packet size floor must be positive");
+  const auto floor_of = [&](LinkId id) {
+    PDS_CHECK(id < link_capacity.size(), "route references unknown link");
+    return min_packet_bytes / link_capacity[id];
+  };
+  for (std::size_t r = 0; r < route_paths.size(); ++r) {
+    const auto& path = route_paths[r];
+    PDS_CHECK(!path.empty(), "route with empty path");
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const std::uint32_t src = part.link_owner[path[h]];
+      const std::uint32_t dst = part.link_owner[path[h + 1]];
+      if (src != dst) {
+        add_lookahead_edge(lookahead, part.shards, src, dst,
+                           floor_of(path[h]));
+      }
+    }
+    const std::uint32_t last = part.link_owner[path.back()];
+    if (last != route_exit_shard[r]) {
+      add_lookahead_edge(lookahead, part.shards, last, route_exit_shard[r],
+                         floor_of(path.back()));
+    }
+  }
+}
+
+}  // namespace pds

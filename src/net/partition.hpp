@@ -1,0 +1,84 @@
+// Deterministic graph partitioning and lookahead derivation for the sharded
+// conservative-PDES kernel (dsim/shard.hpp).
+//
+// A partition assigns every topology node to a shard; a directed link is
+// owned by the shard of its *upstream* node (the node whose output port it
+// is), so the transmission that moves a packet across a cut happens on the
+// sending shard and the handoff message carries the full transmission time
+// as lookahead. Links not bound to a node pair (the scenario grammar's bare
+// `link` directive) belong to shard 0 along with every other piece of
+// non-graph state (workloads, injectors).
+//
+// Both methods are pure functions of the graph — never of memory layout or
+// thread schedule — so the same scenario always partitions the same way:
+//
+//  * kRoundRobin: node id modulo shard count. The baseline; cheap, usually
+//    cuts many edges.
+//  * kGreedy: METIS-lite greedy growth. Shards are carved one at a time;
+//    each starts from the lowest-id unassigned node and repeatedly absorbs
+//    the unassigned node with the largest total link capacity into the
+//    growing shard (ties: lowest node id), until the shard reaches its
+//    balanced size ceil(remaining_nodes / remaining_shards). Maximizing
+//    absorbed capacity minimizes the capacity of the cut, which is what the
+//    cross-shard channels pay for.
+//
+// Lookahead: a cut edge's lookahead is the minimum time a message on it can
+// lag the sender's clock. Every cross-shard handoff rides a transmission
+// whose finish time is at least min_packet_bytes / link_capacity after its
+// start, so that ratio — the transmission floor of the upstream link — is
+// the lookahead of both hop-to-hop and route-exit cut edges. The only
+// zero-lookahead edges are workload injections (shard 0 hands a packet to
+// the first hop's owner at the current time); they are safe because shard 0
+// always advances at the global minimum (see dsim/shard.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsim/time.hpp"
+#include "net/topology.hpp"
+
+namespace pds {
+
+enum class PartitionMethod : std::uint8_t {
+  kRoundRobin,  // node id % shards
+  kGreedy,      // greedy capacity-weight growth (the default)
+};
+
+struct Partition {
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> node_shard;  // per NodeId
+  std::vector<std::uint32_t> link_owner;  // per LinkId
+};
+
+// Partitions `num_nodes` nodes connected by `edges` (ascending link id, as
+// Network::edges() keeps them) into `shards` shards. `link_capacity` holds
+// one entry per link id in [0, num_links); links that appear in no edge are
+// assigned to shard 0. Shards may end up empty when there are fewer nodes
+// than shards — harmless, they just stay idle.
+Partition partition_topology(std::uint32_t num_nodes, std::uint32_t num_links,
+                             const std::vector<GraphEdge>& edges,
+                             const std::vector<double>& link_capacity,
+                             std::uint32_t shards, PartitionMethod method);
+
+// A flattened shards x shards matrix with every entry "no edge"
+// (kSimTimeInfinity), ready for add_lookahead_edge / ShardEngine.
+std::vector<SimTime> make_lookahead(std::uint32_t shards);
+
+// Declares (or tightens) the src->dst cut edge to at most `value`.
+void add_lookahead_edge(std::vector<SimTime>& lookahead, std::uint32_t shards,
+                        std::uint32_t src, std::uint32_t dst, SimTime value);
+
+// Adds every cut edge implied by the routes: for consecutive hops that
+// change owners, a src->dst edge with the upstream link's transmission
+// floor; for the last hop of a route whose exit handler lives on another
+// shard (`route_exit_shard`), the same floor on owner(last)->exit. The
+// floor uses `min_packet_bytes`, the smallest wire size any source emits.
+void add_route_lookahead(std::vector<SimTime>& lookahead,
+                         const Partition& part,
+                         const std::vector<std::vector<LinkId>>& route_paths,
+                         const std::vector<std::uint32_t>& route_exit_shard,
+                         const std::vector<double>& link_capacity,
+                         double min_packet_bytes);
+
+}  // namespace pds

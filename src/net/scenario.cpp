@@ -7,12 +7,17 @@
 
 #include "ctrl/control_injector.hpp"
 #include "ctrl/control_plan.hpp"
+#include "dsim/shard.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/flows.hpp"
+#include "net/partition.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pdes_trace.hpp"
 #include "obs/report.hpp"
+#include "sched/scan.hpp"
+#include "sched/scheduler.hpp"
 #include "stats/percentile.hpp"
 #include "traffic/source.hpp"
 #include "util/contracts.hpp"
@@ -476,80 +481,72 @@ Scenario parse_scenario(const std::string& text) {
   return scenario;
 }
 
-ScenarioReport run_scenario(const Scenario& scenario,
-                            const ScenarioOptions& options) {
-  PDS_CHECK(options.horizon_scale > 0.0,
-            "horizon scale must be positive");
-  const double until = scenario.run.until * options.horizon_scale;
-  const double warmup = scenario.run.warmup * options.horizon_scale;
+namespace {
 
-  Simulator sim;
-  PacketIdAllocator ids;
-  FlowIdAllocator flow_ids;
-  Rng master(options.seed.value_or(scenario.run.seed));
+// ===========================================================================
+// Execution machinery. The serial path and the sharded (--shards) path build
+// the simulation through the same Replica/build_replica code so that every
+// shard constructs state — and consumes its master Rng — in exactly the
+// order the serial run does; that construction-order identity is what makes
+// the sharded report byte-identical to the serial one.
+// ===========================================================================
 
-  Network net(sim);
-  std::map<std::string, NodeId> node_ids;
-  for (const auto& name : scenario.nodes) node_ids[name] = net.add_node(name);
+// Static sharding plan: the partition, per-route link paths (including the
+// auto-created reverse routes, appended in the same order run-time
+// construction creates them), exit-handler placement, and the lookahead
+// matrix. A pure function of the scenario and the shard count.
+struct ScenarioPlan {
+  std::uint32_t shards = 1;
+  Partition part;
+  std::vector<std::vector<LinkId>> route_paths;
+  std::vector<std::uint32_t> route_exit;  // shard running each exit handler
+  std::vector<SimTime> lookahead;         // shards x shards, flattened
+};
 
-  std::map<std::string, LinkId> link_ids;
-  std::uint32_t max_classes = 1;
-  for (const auto& link : scenario.links) {
-    SchedulerConfig sc;
-    sc.sdp = link.sdp;
-    sc.link_capacity = link.capacity;
-    sc.burst = link.burst;
-    const LinkId id =
-        link.from.empty()
-            ? net.add_link(link.kind, sc, link.capacity, link.name)
-            : net.add_edge(node_ids.at(link.from), node_ids.at(link.to),
-                           link.kind, sc, link.capacity, link.name);
-    if (link.buffer > 0) net.make_lossy(id, link.buffer);
-    link_ids[link.name] = id;
-    max_classes = std::max(
-        max_classes, static_cast<std::uint32_t>(link.sdp.size()));
+ScenarioPlan plan_scenario(const Scenario& scenario, std::uint32_t shards,
+                           PartitionMethod method) {
+  ScenarioPlan plan;
+  plan.shards = shards;
+
+  std::map<std::string, NodeId> node_index;
+  for (std::size_t i = 0; i < scenario.nodes.size(); ++i) {
+    node_index[scenario.nodes[i]] = static_cast<NodeId>(i);
   }
-
-  ScenarioReport report;
-  // (route index, class) -> samples of end-to-end queueing delay.
-  std::vector<std::vector<SampleSet>> samples(
-      scenario.routes.size(), std::vector<SampleSet>(max_classes));
-  // RouteId -> workloads whose forward or reverse route it is; sized after
-  // every route (including auto-created reverse routes) exists, which is
-  // before the first event fires.
-  std::vector<std::vector<RpcWorkload*>> flow_dispatch;
+  std::vector<GraphEdge> edges;
+  std::vector<double> capacities(scenario.links.size(), 0.0);
+  std::map<std::string, LinkId> link_index;
+  for (std::size_t i = 0; i < scenario.links.size(); ++i) {
+    const auto& link = scenario.links[i];
+    link_index[link.name] = static_cast<LinkId>(i);
+    capacities[i] = link.capacity;
+    if (!link.from.empty()) {
+      edges.push_back(GraphEdge{static_cast<std::uint32_t>(i),
+                                node_index.at(link.from),
+                                node_index.at(link.to)});
+    }
+  }
 
   std::map<std::string, RouteId> route_ids;
   for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
     const auto& route = scenario.routes[r];
-    const auto handler = [&, r](const Packet& p, SimTime now) {
-      ++report.total_exits;
-      if (now >= warmup && p.cls < max_classes) {
-        samples[r][p.cls].add(p.cum_queueing);
-      }
-      for (RpcWorkload* wl : flow_dispatch[p.route]) {
-        wl->on_route_exit(p, now);
-      }
-    };
+    std::vector<LinkId> path;
     if (route.from.empty()) {
-      std::vector<LinkId> path;
-      for (const auto& name : route.links) path.push_back(link_ids.at(name));
-      route_ids[route.name] = net.add_route(path, handler);
+      for (const auto& name : route.links) path.push_back(link_index.at(name));
     } else {
-      route_ids[route.name] = net.add_route_between(
-          node_ids.at(route.from), node_ids.at(route.to), handler);
+      path = shortest_path_links(static_cast<NodeId>(scenario.nodes.size()),
+                                 edges, node_index.at(route.from),
+                                 node_index.at(route.to));
     }
+    PDS_REQUIRE(!path.empty());
+    route_ids[route.name] = static_cast<RouteId>(r);
+    plan.route_paths.push_back(std::move(path));
   }
 
-  // Reverse routes for flows without an explicit reverse= (one per forward
-  // route, shared between workloads). Their exits count toward total_exits
-  // but carry no per-route stats row.
-  const auto reverse_handler = [&](const Packet& p, SimTime now) {
-    ++report.total_exits;
-    for (RpcWorkload* wl : flow_dispatch[p.route]) wl->on_route_exit(p, now);
-  };
+  // Auto-created reverse routes get the ids run_scenario's flows loop will
+  // assign them (appended past the file routes, one per distinct forward
+  // route, in flows order).
   std::map<std::string, RouteId> auto_reverse;
-  std::vector<std::pair<RouteId, RouteId>> flow_routes;  // (forward, reverse)
+  std::vector<std::pair<RouteId, RouteId>> flow_routes;
   for (const auto& f : scenario.flows) {
     const RouteId forward = route_ids.at(f.route);
     RouteId reverse;
@@ -562,14 +559,198 @@ ScenarioReport run_scenario(const Scenario& scenario,
       } else {
         const ScenarioRoute* route = find_route(scenario, f.route);
         PDS_REQUIRE(route != nullptr && !route->from.empty());
-        reverse = net.add_route_between(node_ids.at(route->to),
-                                        node_ids.at(route->from),
-                                        reverse_handler);
+        auto back = shortest_path_links(
+            static_cast<NodeId>(scenario.nodes.size()), edges,
+            node_index.at(route->to), node_index.at(route->from));
+        PDS_REQUIRE(!back.empty());
+        reverse = static_cast<RouteId>(plan.route_paths.size());
+        plan.route_paths.push_back(std::move(back));
         auto_reverse.emplace(f.route, reverse);
       }
     }
     flow_routes.emplace_back(forward, reverse);
   }
+
+  plan.part = partition_topology(
+      static_cast<std::uint32_t>(scenario.nodes.size()),
+      static_cast<std::uint32_t>(scenario.links.size()), edges, capacities,
+      shards, method);
+
+  // Exit handlers run where the last hop is owned — except flow routes,
+  // whose exits feed workload state living on shard 0.
+  plan.route_exit.resize(plan.route_paths.size());
+  for (std::size_t r = 0; r < plan.route_paths.size(); ++r) {
+    plan.route_exit[r] = plan.part.link_owner[plan.route_paths[r].back()];
+  }
+  for (const auto& [fwd, rev] : flow_routes) {
+    plan.route_exit[fwd] = 0;
+    plan.route_exit[rev] = 0;
+  }
+
+  double min_bytes = kSimTimeInfinity;
+  for (const auto& src : scenario.sources) {
+    min_bytes = std::min(min_bytes, static_cast<double>(src.size_bytes));
+  }
+  for (const auto& f : scenario.flows) {
+    min_bytes = std::min(min_bytes, static_cast<double>(f.size_bytes));
+  }
+  PDS_CHECK(min_bytes >= 1.0,
+            "sharded runs need every source size to be at least one byte");
+
+  plan.lookahead = make_lookahead(shards);
+  add_route_lookahead(plan.lookahead, plan.part, plan.route_paths,
+                      plan.route_exit, capacities, min_bytes);
+  // Workload injections: shard 0 hands request/response packets to the
+  // first hop's owner at the current time — zero lookahead, safe because
+  // shard 0 never has zero-lookahead in-edges (see net/partition.hpp).
+  for (const auto& [fwd, rev] : flow_routes) {
+    for (const RouteId r : {fwd, rev}) {
+      const std::uint32_t owner =
+          plan.part.link_owner[plan.route_paths[r].front()];
+      if (owner != 0) {
+        add_lookahead_edge(plan.lookahead, shards, 0, owner, 0.0);
+      }
+    }
+  }
+  return plan;
+}
+
+// One shard's complete simulation state — or the whole simulation when run
+// serially. Field order mirrors the old run_scenario local order so the
+// destruction sequence is unchanged.
+struct Replica {
+  explicit Replica(std::uint64_t seed) : master(seed), net(sim) {}
+
+  Simulator sim;
+  PacketIdAllocator ids;
+  FlowIdAllocator flow_ids;
+  Rng master;
+  Network net;
+
+  std::map<std::string, NodeId> node_ids;
+  std::map<std::string, LinkId> link_ids;
+  std::uint32_t max_classes = 1;
+  std::uint64_t total_exits = 0;
+  // (route index, class) -> samples of end-to-end queueing delay.
+  std::vector<std::vector<SampleSet>> samples;
+  // RouteId -> workloads whose forward or reverse route it is.
+  std::vector<std::vector<RpcWorkload*>> flow_dispatch;
+  std::map<std::string, RouteId> route_ids;
+  std::vector<std::pair<RouteId, RouteId>> flow_routes;
+  std::vector<std::unique_ptr<RenewalSource>> renewals;
+  std::vector<std::unique_ptr<ClassMixSource>> mixes;
+  std::vector<std::unique_ptr<CbrFlowSource>> cbrs;
+  std::vector<bool> renewal_started;
+  std::vector<bool> mix_started;
+  std::vector<std::unique_ptr<RpcWorkload>> workloads;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<ControlInjector> control;
+};
+
+using PublishFn = std::function<void(std::uint32_t, SimTime, Packet&&)>;
+
+// Builds one replica of the scenario. Serial runs pass plan == nullptr and
+// get the exact construction sequence run_scenario always had. Sharded runs
+// build the identical structure on every shard — same ids, same Rng split
+// order — but start a source only on the shard owning its route's first
+// link, start workloads only on shard 0, and bind the shard identity so
+// cross-cut transmissions publish instead of delivering locally.
+void build_replica(Replica& rep, const Scenario& scenario,
+                   const ScenarioOptions& options, double warmup,
+                   const ScenarioPlan* plan, std::uint32_t self,
+                   PublishFn publish) {
+  for (const auto& name : scenario.nodes) {
+    rep.node_ids[name] = rep.net.add_node(name);
+  }
+
+  for (const auto& link : scenario.links) {
+    SchedulerConfig sc;
+    sc.sdp = link.sdp;
+    sc.link_capacity = link.capacity;
+    sc.burst = link.burst;
+    const LinkId id =
+        link.from.empty()
+            ? rep.net.add_link(link.kind, sc, link.capacity, link.name)
+            : rep.net.add_edge(rep.node_ids.at(link.from),
+                               rep.node_ids.at(link.to), link.kind, sc,
+                               link.capacity, link.name);
+    if (link.buffer > 0) rep.net.make_lossy(id, link.buffer);
+    rep.link_ids[link.name] = id;
+    rep.max_classes = std::max(
+        rep.max_classes, static_cast<std::uint32_t>(link.sdp.size()));
+  }
+
+  rep.samples.assign(scenario.routes.size(),
+                     std::vector<SampleSet>(rep.max_classes));
+
+  for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
+    const auto& route = scenario.routes[r];
+    const auto handler = [&rep, warmup, r](const Packet& p, SimTime now) {
+      ++rep.total_exits;
+      if (now >= warmup && p.cls < rep.max_classes) {
+        rep.samples[r][p.cls].add(p.cum_queueing);
+      }
+      for (RpcWorkload* wl : rep.flow_dispatch[p.route]) {
+        wl->on_route_exit(p, now);
+      }
+    };
+    if (route.from.empty()) {
+      std::vector<LinkId> path;
+      for (const auto& name : route.links) {
+        path.push_back(rep.link_ids.at(name));
+      }
+      rep.route_ids[route.name] = rep.net.add_route(path, handler);
+    } else {
+      rep.route_ids[route.name] = rep.net.add_route_between(
+          rep.node_ids.at(route.from), rep.node_ids.at(route.to), handler);
+    }
+  }
+
+  // Reverse routes for flows without an explicit reverse= (one per forward
+  // route, shared between workloads). Their exits count toward total_exits
+  // but carry no per-route stats row.
+  const auto reverse_handler = [&rep](const Packet& p, SimTime now) {
+    ++rep.total_exits;
+    for (RpcWorkload* wl : rep.flow_dispatch[p.route]) {
+      wl->on_route_exit(p, now);
+    }
+  };
+  std::map<std::string, RouteId> auto_reverse;
+  for (const auto& f : scenario.flows) {
+    const RouteId forward = rep.route_ids.at(f.route);
+    RouteId reverse;
+    if (!f.reverse.empty()) {
+      reverse = rep.route_ids.at(f.reverse);
+    } else {
+      const auto it = auto_reverse.find(f.route);
+      if (it != auto_reverse.end()) {
+        reverse = it->second;
+      } else {
+        const ScenarioRoute* route = find_route(scenario, f.route);
+        PDS_REQUIRE(route != nullptr && !route->from.empty());
+        reverse = rep.net.add_route_between(rep.node_ids.at(route->to),
+                                            rep.node_ids.at(route->from),
+                                            reverse_handler);
+        auto_reverse.emplace(f.route, reverse);
+      }
+    }
+    rep.flow_routes.emplace_back(forward, reverse);
+  }
+
+  const bool sharded = plan != nullptr && plan->shards > 1;
+  if (sharded) {
+    PDS_REQUIRE(plan->route_paths.size() == rep.net.num_routes());
+    ShardBinding binding;
+    binding.self = self;
+    binding.link_owner = plan->part.link_owner;
+    binding.route_exit_shard = plan->route_exit;
+    binding.publish = std::move(publish);
+    rep.net.bind_shard(std::move(binding));
+  }
+  const auto owns_route = [plan, self, sharded](RouteId route) {
+    return !sharded ||
+           plan->part.link_owner[plan->route_paths[route].front()] == self;
+  };
 
   const auto make_gaps = [](const ScenarioSource& src) {
     return src.pareto_alpha > 0.0 ? pareto_gaps(src.pareto_alpha, src.gap)
@@ -578,38 +759,40 @@ ScenarioReport run_scenario(const Scenario& scenario,
 
   // Rng split order: every source in file order, then every workload in
   // file order — adding flows to a scenario never perturbs the packet
-  // streams of its existing sources.
-  std::vector<std::unique_ptr<RenewalSource>> renewals;
-  std::vector<std::unique_ptr<ClassMixSource>> mixes;
-  std::vector<std::unique_ptr<CbrFlowSource>> cbrs;
+  // streams of its existing sources. Sharded runs construct (and split for)
+  // every source on every replica to keep this order, then start only the
+  // owned ones.
   for (const auto& src : scenario.sources) {
-    const RouteId route = route_ids.at(src.route);
+    const RouteId route = rep.route_ids.at(src.route);
+    Network& net = rep.net;
     const auto handler = [&net, route](Packet p) {
       net.inject(std::move(p), route);
     };
+    const bool owned = owns_route(route);
     switch (src.kind) {
       case ScenarioSourceKind::kRenewal:
-        renewals.push_back(std::make_unique<RenewalSource>(
-            sim, ids, src.cls, make_gaps(src), fixed_size(src.size_bytes),
-            master.split(), handler));
-        renewals.back()->start(src.start);
+        rep.renewals.push_back(std::make_unique<RenewalSource>(
+            rep.sim, rep.ids, src.cls, make_gaps(src),
+            fixed_size(src.size_bytes), rep.master.split(), handler));
+        rep.renewal_started.push_back(owned);
+        if (owned) rep.renewals.back()->start(src.start);
         break;
       case ScenarioSourceKind::kMix:
-        mixes.push_back(std::make_unique<ClassMixSource>(
-            sim, ids, src.fractions, make_gaps(src),
-            fixed_size(src.size_bytes), master.split(), handler));
-        mixes.back()->start(src.start);
+        rep.mixes.push_back(std::make_unique<ClassMixSource>(
+            rep.sim, rep.ids, src.fractions, make_gaps(src),
+            fixed_size(src.size_bytes), rep.master.split(), handler));
+        rep.mix_started.push_back(owned);
+        if (owned) rep.mixes.back()->start(src.start);
         break;
       case ScenarioSourceKind::kCbr:
-        cbrs.push_back(std::make_unique<CbrFlowSource>(
-            sim, ids, src.cls, kNoFlow - 1, src.count, src.size_bytes,
+        rep.cbrs.push_back(std::make_unique<CbrFlowSource>(
+            rep.sim, rep.ids, src.cls, kNoFlow - 1, src.count, src.size_bytes,
             src.interval, handler));
-        cbrs.back()->start(src.start);
+        if (owned) rep.cbrs.back()->start(src.start);
         break;
     }
   }
 
-  std::vector<std::unique_ptr<RpcWorkload>> workloads;
   for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
     const auto& f = scenario.flows[i];
     RpcConfig rc;
@@ -626,84 +809,73 @@ ScenarioReport run_scenario(const Scenario& scenario,
     rc.rto_cap = f.rto_cap;
     rc.throttle_tokens = f.throttle_tokens;
     rc.throttle_ratio = f.throttle_ratio;
-    workloads.push_back(std::make_unique<RpcWorkload>(
-        sim, net, ids, flow_ids, flow_routes[i].first, flow_routes[i].second,
-        rc, master.split()));
-    workloads.back()->set_warmup(warmup);
+    rep.workloads.push_back(std::make_unique<RpcWorkload>(
+        rep.sim, rep.net, rep.ids, rep.flow_ids, rep.flow_routes[i].first,
+        rep.flow_routes[i].second, rc, rep.master.split()));
+    rep.workloads.back()->set_warmup(warmup);
   }
-  flow_dispatch.assign(net.num_routes(), {});
-  for (std::size_t i = 0; i < workloads.size(); ++i) {
-    flow_dispatch[flow_routes[i].first].push_back(workloads[i].get());
-    if (flow_routes[i].second != flow_routes[i].first) {
-      flow_dispatch[flow_routes[i].second].push_back(workloads[i].get());
+  rep.flow_dispatch.assign(rep.net.num_routes(), {});
+  for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+    rep.flow_dispatch[rep.flow_routes[i].first].push_back(
+        rep.workloads[i].get());
+    if (rep.flow_routes[i].second != rep.flow_routes[i].first) {
+      rep.flow_dispatch[rep.flow_routes[i].second].push_back(
+          rep.workloads[i].get());
     }
   }
-  for (std::size_t i = 0; i < workloads.size(); ++i) {
-    workloads[i]->start(scenario.flows[i].start);
+  // Workloads (and their closed-loop state machines) live on shard 0.
+  if (!sharded || self == 0) {
+    for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+      rep.workloads[i]->start(scenario.flows[i].start);
+    }
   }
 
-  std::unique_ptr<FaultInjector> injector;
+  // Fault and control plans are clock-driven, so arming them on every
+  // replica makes the episodes fire identically everywhere; each episode
+  // only has observable effect on the links the replica owns (the others
+  // carry no traffic).
   if (!options.fault_plan.empty()) {
-    injector = std::make_unique<FaultInjector>(
-        sim, parse_fault_plan(options.fault_plan));
-    attach_network(*injector, net);
-    injector->arm();
-    report.faulted = true;
+    rep.injector = std::make_unique<FaultInjector>(
+        rep.sim, parse_fault_plan(options.fault_plan));
+    attach_network(*rep.injector, rep.net);
+    rep.injector->arm();
   }
-
-  std::unique_ptr<ControlInjector> control;
   if (!options.control_plan.empty()) {
-    control = std::make_unique<ControlInjector>(
-        sim, parse_control_plan(options.control_plan));
-    attach_network(*control, net);
-    control->arm();
-    report.controlled = true;
+    rep.control = std::make_unique<ControlInjector>(
+        rep.sim, parse_control_plan(options.control_plan));
+    attach_network(*rep.control, rep.net);
+    rep.control->arm();
   }
+}
 
-  MetricsRegistry registry;
-  std::unique_ptr<MetricsSnapshotWriter> metrics;
-  if (!options.metrics_out.empty()) {
-    PDS_CHECK(options.metrics_window > 0.0,
-              "metrics window must be positive");
-    metrics = std::make_unique<MetricsSnapshotWriter>(
-        sim, registry, options.metrics_out, options.metrics_window,
-        [&](SimTime) {
-          for (const auto& [name, id] : link_ids) {
-            registry.gauge("link." + name + ".util")
-                .set(net.utilization(id));
-            registry.gauge("link." + name + ".sent")
-                .set(static_cast<double>(net.link(id).packets_sent()));
-          }
-          for (std::size_t i = 0; i < workloads.size(); ++i) {
-            const auto& st = workloads[i]->stats();
-            const std::string p = "flows.f" + std::to_string(i) + ".";
-            registry.gauge(p + "completed")
-                .set(static_cast<double>(st.completed));
-            registry.gauge(p + "failed").set(static_cast<double>(st.failed));
-            registry.gauge(p + "retries")
-                .set(static_cast<double>(st.retries));
-            registry.gauge(p + "waiting")
-                .set(static_cast<double>(workloads[i]->waiting_users()));
-            registry.gauge(p + "slo").set(st.slo_attainment());
-          }
-        });
+// Stops the open-loop sources that were started on this replica (the serial
+// path's post-run stop, applied per shard).
+void stop_sources(Replica& rep) {
+  for (std::size_t i = 0; i < rep.renewals.size(); ++i) {
+    if (rep.renewal_started[i]) rep.renewals[i]->stop();
   }
-
-  if (options.max_events > 0 || options.max_wall_seconds > 0.0) {
-    sim.set_budget(options.max_events, options.max_wall_seconds);
+  for (std::size_t i = 0; i < rep.mixes.size(); ++i) {
+    if (rep.mix_started[i]) rep.mixes[i]->stop();
   }
+}
 
-  sim.run_until(until);
-  for (auto& s : renewals) s->stop();
-  for (auto& s : mixes) s->stop();
-  if (metrics) {
-    metrics->flush();
-    report.metrics_snapshots = metrics->snapshots_written();
+// Assembles the ScenarioReport from the replica set. Serial runs pass
+// plan == nullptr and a single replica; sharded runs read each figure from
+// the one shard where it accumulated (exit shard for route stats, owning
+// shard for link stats, shard 0 for workloads and injector counters), so
+// the assembled report is the serial one, field for field.
+void fill_report(ScenarioReport& report, const Scenario& scenario,
+                 const ScenarioPlan* plan, Replica* const* replicas) {
+  Replica& home = *replicas[0];
+  const std::uint32_t shards = plan != nullptr ? plan->shards : 1;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    report.total_exits += replicas[s]->total_exits;
   }
 
   for (std::size_t r = 0; r < scenario.routes.size(); ++r) {
-    for (ClassId c = 0; c < max_classes; ++c) {
-      const auto& set = samples[r][c];
+    Replica& ex = plan != nullptr ? *replicas[plan->route_exit[r]] : home;
+    for (ClassId c = 0; c < home.max_classes; ++c) {
+      const auto& set = ex.samples[r][c];
       if (set.empty()) continue;
       report.route_stats.push_back(ScenarioReport::RouteClassStats{
           scenario.routes[r].name, c, set.count(), set.mean(),
@@ -711,7 +883,9 @@ ScenarioReport run_scenario(const Scenario& scenario,
     }
   }
   for (const auto& link : scenario.links) {
-    const LinkId id = link_ids.at(link.name);
+    const LinkId id = home.link_ids.at(link.name);
+    const Network& net =
+        plan != nullptr ? replicas[plan->part.link_owner[id]]->net : home.net;
     ScenarioReport::LinkStats ls;
     ls.link = link.name;
     ls.sched = to_string(link.kind);
@@ -730,12 +904,12 @@ ScenarioReport run_scenario(const Scenario& scenario,
     report.drain_drops += net.link(id).drain_drops();
     report.link_stats.push_back(std::move(ls));
   }
-  for (std::size_t i = 0; i < workloads.size(); ++i) {
-    const auto& st = workloads[i]->stats();
+  for (std::size_t i = 0; i < home.workloads.size(); ++i) {
+    const auto& st = home.workloads[i]->stats();
     ScenarioReport::FlowStats fs;
     fs.route = scenario.flows[i].route;
     fs.cls = scenario.flows[i].cls;
-    fs.users = workloads[i]->config().users;
+    fs.users = home.workloads[i]->config().users;
     fs.issued = st.issued;
     fs.completed = st.completed;
     fs.failed = st.failed;
@@ -752,18 +926,288 @@ ScenarioReport run_scenario(const Scenario& scenario,
     fs.deadline = scenario.flows[i].deadline;
     report.flow_stats.push_back(std::move(fs));
   }
-  if (injector) {
-    report.fault_episodes_scheduled = injector->scheduled_episodes();
-    report.fault_episodes = injector->episodes_completed();
+  if (home.injector) {
+    report.faulted = true;
+    report.fault_episodes_scheduled = home.injector->scheduled_episodes();
+    report.fault_episodes = home.injector->episodes_completed();
   }
-  if (control) {
-    report.control_episodes_scheduled = control->scheduled_episodes();
-    report.control_episodes = control->episodes_completed();
-    report.control_retunes = control->retunes_applied();
-    report.control_swaps = control->swaps_applied();
-    report.control_class_changes = control->class_changes_applied();
-    report.control_sheds = control->sheds_applied();
+  if (home.control) {
+    report.controlled = true;
+    report.control_episodes_scheduled = home.control->scheduled_episodes();
+    report.control_episodes = home.control->episodes_completed();
+    report.control_retunes = home.control->retunes_applied();
+    report.control_swaps = home.control->swaps_applied();
+    report.control_class_changes = home.control->class_changes_applied();
+    report.control_sheds = home.control->sheds_applied();
   }
+}
+
+// A packet staged for delivery on a shard, tagged with its deterministic
+// merge key: (timestamp, source shard, per-channel sequence).
+struct RemoteMsg {
+  SimTime ts = 0.0;
+  std::uint32_t src = 0;
+  std::uint64_t seq = 0;
+  Packet p;
+};
+
+bool remote_before(const RemoteMsg& a, const RemoteMsg& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+// Per-shard runtime state the engine hooks close over: the replica plus the
+// staged inbox. `pos` marks the applied prefix; the tail past it is sorted
+// at the top of every window (new splices land unsorted at the back).
+struct ShardRuntime {
+  Replica* rep = nullptr;
+  std::vector<RemoteMsg> inbox;
+  std::size_t pos = 0;
+};
+
+void sort_inbox_tail(ShardRuntime& rt) {
+  if (rt.pos == rt.inbox.size()) {
+    rt.inbox.clear();
+    rt.pos = 0;
+  }
+  std::sort(rt.inbox.begin() + static_cast<std::ptrdiff_t>(rt.pos),
+            rt.inbox.end(), remote_before);
+}
+
+// One conservative window: interleave staged messages (in merge order) with
+// local events, everything strictly below `bound`. A message at timestamp t
+// applies after every local event below t — its serial counterpart is the
+// departure event of a transmission that completed at exactly t.
+std::uint64_t run_shard_window(ShardRuntime& rt, SimTime bound) {
+  Replica& rep = *rt.rep;
+  sort_inbox_tail(rt);
+  const std::uint64_t before = rep.sim.executed_events();
+  std::uint64_t applied = 0;
+  while (rt.pos < rt.inbox.size() && rt.inbox[rt.pos].ts < bound) {
+    RemoteMsg& m = rt.inbox[rt.pos];
+    rep.sim.run_before(m.ts);
+    rep.sim.advance_to(m.ts);
+    rep.net.apply_remote(std::move(m.p));
+    ++rt.pos;
+    ++applied;
+  }
+  rep.sim.run_before(bound);
+  return applied + (rep.sim.executed_events() - before);
+}
+
+// Final phase: apply messages up to and including the horizon (discarding
+// later ones — their serial counterparts never executed) and drain local
+// events through the horizon inclusively, leaving the clock there.
+std::uint64_t finish_shard(ShardRuntime& rt, SimTime horizon) {
+  Replica& rep = *rt.rep;
+  sort_inbox_tail(rt);
+  const std::uint64_t before = rep.sim.executed_events();
+  std::uint64_t applied = 0;
+  while (rt.pos < rt.inbox.size() && rt.inbox[rt.pos].ts <= horizon) {
+    RemoteMsg& m = rt.inbox[rt.pos];
+    rep.sim.run_before(m.ts);
+    rep.sim.advance_to(m.ts);
+    rep.net.apply_remote(std::move(m.p));
+    ++rt.pos;
+    ++applied;
+  }
+  rt.pos = rt.inbox.size();
+  rep.sim.run_until(horizon);
+  return applied + (rep.sim.executed_events() - before);
+}
+
+// Diagnostic dequeue sweep over one shard's owned links, batched through
+// scan::scan_links: how many owned links are backlogged right now (and what
+// each would dequeue). Coordinator-side, between barriers; feeds the
+// per-round PdesTrace spans and never touches simulation state.
+struct BacklogSweep {
+  std::vector<LinkId> links;          // owned links, ascending id
+  std::vector<scan::Heads> heads;     // scratch
+  std::vector<const double*> sdp;     // scratch
+  std::vector<std::int32_t> winners;  // scratch
+};
+
+std::uint32_t sweep_backlog(Replica& rep, BacklogSweep& sweep) {
+  sweep.heads.clear();
+  sweep.sdp.clear();
+  for (const LinkId id : sweep.links) {
+    const auto* cb = dynamic_cast<const ClassBasedScheduler*>(
+        &rep.net.link(id).scheduler());
+    if (cb == nullptr) continue;
+    sweep.heads.push_back(cb->heads());
+    sweep.sdp.push_back(cb->weight_lanes().data());
+  }
+  if (sweep.heads.empty()) return 0;
+  sweep.winners.resize(sweep.heads.size());
+  return scan::scan_links(sweep.heads.data(), sweep.sdp.data(), rep.sim.now(),
+                          static_cast<std::uint32_t>(sweep.heads.size()),
+                          scan::Backend::kAuto, sweep.winners.data());
+}
+
+ScenarioReport run_scenario_sharded(const Scenario& scenario,
+                                    const ScenarioOptions& options,
+                                    double until, double warmup) {
+  PDS_CHECK(options.metrics_out.empty(),
+            "metrics_out is not available with shards > 1");
+  PDS_CHECK(options.max_events == 0 && options.max_wall_seconds == 0.0,
+            "run budgets are not available with shards > 1");
+  const std::uint32_t n = options.shards;
+  const ScenarioPlan plan =
+      plan_scenario(scenario, n, options.partition);
+
+  // channels[src * n + dst]: single-producer (shard src, inside its
+  // window), single-consumer (the coordinator, between barriers).
+  std::vector<ShardChannel<Packet>> channels(
+      static_cast<std::size_t>(n) * n);
+  std::vector<ShardRuntime> runtimes(n);
+  std::vector<std::unique_ptr<Replica>> replicas;
+  const std::uint64_t seed = options.seed.value_or(scenario.run.seed);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    replicas.push_back(std::make_unique<Replica>(seed));
+    PublishFn publish = [&channels, n, s](std::uint32_t dst, SimTime ts,
+                                          Packet&& p) {
+      PDS_REQUIRE(dst < n && dst != s);
+      channels[static_cast<std::size_t>(s) * n + dst].publish(ts,
+                                                              std::move(p));
+    };
+    build_replica(*replicas.back(), scenario, options, warmup, &plan, s,
+                  std::move(publish));
+    runtimes[s].rep = replicas.back().get();
+  }
+
+  std::vector<ShardEngine::Shard> shards(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    ShardRuntime& rt = runtimes[s];
+    shards[s].next_time = [&rt] {
+      SimTime next = rt.rep->sim.next_time();
+      for (std::size_t i = rt.pos; i < rt.inbox.size(); ++i) {
+        next = std::min(next, rt.inbox[i].ts);
+      }
+      return next;
+    };
+    shards[s].run_window = [&rt](SimTime bound) {
+      return run_shard_window(rt, bound);
+    };
+    shards[s].finish = [&rt](SimTime horizon) {
+      return finish_shard(rt, horizon);
+    };
+  }
+
+  ShardEngine engine(std::move(shards), plan.lookahead, until);
+  std::vector<ShardMessage<Packet>> scratch;
+  engine.set_splice([&channels, &runtimes, n, &scratch] {
+    ShardEngine::SpliceResult result;
+    for (std::uint32_t src = 0; src < n; ++src) {
+      for (std::uint32_t dst = 0; dst < n; ++dst) {
+        auto& ch = channels[static_cast<std::size_t>(src) * n + dst];
+        if (ch.pending() == 0) continue;
+        scratch.clear();
+        const std::size_t moved = ch.splice_into(scratch);
+        result.moved += moved;
+        result.max_batch =
+            std::max<std::uint64_t>(result.max_batch, moved);
+        auto& inbox = runtimes[dst].inbox;
+        for (auto& m : scratch) {
+          inbox.push_back(RemoteMsg{m.ts, src, m.seq, std::move(m.payload)});
+        }
+      }
+    }
+    return result;
+  });
+  if (options.shard_executor) engine.set_executor(options.shard_executor);
+
+  std::vector<BacklogSweep> sweeps(n);
+  std::vector<std::uint32_t> backlogged(n, 0);
+  if (options.pdes_trace != nullptr) {
+    PdesTrace* trace = options.pdes_trace;
+    PDS_CHECK(trace->shards() == n, "PdesTrace shard count mismatch");
+    for (LinkId id = 0; id < plan.part.link_owner.size(); ++id) {
+      sweeps[plan.part.link_owner[id]].links.push_back(id);
+    }
+    engine.set_round_hook([trace, &runtimes, &sweeps, &backlogged, n](
+                              std::uint64_t round,
+                              const std::vector<SimTime>& bounds,
+                              const std::vector<std::uint64_t>& processed) {
+      for (std::uint32_t s = 0; s < n; ++s) {
+        backlogged[s] = sweep_backlog(*runtimes[s].rep, sweeps[s]);
+      }
+      trace->record_round(round, bounds, processed, backlogged);
+    });
+  }
+
+  const PdesStats stats = engine.run();
+  for (auto& rep : replicas) stop_sources(*rep);
+  if (options.pdes_stats != nullptr) *options.pdes_stats = stats;
+
+  ScenarioReport report;
+  std::vector<Replica*> ptrs;
+  ptrs.reserve(replicas.size());
+  for (auto& r : replicas) ptrs.push_back(r.get());
+  fill_report(report, scenario, &plan, ptrs.data());
+  return report;
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const Scenario& scenario,
+                            const ScenarioOptions& options) {
+  PDS_CHECK(options.horizon_scale > 0.0,
+            "horizon scale must be positive");
+  PDS_CHECK(options.shards >= 1, "shards must be at least 1");
+  const double until = scenario.run.until * options.horizon_scale;
+  const double warmup = scenario.run.warmup * options.horizon_scale;
+
+  if (options.shards > 1) {
+    return run_scenario_sharded(scenario, options, until, warmup);
+  }
+
+  Replica rep(options.seed.value_or(scenario.run.seed));
+  build_replica(rep, scenario, options, warmup, nullptr, 0, {});
+
+  MetricsRegistry registry;
+  std::unique_ptr<MetricsSnapshotWriter> metrics;
+  if (!options.metrics_out.empty()) {
+    PDS_CHECK(options.metrics_window > 0.0,
+              "metrics window must be positive");
+    metrics = std::make_unique<MetricsSnapshotWriter>(
+        rep.sim, registry, options.metrics_out, options.metrics_window,
+        [&](SimTime) {
+          for (const auto& [name, id] : rep.link_ids) {
+            registry.gauge("link." + name + ".util")
+                .set(rep.net.utilization(id));
+            registry.gauge("link." + name + ".sent")
+                .set(static_cast<double>(rep.net.link(id).packets_sent()));
+          }
+          for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+            const auto& st = rep.workloads[i]->stats();
+            const std::string p = "flows.f" + std::to_string(i) + ".";
+            registry.gauge(p + "completed")
+                .set(static_cast<double>(st.completed));
+            registry.gauge(p + "failed").set(static_cast<double>(st.failed));
+            registry.gauge(p + "retries")
+                .set(static_cast<double>(st.retries));
+            registry.gauge(p + "waiting")
+                .set(static_cast<double>(rep.workloads[i]->waiting_users()));
+            registry.gauge(p + "slo").set(st.slo_attainment());
+          }
+        });
+  }
+
+  if (options.max_events > 0 || options.max_wall_seconds > 0.0) {
+    rep.sim.set_budget(options.max_events, options.max_wall_seconds);
+  }
+
+  rep.sim.run_until(until);
+  stop_sources(rep);
+
+  ScenarioReport report;
+  if (metrics) {
+    metrics->flush();
+    report.metrics_snapshots = metrics->snapshots_written();
+  }
+  Replica* replicas[] = {&rep};
+  fill_report(report, scenario, nullptr, replicas);
   return report;
 }
 

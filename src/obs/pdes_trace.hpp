@@ -1,0 +1,73 @@
+// Observability for the sharded conservative-PDES kernel (dsim/shard.hpp).
+//
+// PdesTrace turns the ShardEngine's per-round observations into the same
+// artifacts the rest of the experiment plane uses:
+//
+//  * One SpanBuffer per shard on a dedicated process row (kSpanPdesPid),
+//    tid = shard id. Every round in which a shard processed work becomes a
+//    "pdes.window" span covering [previous bound, bound) on the simulation
+//    clock, with the work count and the backlogged-link count from the
+//    coordinator's dequeue sweep in args. The timeline shows exactly how
+//    the conservative windows advanced per shard — stalls from short
+//    lookahead are visible as missing stretches on a track.
+//  * pdes.* metrics: record_stats folds the final PdesStats into a
+//    MetricsRegistry (rounds/null_rounds/messages/final_sweeps as counters,
+//    max_channel_depth and blocked barrier seconds as gauges).
+//
+// Determinism: rounds, bounds, processed counts and the dequeue sweep are
+// pure functions of the simulation, so every span here is byte-identical
+// across shard executors and worker counts. The only volatile figure is
+// PdesStats::barrier_seconds, which ends up in a gauge (never in
+// byte-compared simulation output) — the same wall-clock carve-out the span
+// tracer's kWall mode has.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsim/shard.hpp"
+#include "obs/span.hpp"
+
+namespace pds {
+
+class MetricsRegistry;
+
+// Process row for the sharded-kernel timeline (kSpanSimPid holds the serial
+// kernel/fault/control tracks).
+inline constexpr std::uint32_t kSpanPdesPid = 1;
+
+class PdesTrace {
+ public:
+  explicit PdesTrace(std::uint32_t shards, double us_per_time_unit = 1.0);
+
+  std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(buffers_.size());
+  }
+
+  // Coordinator-side round hook payload: per-shard window bounds, processed
+  // work counts, and backlogged-link counts from the dequeue sweep. Emits
+  // one span per shard that did work this round.
+  void record_round(std::uint64_t round, const std::vector<SimTime>& bounds,
+                    const std::vector<std::uint64_t>& processed,
+                    const std::vector<std::uint32_t>& backlogged);
+
+  // Folds the final protocol counters into pdes.* metrics.
+  void record_stats(const PdesStats& stats, MetricsRegistry& registry) const;
+
+  const SpanBuffer& shard_buffer(std::uint32_t shard) const;
+
+  std::uint64_t rounds_recorded() const noexcept { return rounds_; }
+
+  // Every shard buffer merged under the span tracer's content order (sort
+  // by pid, tid, ts, dur, name, cat, args) — deterministic regardless of
+  // which shard emitted what.
+  std::vector<Span> merged() const;
+
+ private:
+  double scale_;
+  std::vector<SpanBuffer> buffers_;
+  std::vector<SimTime> prev_;  // previous round's bound per shard
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace pds

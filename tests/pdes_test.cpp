@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dsim/shard.hpp"
+#include "dsim/simulator.hpp"
+#include "exp/thread_pool.hpp"
+#include "net/partition.hpp"
+#include "net/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pdes_trace.hpp"
+#include "obs/report.hpp"
+
+namespace pds {
+namespace {
+
+// ------------------------------------------------- clock-splitting surface
+
+TEST(SimulatorWindows, RunBeforeIsStrictAndAdvanceToMovesTheClock) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(5.0, [&] { fired.push_back(5); });
+  sim.schedule_at(10.0, [&] { fired.push_back(10); });
+  sim.run_before(10.0);
+  EXPECT_EQ(fired, (std::vector<int>{5}));  // strictly below the bound
+  EXPECT_DOUBLE_EQ(sim.next_time(), 10.0);
+  sim.advance_to(10.0);  // deliver-a-message point: clock moves, prefix ran
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.run_before(11.0);
+  EXPECT_EQ(fired, (std::vector<int>{5, 10}));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(SimulatorWindows, NextTimeIsInfiniteWhenIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_time(), kSimTimeInfinity);
+  sim.schedule_at(3.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.next_time(), 3.0);
+}
+
+// ---------------------------------------------------------- window fixpoint
+
+TEST(SolveWindows, SourceShardRunsFreeAndDownstreamIsBounded) {
+  // Shard 0 has no in-edges: S_0 = inf, E_0 = its own next event. Shard 1
+  // receives from 0 with lookahead 5: it may run anything below E_0 + 5.
+  std::vector<SimTime> la = make_lookahead(2);
+  add_lookahead_edge(la, 2, 0, 1, 5.0);
+  std::vector<SimTime> next{10.0, 12.0}, e, s;
+  ShardEngine::solve_windows(next, la, e, s);
+  EXPECT_EQ(s[0], kSimTimeInfinity);
+  EXPECT_DOUBLE_EQ(e[0], 10.0);
+  EXPECT_DOUBLE_EQ(s[1], 15.0);
+  EXPECT_DOUBLE_EQ(e[1], 12.0);
+}
+
+TEST(SolveWindows, ZeroLookaheadEdgePinsTheDownstreamBound) {
+  // The workload-injection edge: shard 0 can emit at its current time, so
+  // shard 1 may never outrun shard 0's earliest pending work.
+  std::vector<SimTime> la = make_lookahead(2);
+  add_lookahead_edge(la, 2, 0, 1, 0.0);
+  std::vector<SimTime> next{10.0, 50.0}, e, s;
+  ShardEngine::solve_windows(next, la, e, s);
+  EXPECT_DOUBLE_EQ(s[1], 10.0);
+  EXPECT_DOUBLE_EQ(e[1], 10.0);  // min(own 50, inbound bound 10)
+}
+
+TEST(SolveWindows, FixpointPropagatesAroundAChain) {
+  // 0 -> 1 -> 2 with lookahead 1 each; shard 0 idle until 100, the others
+  // think they have work at 3. Their earliest *executable* work still sits
+  // behind the chain: E_1 = 3 but nothing below min(E_0+1, ...) is safe.
+  std::vector<SimTime> la = make_lookahead(3);
+  add_lookahead_edge(la, 3, 0, 1, 1.0);
+  add_lookahead_edge(la, 3, 1, 2, 1.0);
+  std::vector<SimTime> next{100.0, 3.0, 3.0}, e, s;
+  ShardEngine::solve_windows(next, la, e, s);
+  EXPECT_DOUBLE_EQ(e[0], 100.0);
+  EXPECT_DOUBLE_EQ(s[1], 101.0);
+  EXPECT_DOUBLE_EQ(e[1], 3.0);
+  EXPECT_DOUBLE_EQ(s[2], 4.0);  // bounded by shard 1's pending work + 1
+  EXPECT_DOUBLE_EQ(e[2], 3.0);
+}
+
+TEST(SolveWindows, TighteningAnEdgeKeepsTheMinimum) {
+  std::vector<SimTime> la = make_lookahead(2);
+  add_lookahead_edge(la, 2, 0, 1, 7.0);
+  add_lookahead_edge(la, 2, 0, 1, 3.0);  // tightens
+  add_lookahead_edge(la, 2, 0, 1, 9.0);  // ignored: looser
+  std::vector<SimTime> next{0.0, 100.0}, e, s;
+  ShardEngine::solve_windows(next, la, e, s);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+}
+
+// ------------------------------------------------------------ channel merge
+
+TEST(ShardChannel, SequencesFollowPublishOrderAcrossSplices) {
+  ShardChannel<int> ch;
+  ch.publish(2.0, 20);
+  ch.publish(1.0, 10);  // later seq even though earlier timestamp
+  std::vector<ShardMessage<int>> inbox;
+  EXPECT_EQ(ch.splice_into(inbox), 2u);
+  EXPECT_EQ(ch.pending(), 0u);
+  ch.publish(3.0, 30);  // next batch continues the sequence
+  EXPECT_EQ(ch.splice_into(inbox), 1u);
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0].seq, 0u);
+  EXPECT_EQ(inbox[1].seq, 1u);
+  EXPECT_EQ(inbox[2].seq, 2u);
+  EXPECT_EQ(inbox[1].payload, 10);
+}
+
+// A toy three-shard engine run: shards 1 and 2 publish to shard 0 at
+// identical timestamps; shard 0 applies its inbox in (ts, src, seq) order —
+// the same total order the scenario runner uses — so the application order
+// must be deterministic regardless of which shard's window ran "first".
+struct ToyMsg {
+  std::uint32_t src;
+  std::uint64_t seq;
+};
+
+TEST(ShardEngine, MergeAppliesEqualTimestampsBySourceThenSequence) {
+  constexpr std::uint32_t kShards = 3;
+  std::vector<ShardChannel<ToyMsg>> channels(kShards);  // src -> shard 0
+  std::vector<ShardMessage<ToyMsg>> inbox;
+  std::vector<ToyMsg> applied;
+  // Shards 1 and 2 each publish two messages at t=5 during round one.
+  bool published = false;
+
+  std::vector<ShardEngine::Shard> shards(kShards);
+  shards[0].next_time = [&] {
+    return inbox.empty() ? kSimTimeInfinity : inbox.front().ts;
+  };
+  shards[0].run_window = [&](SimTime bound) -> std::uint64_t {
+    std::uint64_t n = 0;
+    while (!inbox.empty() && inbox.front().ts < bound) {
+      applied.push_back(inbox.front().payload);
+      inbox.erase(inbox.begin());
+      ++n;
+    }
+    return n;
+  };
+  shards[0].finish = shards[0].run_window;
+  for (std::uint32_t s = 1; s < kShards; ++s) {
+    shards[s].next_time = [&published] {
+      return published ? kSimTimeInfinity : 5.0;
+    };
+    shards[s].run_window = [&channels, &published, s](SimTime bound) {
+      if (published || bound <= 5.0) return std::uint64_t{0};
+      channels[s].publish(5.0, ToyMsg{s, 0});
+      channels[s].publish(5.0, ToyMsg{s, 1});
+      return std::uint64_t{1};
+    };
+    shards[s].finish = shards[s].run_window;
+  }
+
+  std::vector<SimTime> la = make_lookahead(kShards);
+  add_lookahead_edge(la, kShards, 1, 0, 1.0);
+  add_lookahead_edge(la, kShards, 2, 0, 1.0);
+  ShardEngine engine(std::move(shards), la, /*horizon=*/20.0);
+  engine.set_splice([&] {
+    ShardEngine::SpliceResult r;
+    for (auto& ch : channels) {
+      const std::size_t before = inbox.size();
+      std::vector<ShardMessage<ToyMsg>> batch;
+      ch.splice_into(batch);
+      for (auto& m : batch) inbox.push_back(m);
+      r.moved += inbox.size() - before;
+      r.max_batch = std::max<std::uint64_t>(r.max_batch, batch.size());
+    }
+    if (r.moved > 0) {
+      published = true;
+      std::sort(inbox.begin(), inbox.end(), [](const auto& a, const auto& b) {
+        if (a.ts != b.ts) return a.ts < b.ts;
+        if (a.payload.src != b.payload.src)
+          return a.payload.src < b.payload.src;
+        return a.seq < b.seq;
+      });
+    }
+    return r;
+  });
+
+  const PdesStats stats = engine.run();
+  ASSERT_EQ(applied.size(), 4u);
+  EXPECT_EQ(applied[0].src, 1u);
+  EXPECT_EQ(applied[0].seq, 0u);
+  EXPECT_EQ(applied[1].src, 1u);
+  EXPECT_EQ(applied[1].seq, 1u);
+  EXPECT_EQ(applied[2].src, 2u);
+  EXPECT_EQ(applied[3].src, 2u);
+  EXPECT_EQ(stats.messages, 4u);
+  EXPECT_EQ(stats.max_channel_depth, 2u);
+  EXPECT_GE(stats.rounds, 2u);
+}
+
+TEST(ShardEngine, ZeroLookaheadCycleIsDetected) {
+  // Two shards that each claim pending work at t=5 but can never run it
+  // (their safe bound is pinned at 5 by the 0-lookahead cycle): the engine
+  // must throw instead of spinning.
+  std::vector<ShardEngine::Shard> shards(2);
+  for (auto& sh : shards) {
+    sh.next_time = [] { return 5.0; };
+    sh.run_window = [](SimTime) { return std::uint64_t{0}; };
+    sh.finish = [](SimTime) { return std::uint64_t{0}; };
+  }
+  std::vector<SimTime> la = make_lookahead(2);
+  add_lookahead_edge(la, 2, 0, 1, 0.0);
+  add_lookahead_edge(la, 2, 1, 0, 0.0);
+  ShardEngine engine(std::move(shards), la, 10.0);
+  engine.set_splice([] { return ShardEngine::SpliceResult{}; });
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+// -------------------------------------------------------------- partitioning
+
+std::vector<GraphEdge> ring_edges(std::uint32_t n) {
+  // Two directed links per undirected edge, ids in declaration order.
+  std::vector<GraphEdge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t j = (i + 1) % n;
+    edges.push_back(GraphEdge{2 * i, i, j});
+    edges.push_back(GraphEdge{2 * i + 1, j, i});
+  }
+  return edges;
+}
+
+TEST(PartitionTopology, RoundRobinAssignsByNodeIdModulo) {
+  const auto edges = ring_edges(6);
+  const std::vector<double> cap(12, 39.375);
+  const auto part =
+      partition_topology(6, 12, edges, cap, 3, PartitionMethod::kRoundRobin);
+  ASSERT_EQ(part.node_shard.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ(part.node_shard[i], i % 3);
+  // A directed link belongs to its upstream node's shard.
+  for (const auto& e : edges) {
+    EXPECT_EQ(part.link_owner[e.link], part.node_shard[e.from]);
+  }
+}
+
+TEST(PartitionTopology, GreedyIsBalancedAndDeterministic) {
+  const auto edges = ring_edges(8);
+  const std::vector<double> cap(16, 39.375);
+  const auto a =
+      partition_topology(8, 16, edges, cap, 4, PartitionMethod::kGreedy);
+  const auto b =
+      partition_topology(8, 16, edges, cap, 4, PartitionMethod::kGreedy);
+  EXPECT_EQ(a.node_shard, b.node_shard);  // pure function of the graph
+  EXPECT_EQ(a.link_owner, b.link_owner);
+  std::vector<std::uint32_t> sizes(4, 0);
+  for (const auto s : a.node_shard) {
+    ASSERT_LT(s, 4u);
+    ++sizes[s];
+  }
+  for (const auto n : sizes) EXPECT_EQ(n, 2u);  // ceil(8 / 4) everywhere
+}
+
+TEST(PartitionTopology, UnboundLinksBelongToShardZero) {
+  // Links that appear in no graph edge (bare `link` directives) carry the
+  // non-graph state and must stay with shard 0.
+  const auto edges = ring_edges(4);
+  std::vector<double> cap(10, 39.375);  // links 8 and 9 are unbound
+  const auto part =
+      partition_topology(4, 10, edges, cap, 2, PartitionMethod::kGreedy);
+  EXPECT_EQ(part.link_owner[8], 0u);
+  EXPECT_EQ(part.link_owner[9], 0u);
+}
+
+TEST(PartitionTopology, MoreShardsThanNodesLeavesShardsEmpty) {
+  const auto edges = ring_edges(3);
+  const std::vector<double> cap(6, 10.0);
+  const auto part =
+      partition_topology(3, 6, edges, cap, 8, PartitionMethod::kGreedy);
+  for (const auto s : part.node_shard) EXPECT_LT(s, 8u);
+}
+
+TEST(AddRouteLookahead, CutEdgesCarryTheTransmissionFloor) {
+  // Nodes 0,1 on shard 0 and 2,3 on shard 1; a route 0->1->2->3 crosses the
+  // cut on its middle hop. min packet 100 B over 50 B/tu -> 2 tu lookahead.
+  Partition part;
+  part.shards = 2;
+  part.node_shard = {0, 0, 1, 1};
+  part.link_owner = {0, 0, 1};
+  const std::vector<std::vector<LinkId>> paths{{0, 1, 2}};
+  const std::vector<std::uint32_t> exit_shard{1};  // exit on the last owner
+  const std::vector<double> cap{50.0, 50.0, 50.0};
+  auto la = make_lookahead(2);
+  add_route_lookahead(la, part, paths, exit_shard, cap, 100.0);
+  EXPECT_DOUBLE_EQ(la[0 * 2 + 1], 2.0);       // hop 1 -> hop 2 crosses 0->1
+  EXPECT_EQ(la[1 * 2 + 0], kSimTimeInfinity);  // nothing flows back
+}
+
+// ------------------------------------------------------------- obs: trace
+
+TEST(PdesTraceTest, RecordsOneSpanPerBusyShardRound) {
+  PdesTrace trace(2);
+  trace.record_round(0, {10.0, 12.0}, {4, 0}, {1, 0});
+  trace.record_round(1, {20.0, 20.0}, {3, 2}, {0, 2});
+  EXPECT_EQ(trace.rounds_recorded(), 2u);
+  EXPECT_EQ(trace.shard_buffer(0).size(), 2u);  // busy in both rounds
+  EXPECT_EQ(trace.shard_buffer(1).size(), 1u);  // idle in round 0
+  const auto merged = trace.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  // Content order: shard (tid) ascending, then window start.
+  EXPECT_EQ(merged[0].tid, 0u);
+  EXPECT_DOUBLE_EQ(merged[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].dur, 10.0);
+  EXPECT_EQ(merged[1].tid, 0u);
+  EXPECT_DOUBLE_EQ(merged[1].ts, 10.0);
+  EXPECT_EQ(merged[2].tid, 1u);
+  EXPECT_EQ(merged[2].name, "pdes.window");
+}
+
+TEST(PdesTraceTest, StatsLandInTheMetricsRegistry) {
+  PdesTrace trace(1);
+  MetricsRegistry registry;
+  PdesStats stats;
+  stats.rounds = 7;
+  stats.messages = 42;
+  trace.record_stats(stats, registry);
+  const auto& counters = registry.counters();
+  ASSERT_TRUE(counters.count("pdes.rounds"));
+  EXPECT_EQ(counters.at("pdes.rounds").total(), 7u);
+  ASSERT_TRUE(counters.count("pdes.messages"));
+  EXPECT_EQ(counters.at("pdes.messages").total(), 42u);
+}
+
+// ------------------------------------------- scenario-level byte identity
+
+const char* kRing = R"(
+topology ring n=6 capacity=39.375 sched=wtp sdp=1,2,4,8
+route east from=n0 to=n2
+route west from=n2 to=n0
+route cross from=n0 to=n3
+source mix east fractions=40,30,20,10 gap=20 size=441 pareto=1.9
+source mix west fractions=40,30,20,10 gap=20 size=441 pareto=1.9
+flows cross class=3 users=8 size=441 think=1200 request=2 response=2 deadline=400
+flows cross class=0 users=8 size=441 think=1200 request=2 response=2 deadline=400
+run until=30000 warmup=3000 seed=7
+)";
+
+const char* kFatTree = R"(
+topology fat_tree k=4 capacity=39.375 sched=wtp sdp=1,2,4
+route rpc01 from=p0edge0 to=p1edge0
+route rpc23 from=p2edge0 to=p3edge1
+flows rpc01 class=2 users=12 size=441 think=1500 request=2 response=2 deadline=450 rto=900 retries=2 backoff=2
+flows rpc23 class=1 users=12 size=441 think=1500 request=2 response=2 deadline=140
+route bg from=p0edge1 to=p1edge1
+source mix bg fractions=60,30,10 gap=30 size=441 pareto=1.9
+run until=30000 warmup=3000 seed=21
+)";
+
+std::string render(const Scenario& scenario, const ScenarioOptions& options) {
+  const auto report = run_scenario(scenario, options);
+  return scenario_run_report(scenario, report, options.seed.value_or(1)).dump();
+}
+
+TEST(ShardedScenario, RingIsByteIdenticalAcrossShardCounts) {
+  const auto scenario = parse_scenario(kRing);
+  ScenarioOptions options;
+  const std::string serial = render(scenario, options);
+  for (const std::uint32_t shards : {2u, 3u}) {
+    ScenarioOptions opt;
+    opt.shards = shards;
+    EXPECT_EQ(render(scenario, opt), serial) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedScenario, FatTreeIsByteIdenticalAcrossShardCounts) {
+  const auto scenario = parse_scenario(kFatTree);
+  ScenarioOptions options;
+  const std::string serial = render(scenario, options);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    ScenarioOptions opt;
+    opt.shards = shards;
+    EXPECT_EQ(render(scenario, opt), serial) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedScenario, FaultAndControlPlansStayByteIdentical) {
+  const auto scenario = parse_scenario(kRing);
+  ScenarioOptions options;
+  options.fault_plan = "down n1>n2 at=8000 for=2000 mode=drop\n";
+  options.control_plan =
+      "retune n0>n1 at=6000 w=1,2,3,4\n"
+      "swap n1>n2 at=12000 sched=hpd\n"
+      "shed n1>n0 at=15000 for=3000 watermark=2 classes=2\n";
+  const std::string serial = render(scenario, options);
+  ScenarioOptions sharded = options;
+  sharded.shards = 3;
+  EXPECT_EQ(render(scenario, sharded), serial);
+}
+
+TEST(ShardedScenario, RoundRobinPartitionIsAlsoByteIdentical) {
+  const auto scenario = parse_scenario(kRing);
+  const std::string serial = render(scenario, ScenarioOptions{});
+  ScenarioOptions rr;
+  rr.shards = 3;
+  rr.partition = PartitionMethod::kRoundRobin;
+  EXPECT_EQ(render(scenario, rr), serial);
+}
+
+TEST(ShardedScenario, ProtocolCountersSeeRealCrossShardTraffic) {
+  const auto scenario = parse_scenario(kRing);
+  ScenarioOptions options;
+  options.shards = 3;
+  PdesStats stats;
+  options.pdes_stats = &stats;
+  run_scenario(scenario, options);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.messages, 0u);  // the cut carries traffic, not a no-op
+  EXPECT_GT(stats.max_channel_depth, 0u);
+}
+
+TEST(ShardedScenario, TraceRecordsEveryRound) {
+  const auto scenario = parse_scenario(kRing);
+  ScenarioOptions options;
+  options.shards = 2;
+  PdesStats stats;
+  PdesTrace trace(2);
+  options.pdes_stats = &stats;
+  options.pdes_trace = &trace;
+  run_scenario(scenario, options);
+  EXPECT_EQ(trace.rounds_recorded(), stats.rounds);
+  EXPECT_FALSE(trace.merged().empty());
+}
+
+TEST(ShardedScenario, RejectsMetricsAndBudgetsWithShards) {
+  const auto scenario = parse_scenario(kRing);
+  ScenarioOptions options;
+  options.shards = 2;
+  options.metrics_out = "/tmp/should_not_exist.csv";
+  EXPECT_THROW(run_scenario(scenario, options), std::invalid_argument);
+  ScenarioOptions budget;
+  budget.shards = 2;
+  budget.max_events = 1000;
+  EXPECT_THROW(run_scenario(scenario, budget), std::invalid_argument);
+}
+
+TEST(ShardedScenario, ParallelExecutorMatchesTheSerialLoop) {
+  // The byte-identity tests above run shard windows on the default serial
+  // loop; this one injects the real pool so the TSan pass exercises the
+  // barrier/channel handoffs under actual threads.
+  const auto scenario = parse_scenario(kRing);
+  const std::string serial = render(scenario, ScenarioOptions{});
+  ThreadPool::set_global_workers(4);
+  ScenarioOptions opt;
+  opt.shards = 3;
+  opt.shard_executor = [](std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+    parallel_for(count, body);
+  };
+  const std::string parallel = render(scenario, opt);
+  ThreadPool::set_global_workers(0);  // restore auto for other suites
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ShardedScenario, ShardCountBeyondNodesStillMatchesSerial) {
+  const auto scenario = parse_scenario(kRing);
+  const std::string serial = render(scenario, ScenarioOptions{});
+  ScenarioOptions opt;
+  opt.shards = 12;  // ring has 6 nodes: half the shards stay empty
+  EXPECT_EQ(render(scenario, opt), serial);
+}
+
+}  // namespace
+}  // namespace pds
